@@ -1,0 +1,285 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation, plus ablations over the design choices DESIGN.md calls out.
+//
+// Each benchmark runs complete campaigns and reports the scientific
+// quantities alongside wall time:
+//
+//	cpu%          average busy-core fraction of the simulated node
+//	gpu%          average busy-GPU fraction
+//	traj          design trajectories examined
+//	task-hours    aggregate task execution time (the paper's "Time (h)")
+//	makespan-h    campaign wall-clock span in virtual hours
+//	dplddt        net pLDDT improvement (final − starting median)
+//
+// Regenerate everything: go test -bench=. -benchmem
+package impress_test
+
+import (
+	"fmt"
+	"testing"
+
+	"impress"
+)
+
+// reportCampaign attaches the scientific metrics of a result to b.
+func reportCampaign(b *testing.B, res *impress.Result) {
+	b.Helper()
+	b.ReportMetric(res.CPUUtilization*100, "cpu%")
+	b.ReportMetric(res.GPUUtilization*100, "gpu%")
+	b.ReportMetric(float64(res.TrajectoryCount()), "traj")
+	b.ReportMetric(res.AggregateTaskTime.Hours(), "task-hours")
+	b.ReportMetric(res.Makespan.Hours(), "makespan-h")
+	b.ReportMetric(res.NetDelta(impress.PLDDT), "dplddt")
+}
+
+func namedTargets(b *testing.B, seed uint64) []*impress.Target {
+	b.Helper()
+	targets, err := impress.NamedPDZTargets(seed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return targets
+}
+
+// BenchmarkTableI_CONTV regenerates the CONT-V row of Table I: one
+// sequential, non-adaptive campaign over the four named PDZ domains.
+func BenchmarkTableI_CONTV(b *testing.B) {
+	targets := namedTargets(b, 42)
+	var res *impress.Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = impress.RunControl(targets, impress.ControlConfig(42))
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportCampaign(b, res)
+}
+
+// BenchmarkTableI_IMRP regenerates the IM-RP row of Table I: the adaptive
+// campaign with asynchronous execution and dynamic sub-pipelines.
+func BenchmarkTableI_IMRP(b *testing.B) {
+	targets := namedTargets(b, 42)
+	var res *impress.Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = impress.RunAdaptive(targets, impress.AdaptiveConfig(42))
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportCampaign(b, res)
+}
+
+// BenchmarkFig2 regenerates Figure 2: the CONT-V vs IM-RP per-iteration
+// metric comparison over the four PDZ-peptide structures.
+func BenchmarkFig2(b *testing.B) {
+	var out *impress.ExperimentOutput
+	for i := 0; i < b.N; i++ {
+		var err error
+		out, err = impress.Fig2Experiment(42)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportCampaign(b, out.Results["IM-RP"])
+}
+
+// BenchmarkFig3 regenerates Figure 3: the expanded IM-RP workflow over 70
+// PDB-mined complexes with adaptivity disabled in the final cycle.
+func BenchmarkFig3(b *testing.B) {
+	var out *impress.ExperimentOutput
+	for i := 0; i < b.N; i++ {
+		var err error
+		out, err = impress.Fig3Experiment(44, 70)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	res := out.Results["IM-RP"]
+	reportCampaign(b, res)
+	b.ReportMetric(float64(res.SubPipelines), "sub-pl")
+	it3, _ := res.IterationSummary(3, impress.PLDDT)
+	it4, _ := res.IterationSummary(4, impress.PLDDT)
+	b.ReportMetric(it4-it3, "final-drop")
+}
+
+// BenchmarkFig4 regenerates Figure 4: CONT-V's CPU/GPU utilization trace.
+func BenchmarkFig4(b *testing.B) {
+	var out *impress.ExperimentOutput
+	for i := 0; i < b.N; i++ {
+		var err error
+		out, err = impress.Fig4Experiment(42)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportCampaign(b, out.Results["CONT-V"])
+}
+
+// BenchmarkFig5 regenerates Figure 5: IM-RP's CPU/GPU utilization trace
+// and runtime phase breakdown.
+func BenchmarkFig5(b *testing.B) {
+	var out *impress.ExperimentOutput
+	for i := 0; i < b.N; i++ {
+		var err error
+		out, err = impress.Fig5Experiment(42)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportCampaign(b, out.Results["IM-RP"])
+}
+
+// BenchmarkAblationRetryDepth varies Stage 6's alternate-sequence budget:
+// 0 disables retries entirely; the paper uses 10.
+func BenchmarkAblationRetryDepth(b *testing.B) {
+	for _, depth := range []int{0, 1, 5, 10} {
+		b.Run(fmt.Sprintf("retries=%d", depth), func(b *testing.B) {
+			targets := namedTargets(b, 42)
+			cfg := impress.AdaptiveConfig(42)
+			cfg.Pipeline.MaxRetries = depth
+			var res *impress.Result
+			for i := 0; i < b.N; i++ {
+				var err error
+				res, err = impress.RunAdaptive(targets, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			reportCampaign(b, res)
+			b.ReportMetric(float64(res.EarlyTerminated), "terminated")
+		})
+	}
+}
+
+// BenchmarkAblationSubPipelines isolates the contribution of dynamic
+// sub-pipeline generation to utilization and quality.
+func BenchmarkAblationSubPipelines(b *testing.B) {
+	for _, enabled := range []bool{false, true} {
+		name := "off"
+		if enabled {
+			name = "on"
+		}
+		b.Run(name, func(b *testing.B) {
+			targets := namedTargets(b, 42)
+			cfg := impress.AdaptiveConfig(42)
+			cfg.Sub.Enabled = enabled
+			var res *impress.Result
+			for i := 0; i < b.N; i++ {
+				var err error
+				res, err = impress.RunAdaptive(targets, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			reportCampaign(b, res)
+			b.ReportMetric(float64(res.SubPipelines), "sub-pl")
+		})
+	}
+}
+
+// BenchmarkAblationSplitFold compares the ParaFold-style CPU/GPU task
+// split against the monolithic AlphaFold task, and the MSA reuse option —
+// the mechanisms behind the Fig. 4 vs Fig. 5 utilization contrast.
+func BenchmarkAblationSplitFold(b *testing.B) {
+	cases := []struct {
+		name            string
+		split, reuseMSA bool
+	}{
+		{"monolithic", false, false},
+		{"split", true, false},
+		{"split-reuse-msa", true, true},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			targets := namedTargets(b, 42)
+			cfg := impress.AdaptiveConfig(42)
+			cfg.Pipeline.SplitFold = c.split
+			cfg.Pipeline.ReuseMSA = c.reuseMSA
+			var res *impress.Result
+			for i := 0; i < b.N; i++ {
+				var err error
+				res, err = impress.RunAdaptive(targets, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			reportCampaign(b, res)
+		})
+	}
+}
+
+// BenchmarkAblationSelection compares candidate selection policies: the
+// GA's log-likelihood ranking, CONT-V's random pick, and the oracle upper
+// bound that reads the hidden landscape directly.
+func BenchmarkAblationSelection(b *testing.B) {
+	policies := []struct {
+		name   string
+		policy impress.SelectionPolicy
+	}{
+		{"best-loglik", impress.SelectBestLogLikelihood},
+		{"random", impress.SelectRandom},
+		{"oracle", impress.SelectOracle},
+	}
+	for _, p := range policies {
+		b.Run(p.name, func(b *testing.B) {
+			targets := namedTargets(b, 42)
+			cfg := impress.AdaptiveConfig(42)
+			cfg.Pipeline.Selection = p.policy
+			var res *impress.Result
+			for i := 0; i < b.N; i++ {
+				var err error
+				res, err = impress.RunAdaptive(targets, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			reportCampaign(b, res)
+		})
+	}
+}
+
+// BenchmarkAblationConcurrency caps the number of concurrently active
+// pipelines, measuring the asynchronous-execution headroom the
+// coordinator exploits.
+func BenchmarkAblationConcurrency(b *testing.B) {
+	for _, cap := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("pipelines=%d", cap), func(b *testing.B) {
+			targets := namedTargets(b, 42)
+			cfg := impress.AdaptiveConfig(42)
+			cfg.MaxConcurrent = cap
+			var res *impress.Result
+			for i := 0; i < b.N; i++ {
+				var err error
+				res, err = impress.RunAdaptive(targets, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			reportCampaign(b, res)
+		})
+	}
+}
+
+// BenchmarkScreenScaling measures coordinator throughput as the workload
+// widens (trajectory counts grow superlinearly through sub-pipelines).
+func BenchmarkScreenScaling(b *testing.B) {
+	for _, n := range []int{8, 16, 32} {
+		b.Run(fmt.Sprintf("targets=%d", n), func(b *testing.B) {
+			screen, err := impress.PDZScreen(42, n)
+			if err != nil {
+				b.Fatal(err)
+			}
+			cfg := impress.AdaptiveConfig(42)
+			var res *impress.Result
+			for i := 0; i < b.N; i++ {
+				res, err = impress.RunAdaptive(screen, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			reportCampaign(b, res)
+		})
+	}
+}

@@ -1,0 +1,99 @@
+// Command impress-experiments regenerates the paper's evaluation: Table I
+// and Figures 2–5 of "Adaptive Protein Design Protocols and Middleware".
+//
+// Usage:
+//
+//	impress-experiments [flags] [experiment ...]
+//
+// Experiments: table1, fig2, fig3, fig4, fig5, or "all" (default).
+//
+// Flags:
+//
+//	-seed N       campaign seed (default 42)
+//	-screen N     Fig. 3 screen size (default 70, the paper's)
+//	-out DIR      also write <experiment>.txt and <experiment>.csv files
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"impress"
+)
+
+func main() {
+	seed := flag.Uint64("seed", 42, "campaign seed")
+	screen := flag.Int("screen", 70, "Fig. 3 screen size")
+	outDir := flag.String("out", "", "directory for .txt/.csv outputs (optional)")
+	flag.Parse()
+
+	selected := flag.Args()
+	if len(selected) == 0 {
+		selected = []string{"all"}
+	}
+	want := make(map[string]bool)
+	for _, s := range selected {
+		want[strings.ToLower(s)] = true
+	}
+
+	experiments := impress.Experiments()
+	known := make(map[string]bool)
+	for _, e := range experiments {
+		known[e.ID] = true
+	}
+	for id := range want {
+		if id != "all" && !known[id] {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (known: table1 fig2 fig3 fig4 fig5 all)\n", id)
+			os.Exit(2)
+		}
+	}
+
+	failed := false
+	for _, exp := range experiments {
+		if !want["all"] && !want[exp.ID] {
+			continue
+		}
+		run := exp.Run
+		if exp.ID == "fig3" && *screen != 70 {
+			n := *screen
+			run = func(seed uint64) (*impress.ExperimentOutput, error) {
+				return impress.Fig3Experiment(seed, n)
+			}
+		}
+		fmt.Printf("### %s — %s (seed %d)\n\n", exp.ID, exp.Title, *seed)
+		out, err := run(*seed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", exp.ID, err)
+			failed = true
+			continue
+		}
+		fmt.Println(out.Text)
+		if *outDir != "" {
+			if err := writeOutputs(*outDir, out); err != nil {
+				fmt.Fprintf(os.Stderr, "writing %s outputs: %v\n", exp.ID, err)
+				failed = true
+			}
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+func writeOutputs(dir string, out *impress.ExperimentOutput) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(dir, out.ID+".txt"), []byte(out.Text), 0o644); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, out.ID+".csv"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return out.WriteCSV(f)
+}

@@ -1,0 +1,186 @@
+// Command impress-run executes a single protein-design campaign — the
+// adaptive IM-RP protocol or the CONT-V baseline — over the paper's PDZ
+// workloads and prints the outcome.
+//
+// Examples:
+//
+//	impress-run -protocol imrp
+//	impress-run -protocol contv -seed 7
+//	impress-run -protocol imrp -targets screen -screen-size 24 -csv iters.csv
+//	impress-run -protocol imrp -cycles 6 -sequences 16 -max-concurrent 2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"impress"
+)
+
+func main() {
+	protocol := flag.String("protocol", "imrp", "protocol: imrp (adaptive) or contv (control)")
+	targetsKind := flag.String("targets", "named", "workload: named (4 PDZ domains) or screen")
+	screenSize := flag.Int("screen-size", 70, "screen workload size")
+	seed := flag.Uint64("seed", 42, "campaign seed")
+	cycles := flag.Int("cycles", 0, "override design cycles per pipeline (0 = protocol default)")
+	sequences := flag.Int("sequences", 0, "override MPNN sequences per cycle (0 = default)")
+	retries := flag.Int("retries", -1, "override Stage-6 alternate retries (-1 = default)")
+	maxConcurrent := flag.Int("max-concurrent", 0, "cap concurrently active pipelines (0 = unlimited)")
+	noSubs := flag.Bool("no-subs", false, "disable dynamic sub-pipeline generation")
+	noFinalAdaptive := flag.Bool("no-final-adaptive", false, "disable adaptivity in the final cycle (Fig. 3 setup)")
+	csvPath := flag.String("csv", "", "write per-iteration metric CSV to this path")
+	jsonPath := flag.String("json", "", "write the full campaign result as JSON to this path")
+	pdbDir := flag.String("pdb-dir", "", "write the best design per target as PDB files into this directory")
+	events := flag.Bool("events", false, "print the campaign event log")
+	gantt := flag.Int("gantt", 0, "print a task-timeline Gantt chart with up to N rows")
+	verbose := flag.Bool("v", false, "also print per-trajectory details")
+	flag.Parse()
+
+	var cfg impress.Config
+	switch *protocol {
+	case "imrp":
+		cfg = impress.AdaptiveConfig(*seed)
+	case "contv":
+		cfg = impress.ControlConfig(*seed)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown protocol %q (want imrp or contv)\n", *protocol)
+		os.Exit(2)
+	}
+	if *cycles > 0 {
+		cfg.Pipeline.Cycles = *cycles
+	}
+	if *sequences > 0 {
+		cfg.Pipeline.MPNN.NumSequences = *sequences
+	}
+	if *retries >= 0 {
+		cfg.Pipeline.MaxRetries = *retries
+	}
+	if *maxConcurrent > 0 {
+		cfg.MaxConcurrent = *maxConcurrent
+	}
+	if *noSubs {
+		cfg.Sub.Enabled = false
+	}
+	if *noFinalAdaptive {
+		cfg.Pipeline.FinalCycleAdaptive = false
+	}
+
+	var (
+		targets []*impress.Target
+		err     error
+	)
+	switch *targetsKind {
+	case "named":
+		targets, err = impress.NamedPDZTargets(*seed)
+	case "screen":
+		targets, err = impress.PDZScreen(*seed, *screenSize)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown workload %q (want named or screen)\n", *targetsKind)
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	coord, err := impress.NewCoordinator(targets, cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	var stream *impress.EventStream
+	if *events {
+		stream = coord.Events(16384)
+	}
+	res, err := coord.Run()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Println(impress.Summary(res))
+	fmt.Println()
+	for it := 1; it <= res.Iterations(); it++ {
+		pl, ps := res.IterationSummary(it, impress.PLDDT)
+		pt, _ := res.IterationSummary(it, impress.PTM)
+		pa, _ := res.IterationSummary(it, impress.IPAE)
+		fmt.Printf("iteration %d: pLDDT %.2f ± %.2f  pTM %.3f  ipAE %.2f\n", it, pl, ps/2, pt, pa)
+	}
+	if *verbose {
+		fmt.Println()
+		for _, tr := range res.Trajectories {
+			kind := "base"
+			if tr.Sub {
+				kind = "sub"
+			}
+			status := "accepted"
+			if !tr.Accepted {
+				status = "declined"
+			}
+			fmt.Printf("%-9s %-8s cycle %d gen %d rank %d evals %d  pLDDT %.2f pTM %.3f ipAE %.2f  [%s, %s]\n",
+				tr.PipelineID, tr.Target, tr.Cycle, tr.Generation, tr.CandidateRank, tr.Evaluations,
+				tr.Metrics.PLDDT, tr.Metrics.PTM, tr.Metrics.IPAE, kind, status)
+		}
+	}
+	if stream != nil {
+		fmt.Println("\nevent log:")
+		for _, e := range stream.Drain() {
+			fmt.Println(" ", e)
+		}
+		if n := stream.Dropped(); n > 0 {
+			fmt.Printf("  (%d events dropped)\n", n)
+		}
+	}
+	if *gantt > 0 {
+		fmt.Println()
+		fmt.Print(impress.Gantt(res, *gantt))
+	}
+	if *jsonPath != "" {
+		f, err := os.Create(*jsonPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := impress.WriteResultJSON(f, res, true); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		f.Close()
+		fmt.Printf("\nwrote %s\n", *jsonPath)
+	}
+	if *pdbDir != "" {
+		if err := os.MkdirAll(*pdbDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		for name, st := range res.FinalDesigns {
+			path := filepath.Join(*pdbDir, name+".pdb")
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			if err := impress.WritePDB(f, st, nil); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			f.Close()
+			fmt.Printf("wrote %s\n", path)
+		}
+	}
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		out := &impress.ExperimentOutput{ID: "run", Results: map[string]*impress.Result{res.Approach: res}}
+		if err := out.WriteCSV(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nwrote %s\n", *csvPath)
+	}
+}

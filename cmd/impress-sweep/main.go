@@ -1,0 +1,106 @@
+// Command impress-sweep runs the CONT-V vs IM-RP comparison across many
+// seeds and reports the distribution of outcomes — the statistical
+// robustness check behind the single-seed numbers of Table I.
+//
+//	impress-sweep -seeds 10
+//	impress-sweep -seeds 20 -csv sweep.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"impress"
+	"impress/internal/stats"
+)
+
+type row struct {
+	seed       uint64
+	ctrl, adpt *impress.Result
+}
+
+func main() {
+	nSeeds := flag.Int("seeds", 8, "number of seeds to sweep")
+	firstSeed := flag.Uint64("first-seed", 100, "first seed of the sweep")
+	csvPath := flag.String("csv", "", "write per-seed results as CSV")
+	flag.Parse()
+
+	var rows []row
+	for i := 0; i < *nSeeds; i++ {
+		seed := *firstSeed + uint64(i)
+		targets, err := impress.NamedPDZTargets(seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		ctrl, err := impress.RunControl(targets, impress.ControlConfig(seed))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		adpt, err := impress.RunAdaptive(targets, impress.AdaptiveConfig(seed))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		rows = append(rows, row{seed, ctrl, adpt})
+		fmt.Printf("seed %d: Δ pLDDT CONT-V %+.2f vs IM-RP %+.2f; GPU %.1f%% vs %.1f%%; traj %d vs %d; sub-PL %d\n",
+			seed, ctrl.NetDelta(impress.PLDDT), adpt.NetDelta(impress.PLDDT),
+			ctrl.GPUUtilization*100, adpt.GPUUtilization*100,
+			ctrl.TrajectoryCount(), adpt.TrajectoryCount(), adpt.SubPipelines)
+	}
+
+	collect := func(f func(r row) float64) []float64 {
+		out := make([]float64, len(rows))
+		for i, r := range rows {
+			out[i] = f(r)
+		}
+		return out
+	}
+	wins := 0
+	for _, r := range rows {
+		if r.adpt.NetDelta(impress.PLDDT) > r.ctrl.NetDelta(impress.PLDDT) {
+			wins++
+		}
+	}
+
+	fmt.Printf("\nsweep over %d seeds:\n", len(rows))
+	describe := func(name string, xs []float64) {
+		d := stats.Describe(xs)
+		fmt.Printf("  %-24s median %8.3f  mean %8.3f  σ %7.3f  [%.3f, %.3f]\n",
+			name, d.Median, d.Mean, d.StdDev, d.Min, d.Max)
+	}
+	describe("CONT-V Δ pLDDT", collect(func(r row) float64 { return r.ctrl.NetDelta(impress.PLDDT) }))
+	describe("IM-RP Δ pLDDT", collect(func(r row) float64 { return r.adpt.NetDelta(impress.PLDDT) }))
+	describe("CONT-V Δ pTM", collect(func(r row) float64 { return r.ctrl.NetDelta(impress.PTM) }))
+	describe("IM-RP Δ pTM", collect(func(r row) float64 { return r.adpt.NetDelta(impress.PTM) }))
+	describe("CONT-V CPU util", collect(func(r row) float64 { return r.ctrl.CPUUtilization }))
+	describe("IM-RP CPU util", collect(func(r row) float64 { return r.adpt.CPUUtilization }))
+	describe("CONT-V GPU util", collect(func(r row) float64 { return r.ctrl.GPUUtilization }))
+	describe("IM-RP GPU util", collect(func(r row) float64 { return r.adpt.GPUUtilization }))
+	describe("IM-RP sub-pipelines", collect(func(r row) float64 { return float64(r.adpt.SubPipelines) }))
+	describe("IM-RP trajectories", collect(func(r row) float64 { return float64(r.adpt.TrajectoryCount()) }))
+	fmt.Printf("  IM-RP beats CONT-V on Δ pLDDT in %d/%d seeds\n", wins, len(rows))
+
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		fmt.Fprintln(f, "seed,approach,dplddt,dptm,dipae,cpu_util,gpu_util,trajectories,sub_pipelines,aggregate_h,makespan_h")
+		for _, r := range rows {
+			for _, res := range []*impress.Result{r.ctrl, r.adpt} {
+				fmt.Fprintf(f, "%d,%s,%.4f,%.4f,%.4f,%.4f,%.4f,%d,%d,%.3f,%.3f\n",
+					r.seed, res.Approach,
+					res.NetDelta(impress.PLDDT), res.NetDelta(impress.PTM), res.NetDelta(impress.IPAE),
+					res.CPUUtilization, res.GPUUtilization,
+					res.TrajectoryCount(), res.SubPipelines,
+					res.AggregateTaskTime.Hours(), res.Makespan.Hours())
+			}
+		}
+		fmt.Printf("\nwrote %s\n", *csvPath)
+	}
+}

@@ -1,0 +1,216 @@
+package impress
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"impress/internal/core"
+	"impress/internal/report"
+)
+
+// ExperimentOutput is one regenerated table or figure: the rendered text
+// plus the raw campaign results it came from (keyed by approach).
+type ExperimentOutput struct {
+	ID      string
+	Title   string
+	Text    string
+	Results map[string]*Result
+}
+
+// WriteCSV emits the experiment's per-iteration metrics (and, for the
+// utilization figures, the busy-resource series) as CSV.
+func (o *ExperimentOutput) WriteCSV(w io.Writer) error {
+	results := make([]*core.Result, 0, len(o.Results))
+	for _, name := range sortedKeys(o.Results) {
+		results = append(results, o.Results[name])
+	}
+	switch o.ID {
+	case "fig4", "fig5":
+		for _, r := range results {
+			if err := report.SeriesCSV(w, r); err != nil {
+				return err
+			}
+		}
+		return nil
+	default:
+		iters := 0
+		for _, r := range results {
+			if n := r.Iterations(); n > iters {
+				iters = n
+			}
+		}
+		return report.IterationCSV(w, iters, results...)
+	}
+}
+
+func sortedKeys(m map[string]*Result) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Experiment regenerates one of the paper's tables or figures.
+type Experiment struct {
+	// ID is the short handle used by the CLI ("table1", "fig2", ...).
+	ID string
+	// Title describes the experiment.
+	Title string
+	// Run executes the experiment at the given seed.
+	Run func(seed uint64) (*ExperimentOutput, error)
+}
+
+// Experiments returns the paper's full evaluation harness, one entry per
+// table and figure of Section III.
+func Experiments() []Experiment {
+	return []Experiment{
+		{
+			ID:    "table1",
+			Title: "Table I: experimental setup and results for CONT-V and IM-RP",
+			Run:   TableIExperiment,
+		},
+		{
+			ID:    "fig2",
+			Title: "Fig. 2: per-iteration AlphaFold metrics, CONT-V vs IM-RP (4 PDZ-peptide structures)",
+			Run:   Fig2Experiment,
+		},
+		{
+			ID:    "fig3",
+			Title: "Fig. 3: per-iteration AlphaFold metrics for the expanded IM-RP workflow (70 structures)",
+			Run:   func(seed uint64) (*ExperimentOutput, error) { return Fig3Experiment(seed, 70) },
+		},
+		{
+			ID:    "fig4",
+			Title: "Fig. 4: CONT-V total GPU/CPU resource utilization and execution time",
+			Run:   Fig4Experiment,
+		},
+		{
+			ID:    "fig5",
+			Title: "Fig. 5: IM-RP total GPU/CPU utilization, execution time and phase breakdown",
+			Run:   Fig5Experiment,
+		},
+	}
+}
+
+// pairCampaign runs both protocols on the paper's 4-PDZ workload.
+func pairCampaign(seed uint64) (ctrl, adpt *Result, err error) {
+	targets, err := NamedPDZTargets(seed)
+	if err != nil {
+		return nil, nil, err
+	}
+	ctrl, err = RunControl(targets, ControlConfig(seed))
+	if err != nil {
+		return nil, nil, err
+	}
+	adpt, err = RunAdaptive(targets, AdaptiveConfig(seed))
+	if err != nil {
+		return nil, nil, err
+	}
+	return ctrl, adpt, nil
+}
+
+// TableIExperiment regenerates Table I: CONT-V vs IM-RP on four PDZ
+// domains against the α-synuclein 10-mer, reporting pipeline counts,
+// trajectories, utilization, time, and metric net deltas.
+func TableIExperiment(seed uint64) (*ExperimentOutput, error) {
+	ctrl, adpt, err := pairCampaign(seed)
+	if err != nil {
+		return nil, err
+	}
+	text := report.TableI(ctrl, adpt) +
+		"\nPL = pipeline. 'Time (h)' is aggregate task execution time (the paper's" +
+		"\ndefinition: total time taken by all tasks on the compute resources);" +
+		"\nmakespan is reported alongside. Sub-pipelines each run one refinement cycle.\n" +
+		"\n" + report.Summary(ctrl) + "\n" + report.Summary(adpt) + "\n"
+	return &ExperimentOutput{
+		ID: "table1", Title: "Table I", Text: text,
+		Results: map[string]*Result{"CONT-V": ctrl, "IM-RP": adpt},
+	}, nil
+}
+
+// Fig2Experiment regenerates Fig. 2: median pLDDT, pTM and inter-chain
+// pAE per design iteration for CONT-V and IM-RP over the four named PDZ
+// targets, with half-σ error bars.
+func Fig2Experiment(seed uint64) (*ExperimentOutput, error) {
+	ctrl, adpt, err := pairCampaign(seed)
+	if err != nil {
+		return nil, err
+	}
+	iters := ctrl.Iterations()
+	if n := adpt.Iterations(); n > iters {
+		iters = n
+	}
+	text := report.IterationFigure(
+		"Fig. 2: AlphaFold metrics per iteration, CONT-V vs IM-RP (4 PDZ-peptide structures)",
+		iters, ctrl, adpt)
+	return &ExperimentOutput{
+		ID: "fig2", Title: "Fig. 2", Text: text,
+		Results: map[string]*Result{"CONT-V": ctrl, "IM-RP": adpt},
+	}, nil
+}
+
+// Fig3Experiment regenerates Fig. 3: the expanded IM-RP workflow over n
+// PDB-mined PDZ–peptide complexes (paper: 70) with the α-synuclein
+// 4-mer, four design cycles, and adaptivity not enforced in the final
+// cycle — reproducing the final-iteration quality drop.
+func Fig3Experiment(seed uint64, n int) (*ExperimentOutput, error) {
+	screen, err := PDZScreen(seed, n)
+	if err != nil {
+		return nil, err
+	}
+	cfg := AdaptiveConfig(seed)
+	cfg.Pipeline.FinalCycleAdaptive = false
+	res, err := RunAdaptive(screen, cfg)
+	if err != nil {
+		return nil, err
+	}
+	text := report.IterationFigure(
+		fmt.Sprintf("Fig. 3: AlphaFold metrics per iteration, expanded IM-RP workflow (%d structures)", n),
+		res.Iterations(), res) +
+		fmt.Sprintf("\n%s\n(adaptivity disabled in the final cycle; %d sub-pipelines, %d trajectories, %d early-terminated pipelines)\n",
+			report.Summary(res), res.SubPipelines, res.TrajectoryCount(), res.EarlyTerminated)
+	return &ExperimentOutput{
+		ID: "fig3", Title: "Fig. 3", Text: text,
+		Results: map[string]*Result{"IM-RP": res},
+	}, nil
+}
+
+// Fig4Experiment regenerates Fig. 4: CONT-V's CPU/GPU utilization time
+// series and execution time on the Amarel node.
+func Fig4Experiment(seed uint64) (*ExperimentOutput, error) {
+	targets, err := NamedPDZTargets(seed)
+	if err != nil {
+		return nil, err
+	}
+	res, err := RunControl(targets, ControlConfig(seed))
+	if err != nil {
+		return nil, err
+	}
+	return &ExperimentOutput{
+		ID: "fig4", Title: "Fig. 4",
+		Text:    report.UtilizationFigure("Fig. 4: CONT-V total GPU/CPU resource utilization and execution time", res),
+		Results: map[string]*Result{"CONT-V": res},
+	}, nil
+}
+
+// Fig5Experiment regenerates Fig. 5: IM-RP's CPU/GPU utilization time
+// series, execution time, and the Bootstrap / Exec setup / Running phase
+// breakdown.
+func Fig5Experiment(seed uint64) (*ExperimentOutput, error) {
+	targets, err := NamedPDZTargets(seed)
+	if err != nil {
+		return nil, err
+	}
+	res, err := RunAdaptive(targets, AdaptiveConfig(seed))
+	if err != nil {
+		return nil, err
+	}
+	return &ExperimentOutput{
+		ID: "fig5", Title: "Fig. 5",
+		Text:    report.UtilizationFigure("Fig. 5: IM-RP total GPU/CPU utilization and execution time", res),
+		Results: map[string]*Result{"IM-RP": res},
+	}, nil
+}

@@ -1,0 +1,153 @@
+// Package impress is the public API of the IMPRESS reproduction: adaptive
+// protein design protocols (IM-RP) and their supporting middleware, per
+// "Adaptive Protein Design Protocols and Middleware" (IPPS 2025).
+//
+// The package couples a ProteinMPNN-style sequence generator and an
+// AlphaFold-style structure predictor through an adaptive pipelines
+// coordinator executing on a RADICAL-Pilot-style runtime over a simulated
+// HPC resource. Campaigns replay deterministically in virtual time, so
+// the paper's evaluation (Table I, Figures 2–5) regenerates in seconds.
+//
+// Quick start:
+//
+//	targets, _ := impress.NamedPDZTargets(42)
+//	result, _ := impress.RunAdaptive(targets, impress.AdaptiveConfig(42))
+//	fmt.Println(impress.Summary(result))
+//
+// See the examples directory for complete programs, and the Experiments
+// function for the paper's evaluation harness.
+package impress
+
+import (
+	"impress/internal/cluster"
+	"impress/internal/core"
+	"impress/internal/costmodel"
+	"impress/internal/fold"
+	"impress/internal/ga"
+	"impress/internal/landscape"
+	"impress/internal/mpnn"
+	"impress/internal/pipeline"
+	"impress/internal/report"
+	"impress/internal/workload"
+)
+
+// Core domain types, aliased from the implementation packages so library
+// users work with one import path.
+type (
+	// Target is one design problem: a starting receptor–peptide complex
+	// plus its hidden fitness landscape.
+	Target = workload.Target
+	// WorkloadConfig tunes synthetic target generation.
+	WorkloadConfig = workload.Config
+	// Metrics are AlphaFold confidence/error measures (pLDDT, pTM,
+	// inter-chain pAE).
+	Metrics = landscape.Metrics
+	// Result is a completed campaign's full record.
+	Result = core.Result
+	// Config describes a campaign (protocol parameters, machine,
+	// sub-pipeline policy, concurrency).
+	Config = core.Config
+	// SubPolicy governs dynamic sub-pipeline generation.
+	SubPolicy = core.SubPolicy
+	// PipelineParams configures the per-pipeline protocol (cycles,
+	// retries, selection policy, fold task splitting).
+	PipelineParams = pipeline.Params
+	// Trajectory is one concluded design cycle.
+	Trajectory = pipeline.Trajectory
+	// MPNNConfig configures the sequence-generation stage.
+	MPNNConfig = mpnn.Config
+	// FoldConfig configures the structure-prediction stage.
+	FoldConfig = fold.Config
+	// CostParams holds the calibrated task duration/resource models.
+	CostParams = costmodel.Params
+	// MachineSpec describes the HPC resource.
+	MachineSpec = cluster.Spec
+	// SelectionPolicy orders candidate sequences for evaluation.
+	SelectionPolicy = ga.SelectionPolicy
+)
+
+// Selection policies for PipelineParams.Selection.
+const (
+	// SelectBestLogLikelihood tries candidates in MPNN log-likelihood
+	// order (IM-RP).
+	SelectBestLogLikelihood = ga.SelectBestLogLikelihood
+	// SelectRandom picks candidates in random order (CONT-V).
+	SelectRandom = ga.SelectRandom
+	// SelectOracle ranks by true landscape quality (ablation upper
+	// bound).
+	SelectOracle = ga.SelectOracle
+)
+
+// α-synuclein C-terminal peptides, the paper's design targets.
+const (
+	AlphaSynucleinTail10 = workload.AlphaSynucleinTail10
+	AlphaSynucleinTail4  = workload.AlphaSynucleinTail4
+)
+
+// Metric extractors for Result.IterationSummary / NetDelta.
+var (
+	PLDDT = core.PLDDTOf
+	PTM   = core.PTMOf
+	IPAE  = core.IPAEOf
+)
+
+// Amarel returns the paper's evaluation resource: one node with 28 CPU
+// cores, 4 GPUs, and 128 GB of memory.
+func Amarel() MachineSpec { return cluster.AmarelNode() }
+
+// DefaultWorkloadConfig returns the standard target-synthesis settings.
+func DefaultWorkloadConfig() WorkloadConfig { return workload.DefaultConfig() }
+
+// NamedPDZTargets builds the paper's four PDZ domains (NHERF3, HTRA1,
+// SCRIB, SHANK1) in complex with the α-synuclein 10-mer.
+func NamedPDZTargets(seed uint64) ([]*Target, error) {
+	return workload.NamedTargets(seed, workload.DefaultConfig())
+}
+
+// PDZScreen builds the expanded workload of n synthetic PDB-mined
+// PDZ–peptide complexes bound to the α-synuclein 4-mer (the paper uses
+// n=70).
+func PDZScreen(seed uint64, n int) ([]*Target, error) {
+	return workload.MinedScreen(seed, n, workload.DefaultConfig())
+}
+
+// NewTarget synthesizes a custom design problem.
+func NewTarget(seed uint64, name string, receptorLen int, peptide string) (*Target, error) {
+	return workload.NewTarget(seed, name, receptorLen, peptide, workload.DefaultConfig())
+}
+
+// ProteaseTarget builds a monomeric protease-like target for the paper's
+// future-work protocol, returning the catalytic triad positions that the
+// MPNN stage must hold fixed.
+func ProteaseTarget(seed uint64, name string, receptorLen int) (*Target, []int, error) {
+	return workload.ProteaseTarget(seed, name, receptorLen, workload.DefaultConfig())
+}
+
+// AdaptiveConfig returns the IM-RP campaign configuration on the Amarel
+// node: adaptive selection and pruning, split AlphaFold tasks,
+// asynchronous pipeline execution, dynamic sub-pipelines.
+func AdaptiveConfig(seed uint64) Config { return core.AdaptiveConfig(seed) }
+
+// ControlConfig returns the CONT-V baseline configuration: the same
+// stages, random selection, no comparisons or pruning, monolithic
+// AlphaFold tasks, strictly sequential execution.
+func ControlConfig(seed uint64) Config { return core.ControlConfig(seed) }
+
+// IMRPParams returns the adaptive per-pipeline protocol parameters.
+func IMRPParams() PipelineParams { return pipeline.IMRPParams() }
+
+// ControlParams returns the CONT-V per-pipeline protocol parameters.
+func ControlParams() PipelineParams { return pipeline.ControlParams() }
+
+// RunAdaptive executes an IM-RP campaign over targets.
+func RunAdaptive(targets []*Target, cfg Config) (*Result, error) {
+	return core.RunAdaptive(targets, cfg)
+}
+
+// RunControl executes a CONT-V campaign over targets.
+func RunControl(targets []*Target, cfg Config) (*Result, error) {
+	return core.RunControl(targets, cfg)
+}
+
+// Summary renders a one-paragraph textual summary of a campaign result.
+func Summary(r *Result) string { return report.Summary(r) }

@@ -1,0 +1,209 @@
+package impress_test
+
+import (
+	"strings"
+	"testing"
+
+	"impress"
+)
+
+func TestPublicAPITargets(t *testing.T) {
+	targets, err := impress.NamedPDZTargets(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(targets) != 4 {
+		t.Fatalf("NamedPDZTargets returned %d targets", len(targets))
+	}
+	screen, err := impress.PDZScreen(1, 5)
+	if err != nil || len(screen) != 5 {
+		t.Fatalf("PDZScreen: %v, %d targets", err, len(screen))
+	}
+	custom, err := impress.NewTarget(1, "X", 60, impress.AlphaSynucleinTail4)
+	if err != nil || custom.Name != "X" {
+		t.Fatalf("NewTarget: %v", err)
+	}
+	prot, triad, err := impress.ProteaseTarget(1, "P", 100)
+	if err != nil || len(triad) != 3 || prot.Structure.IsComplex() {
+		t.Fatalf("ProteaseTarget: %v triad %v", err, triad)
+	}
+}
+
+func TestPublicAPICampaign(t *testing.T) {
+	target, err := impress.NewTarget(3, "MINI", 52, impress.AlphaSynucleinTail4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := impress.AdaptiveConfig(3)
+	cfg.Pipeline.Cycles = 2
+	cfg.Pipeline.MPNN.NumSequences = 5
+	cfg.Pipeline.MPNN.Sweeps = 2
+	res, err := impress.RunAdaptive([]*impress.Target{target}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Approach != "IM-RP" {
+		t.Fatalf("Approach = %q", res.Approach)
+	}
+	if res.TrajectoryCount() == 0 {
+		t.Fatal("no trajectories")
+	}
+	s := impress.Summary(res)
+	if !strings.Contains(s, "IM-RP") {
+		t.Fatalf("Summary = %q", s)
+	}
+	if res.FinalMedian(impress.PLDDT) <= 0 || res.FinalMedian(impress.PTM) <= 0 {
+		t.Fatal("final medians empty")
+	}
+}
+
+func TestExperimentRegistry(t *testing.T) {
+	exps := impress.Experiments()
+	if len(exps) != 5 {
+		t.Fatalf("got %d experiments, want 5 (Table I + Figs 2-5)", len(exps))
+	}
+	want := map[string]bool{"table1": true, "fig2": true, "fig3": true, "fig4": true, "fig5": true}
+	for _, e := range exps {
+		if !want[e.ID] {
+			t.Errorf("unexpected experiment %q", e.ID)
+		}
+		if e.Run == nil || e.Title == "" {
+			t.Errorf("experiment %q incomplete", e.ID)
+		}
+	}
+}
+
+func TestTableIExperimentShape(t *testing.T) {
+	out, err := impress.TableIExperiment(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.Text, "CONT-V") || !strings.Contains(out.Text, "IM-RP") {
+		t.Fatal("Table I missing approaches")
+	}
+	ctrl := out.Results["CONT-V"]
+	adpt := out.Results["IM-RP"]
+	if ctrl == nil || adpt == nil {
+		t.Fatal("Table I missing results")
+	}
+
+	// The paper's Table I orderings, which the reproduction must hold:
+	// CONT-V examines exactly 16 trajectories (4 structures × 4 cycles).
+	if ctrl.TrajectoryCount() != 16 {
+		t.Errorf("CONT-V trajectories = %d, want 16", ctrl.TrajectoryCount())
+	}
+	// IM-RP examines more trajectories through sub-pipelines.
+	if adpt.TrajectoryCount() <= ctrl.TrajectoryCount() {
+		t.Errorf("IM-RP trajectories %d not above CONT-V %d", adpt.TrajectoryCount(), ctrl.TrajectoryCount())
+	}
+	if adpt.SubPipelines < 3 {
+		t.Errorf("IM-RP sub-pipelines = %d, want several", adpt.SubPipelines)
+	}
+	// Higher resource utilization...
+	if adpt.CPUUtilization <= ctrl.CPUUtilization || adpt.GPUUtilization <= ctrl.GPUUtilization {
+		t.Error("IM-RP utilization not above CONT-V")
+	}
+	// ...at the cost of more aggregate task time.
+	if adpt.AggregateTaskTime <= ctrl.AggregateTaskTime {
+		t.Error("IM-RP aggregate task time not above CONT-V")
+	}
+	// Better quality on the higher-is-better metrics.
+	if adpt.NetDelta(impress.PLDDT) <= ctrl.NetDelta(impress.PLDDT) {
+		t.Error("IM-RP pLDDT net delta not above CONT-V")
+	}
+	if adpt.NetDelta(impress.PTM) <= ctrl.NetDelta(impress.PTM) {
+		t.Error("IM-RP pTM net delta not above CONT-V")
+	}
+	// CSV renders.
+	var sb strings.Builder
+	if err := out.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "approach,iteration") {
+		t.Fatal("CSV missing header")
+	}
+}
+
+func TestFig3ExperimentDrop(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full screen in -short mode")
+	}
+	out, err := impress.Fig3Experiment(44, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := out.Results["IM-RP"]
+	it3, _ := res.IterationSummary(3, impress.PLDDT)
+	it4, _ := res.IterationSummary(4, impress.PLDDT)
+	if !(it4 < it3) {
+		t.Fatalf("no final-iteration deterioration: it3 %.2f it4 %.2f", it3, it4)
+	}
+	it1, _ := res.IterationSummary(1, impress.PLDDT)
+	it2, _ := res.IterationSummary(2, impress.PLDDT)
+	if !(it1 < it2 && it2 < it3) {
+		t.Fatalf("iterations 1-3 not improving: %.2f %.2f %.2f", it1, it2, it3)
+	}
+	if !strings.Contains(out.Text, "adaptivity disabled in the final cycle") {
+		t.Error("Fig. 3 text missing configuration note")
+	}
+}
+
+func TestFig4AndFig5Experiments(t *testing.T) {
+	f4, err := impress.Fig4Experiment(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f5, err := impress.Fig5Experiment(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl := f4.Results["CONT-V"]
+	adpt := f5.Results["IM-RP"]
+	// The paper's headline utilization contrast.
+	if adpt.CPUUtilization < 2*ctrl.CPUUtilization {
+		t.Errorf("CPU utilization contrast too weak: %.2f vs %.2f", adpt.CPUUtilization, ctrl.CPUUtilization)
+	}
+	if adpt.GPUUtilization < 2*ctrl.GPUUtilization {
+		t.Errorf("GPU utilization contrast too weak: %.2f vs %.2f", adpt.GPUUtilization, ctrl.GPUUtilization)
+	}
+	for _, out := range []*impress.ExperimentOutput{f4, f5} {
+		if !strings.Contains(out.Text, "Busy CPU cores") || !strings.Contains(out.Text, "Runtime phases") {
+			t.Errorf("%s output incomplete", out.ID)
+		}
+		var sb strings.Builder
+		if err := out.WriteCSV(&sb); err != nil {
+			t.Fatal(err)
+		}
+		if !strings.HasPrefix(sb.String(), "approach,resource") {
+			t.Errorf("%s CSV wrong", out.ID)
+		}
+	}
+}
+
+func TestFig2ExperimentShape(t *testing.T) {
+	out, err := impress.Fig2Experiment(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl := out.Results["CONT-V"]
+	adpt := out.Results["IM-RP"]
+	// Fig. 2's claim: IM-RP attains better medians than CONT-V in the
+	// later iterations for the headline metric, with tighter spread at
+	// the end.
+	better := 0
+	for it := 2; it <= 4; it++ {
+		am, _ := adpt.IterationSummary(it, impress.PLDDT)
+		cm, _ := ctrl.IterationSummary(it, impress.PLDDT)
+		if am > cm {
+			better++
+		}
+	}
+	if better < 2 {
+		t.Errorf("IM-RP better in only %d/3 later iterations", better)
+	}
+	_, aStd := adpt.IterationSummary(4, impress.PLDDT)
+	_, cStd := ctrl.IterationSummary(4, impress.PLDDT)
+	if aStd >= cStd {
+		t.Errorf("IM-RP final spread %v not tighter than CONT-V %v", aStd, cStd)
+	}
+}

@@ -1,0 +1,178 @@
+// Package cluster simulates the heterogeneous HPC resource the paper
+// evaluates on: Rutgers Amarel compute nodes with CPU cores, GPUs, and
+// memory (Section III: one node, 28 cores, 4× Nvidia Quadro M6000, 128 GB).
+//
+// The cluster is a pure allocation ledger: the pilot agent asks for
+// (cores, gpus, mem) slots, holds them for the lifetime of a task, and
+// releases them. Whether held resources are *busy* is tracked separately
+// by package trace — that distinction is the whole story of Fig. 4, where
+// CONT-V's AlphaFold task holds a GPU for hours while only the CPU-bound
+// MSA phase runs.
+package cluster
+
+import "fmt"
+
+// Spec describes a homogeneous partition of nodes.
+type Spec struct {
+	Name         string
+	Nodes        int
+	CoresPerNode int
+	GPUsPerNode  int
+	MemGBPerNode int
+}
+
+// AmarelNode returns the paper's evaluation resource: a single Amarel
+// node with 28 cores, 4 GPUs (12 GB each), 128 GB RAM.
+func AmarelNode() Spec {
+	return Spec{Name: "amarel", Nodes: 1, CoresPerNode: 28, GPUsPerNode: 4, MemGBPerNode: 128}
+}
+
+// TotalCores returns the aggregate core count.
+func (s Spec) TotalCores() int { return s.Nodes * s.CoresPerNode }
+
+// TotalGPUs returns the aggregate GPU count.
+func (s Spec) TotalGPUs() int { return s.Nodes * s.GPUsPerNode }
+
+// TotalMemGB returns the aggregate memory.
+func (s Spec) TotalMemGB() int { return s.Nodes * s.MemGBPerNode }
+
+// Validate rejects degenerate specs.
+func (s Spec) Validate() error {
+	if s.Nodes <= 0 || s.CoresPerNode <= 0 || s.GPUsPerNode < 0 || s.MemGBPerNode <= 0 {
+		return fmt.Errorf("cluster: invalid spec %+v", s)
+	}
+	return nil
+}
+
+// Node is one compute node's free-resource counters.
+type Node struct {
+	ID        int
+	freeCores int
+	freeGPUs  int
+	freeMemGB int
+}
+
+// Cluster is the allocation ledger for a Spec. It is not safe for
+// concurrent use; the pilot agent serializes access through the
+// discrete-event engine.
+type Cluster struct {
+	spec  Spec
+	nodes []*Node
+}
+
+// New builds a cluster with all resources free.
+func New(spec Spec) (*Cluster, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	c := &Cluster{spec: spec}
+	for i := 0; i < spec.Nodes; i++ {
+		c.nodes = append(c.nodes, &Node{
+			ID:        i,
+			freeCores: spec.CoresPerNode,
+			freeGPUs:  spec.GPUsPerNode,
+			freeMemGB: spec.MemGBPerNode,
+		})
+	}
+	return c, nil
+}
+
+// Spec returns the cluster's specification.
+func (c *Cluster) Spec() Spec { return c.spec }
+
+// Alloc is a granted reservation on a single node.
+type Alloc struct {
+	Node     *Node
+	Cores    int
+	GPUs     int
+	MemGB    int
+	released bool
+}
+
+// Request is an allocation request. Tasks never span nodes (as in RP's
+// agent scheduler for non-MPI tasks).
+type Request struct {
+	Cores int
+	GPUs  int
+	MemGB int
+}
+
+// Fits reports whether the request could ever be satisfied by an empty
+// node — used by the scheduler to fail impossible tasks instead of
+// wedging the queue.
+func (c *Cluster) Fits(r Request) bool {
+	return r.Cores <= c.spec.CoresPerNode &&
+		r.GPUs <= c.spec.GPUsPerNode &&
+		r.MemGB <= c.spec.MemGBPerNode &&
+		r.Cores >= 0 && r.GPUs >= 0 && r.MemGB >= 0 &&
+		(r.Cores > 0 || r.GPUs > 0)
+}
+
+// Allocate reserves resources on the first node that fits (first-fit
+// packing). It returns nil when nothing fits right now.
+func (c *Cluster) Allocate(r Request) *Alloc {
+	if !c.Fits(r) {
+		return nil
+	}
+	for _, n := range c.nodes {
+		if n.freeCores >= r.Cores && n.freeGPUs >= r.GPUs && n.freeMemGB >= r.MemGB {
+			n.freeCores -= r.Cores
+			n.freeGPUs -= r.GPUs
+			n.freeMemGB -= r.MemGB
+			return &Alloc{Node: n, Cores: r.Cores, GPUs: r.GPUs, MemGB: r.MemGB}
+		}
+	}
+	return nil
+}
+
+// Release returns an allocation's resources to its node. Releasing twice
+// panics: double-release means the agent's bookkeeping is corrupt and
+// utilization numbers would silently overflow.
+func (c *Cluster) Release(a *Alloc) {
+	if a == nil {
+		panic("cluster: releasing nil allocation")
+	}
+	if a.released {
+		panic("cluster: double release")
+	}
+	a.released = true
+	a.Node.freeCores += a.Cores
+	a.Node.freeGPUs += a.GPUs
+	a.Node.freeMemGB += a.MemGB
+	if a.Node.freeCores > c.spec.CoresPerNode || a.Node.freeGPUs > c.spec.GPUsPerNode || a.Node.freeMemGB > c.spec.MemGBPerNode {
+		panic("cluster: release exceeds node capacity")
+	}
+}
+
+// FreeCores returns the total free cores across nodes.
+func (c *Cluster) FreeCores() int {
+	t := 0
+	for _, n := range c.nodes {
+		t += n.freeCores
+	}
+	return t
+}
+
+// FreeGPUs returns the total free GPUs across nodes.
+func (c *Cluster) FreeGPUs() int {
+	t := 0
+	for _, n := range c.nodes {
+		t += n.freeGPUs
+	}
+	return t
+}
+
+// FreeMemGB returns the total free memory across nodes.
+func (c *Cluster) FreeMemGB() int {
+	t := 0
+	for _, n := range c.nodes {
+		t += n.freeMemGB
+	}
+	return t
+}
+
+// AllocatedCores returns currently reserved cores.
+func (c *Cluster) AllocatedCores() int { return c.spec.TotalCores() - c.FreeCores() }
+
+// AllocatedGPUs returns currently reserved GPUs.
+func (c *Cluster) AllocatedGPUs() int { return c.spec.TotalGPUs() - c.FreeGPUs() }

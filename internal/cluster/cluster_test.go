@@ -1,0 +1,185 @@
+package cluster
+
+import (
+	"testing"
+	"testing/quick"
+
+	"impress/internal/xrand"
+)
+
+func TestAmarelSpec(t *testing.T) {
+	s := AmarelNode()
+	if s.TotalCores() != 28 || s.TotalGPUs() != 4 || s.TotalMemGB() != 128 {
+		t.Fatalf("Amarel spec wrong: %+v", s)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpecValidation(t *testing.T) {
+	bad := []Spec{
+		{Nodes: 0, CoresPerNode: 1, MemGBPerNode: 1},
+		{Nodes: 1, CoresPerNode: 0, MemGBPerNode: 1},
+		{Nodes: 1, CoresPerNode: 1, GPUsPerNode: -1, MemGBPerNode: 1},
+		{Nodes: 1, CoresPerNode: 1, MemGBPerNode: 0},
+	}
+	for _, s := range bad {
+		if s.Validate() == nil {
+			t.Errorf("spec %+v accepted", s)
+		}
+	}
+	if _, err := New(Spec{}); err == nil {
+		t.Error("New accepted zero spec")
+	}
+}
+
+func TestAllocateRelease(t *testing.T) {
+	c, err := New(AmarelNode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := c.Allocate(Request{Cores: 8, GPUs: 1, MemGB: 16})
+	if a == nil {
+		t.Fatal("allocation failed on empty cluster")
+	}
+	if c.FreeCores() != 20 || c.FreeGPUs() != 3 || c.FreeMemGB() != 112 {
+		t.Fatalf("free after alloc: %d cores %d gpus %d mem", c.FreeCores(), c.FreeGPUs(), c.FreeMemGB())
+	}
+	if c.AllocatedCores() != 8 || c.AllocatedGPUs() != 1 {
+		t.Fatal("allocated counters wrong")
+	}
+	c.Release(a)
+	if c.FreeCores() != 28 || c.FreeGPUs() != 4 || c.FreeMemGB() != 128 {
+		t.Fatal("release did not restore resources")
+	}
+}
+
+func TestAllocateExhaustion(t *testing.T) {
+	c, _ := New(AmarelNode())
+	var allocs []*Alloc
+	for i := 0; i < 4; i++ {
+		a := c.Allocate(Request{Cores: 7, GPUs: 1})
+		if a == nil {
+			t.Fatalf("alloc %d failed", i)
+		}
+		allocs = append(allocs, a)
+	}
+	if a := c.Allocate(Request{Cores: 1}); a != nil {
+		t.Fatal("allocated beyond capacity")
+	}
+	c.Release(allocs[2])
+	if a := c.Allocate(Request{Cores: 7, GPUs: 1}); a == nil {
+		t.Fatal("allocation failed after release")
+	}
+}
+
+func TestFitsRejectsImpossible(t *testing.T) {
+	c, _ := New(AmarelNode())
+	cases := []Request{
+		{Cores: 29},
+		{Cores: 1, GPUs: 5},
+		{Cores: 1, MemGB: 129},
+		{Cores: -1},
+		{GPUs: -1},
+		{}, // empty request
+	}
+	for _, r := range cases {
+		if c.Fits(r) {
+			t.Errorf("Fits(%+v) = true", r)
+		}
+		if c.Allocate(r) != nil {
+			t.Errorf("Allocate(%+v) succeeded", r)
+		}
+	}
+	if !c.Fits(Request{GPUs: 1}) {
+		t.Error("GPU-only request rejected")
+	}
+}
+
+func TestDoubleReleasePanics(t *testing.T) {
+	c, _ := New(AmarelNode())
+	a := c.Allocate(Request{Cores: 1})
+	c.Release(a)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double release did not panic")
+		}
+	}()
+	c.Release(a)
+}
+
+func TestReleaseNilPanics(t *testing.T) {
+	c, _ := New(AmarelNode())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("nil release did not panic")
+		}
+	}()
+	c.Release(nil)
+}
+
+func TestMultiNodeFirstFit(t *testing.T) {
+	c, _ := New(Spec{Name: "x", Nodes: 3, CoresPerNode: 4, GPUsPerNode: 1, MemGBPerNode: 8})
+	a1 := c.Allocate(Request{Cores: 3})
+	a2 := c.Allocate(Request{Cores: 3})
+	a3 := c.Allocate(Request{Cores: 3})
+	if a1 == nil || a2 == nil || a3 == nil {
+		t.Fatal("allocations failed")
+	}
+	// First fit must have used three distinct nodes.
+	if a1.Node.ID == a2.Node.ID || a2.Node.ID == a3.Node.ID {
+		t.Fatal("first-fit did not spill to next node")
+	}
+	// A 2-core task no longer fits anywhere (1 core free per node)...
+	if c.Allocate(Request{Cores: 2}) != nil {
+		t.Fatal("allocated task spanning free fragments")
+	}
+	// ...but three 1-core tasks do.
+	for i := 0; i < 3; i++ {
+		if c.Allocate(Request{Cores: 1}) == nil {
+			t.Fatal("1-core allocation failed")
+		}
+	}
+}
+
+// Property: any sequence of allocations and releases keeps free counters
+// within [0, capacity] and conserves total resources.
+func TestPropertyConservation(t *testing.T) {
+	check := func(seed uint64, opsRaw uint8) bool {
+		rng := xrand.New(seed)
+		c, _ := New(Spec{Name: "p", Nodes: 2, CoresPerNode: 8, GPUsPerNode: 2, MemGBPerNode: 32})
+		var live []*Alloc
+		ops := int(opsRaw)%200 + 10
+		for i := 0; i < ops; i++ {
+			if rng.Bool(0.6) || len(live) == 0 {
+				r := Request{Cores: rng.Intn(9), GPUs: rng.Intn(3), MemGB: rng.Intn(33)}
+				if a := c.Allocate(r); a != nil {
+					live = append(live, a)
+				}
+			} else {
+				k := rng.Intn(len(live))
+				c.Release(live[k])
+				live = append(live[:k], live[k+1:]...)
+			}
+			if c.FreeCores() < 0 || c.FreeCores() > 16 ||
+				c.FreeGPUs() < 0 || c.FreeGPUs() > 4 ||
+				c.FreeMemGB() < 0 || c.FreeMemGB() > 64 {
+				return false
+			}
+			// Conservation: free + live allocations == capacity.
+			cores, gpus := 0, 0
+			for _, a := range live {
+				cores += a.Cores
+				gpus += a.GPUs
+			}
+			if c.FreeCores()+cores != 16 || c.FreeGPUs()+gpus != 4 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,426 @@
+// Package core implements the paper's primary contribution: the IMPRESS
+// pipelines coordinator (Fig. 1, elements 1–3 and 6–7) running on the
+// pilot runtime.
+//
+// The coordinator (i) constructs and generates IMPRESS pipelines,
+// (ii) submits independent pipeline tasks concurrently for scheduling and
+// execution based on resource availability while tracking their states,
+// and (iii) makes adaptive decisions on submitting new pipelines and with
+// what characteristics. It keeps a global perspective on every pipeline's
+// results (ga.Pool) and re-processes "low-quality" sequences with
+// dynamically generated sub-pipelines that soak up idle resources.
+//
+// The control runner (CONT-V) exercises the identical stages with
+// adaptivity off and strictly sequential execution — the paper's baseline.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"impress/internal/cluster"
+	"impress/internal/ga"
+	"impress/internal/pilot"
+	"impress/internal/pipeline"
+	"impress/internal/protein"
+	"impress/internal/simclock"
+	"impress/internal/trace"
+	"impress/internal/workload"
+	"impress/internal/xrand"
+)
+
+// SubPolicy governs dynamic sub-pipeline generation — the paper's
+// decision-making step ("dynamically generates sub-pipelines when
+// additional refinement, exploration, or iterative improvement is
+// needed").
+type SubPolicy struct {
+	// Enabled turns sub-pipeline generation on.
+	Enabled bool
+	// Quantile flags a cycle result as low-quality when its composite
+	// quality falls below this quantile of the global pool.
+	Quantile float64
+	// MinPoolSamples suppresses flagging until the pool has context.
+	MinPoolSamples int
+	// MaxPerTarget caps sub-pipelines per target.
+	MaxPerTarget int
+	// MaxTotal caps sub-pipelines per campaign (0 = unlimited).
+	MaxTotal int
+	// Cycles is the sub-pipeline length (paper behaviour: one refinement
+	// cycle per sub-pipeline).
+	Cycles int
+	// TempFactor widens the sub-pipeline's MPNN sampling temperature for
+	// exploration ("explore alternative conformations").
+	TempFactor float64
+	// ExtraSequences adds candidates to the sub-pipeline's Stage 1.
+	ExtraSequences int
+	// ModelFactor multiplies the sub-pipeline's AlphaFold model count
+	// ("refine the resolution"): more candidate models per prediction.
+	ModelFactor int
+	// SpawnOnTermination also spawns when a pipeline dies of retry
+	// exhaustion.
+	SpawnOnTermination bool
+}
+
+// DefaultSubPolicy returns the policy calibrated to reproduce the paper's
+// sub-pipeline counts (7 subs on the 4-target campaign, ~96 on the
+// 70-target screen).
+func DefaultSubPolicy() SubPolicy {
+	return SubPolicy{
+		Enabled:            true,
+		Quantile:           0.55,
+		MinPoolSamples:     2,
+		MaxPerTarget:       2,
+		MaxTotal:           0,
+		Cycles:             1,
+		TempFactor:         1.5,
+		ExtraSequences:     10,
+		ModelFactor:        2,
+		SpawnOnTermination: true,
+	}
+}
+
+// Config describes one campaign.
+type Config struct {
+	// Pipeline is the per-pipeline protocol configuration.
+	Pipeline pipeline.Params
+	// Machine is the resource to run on.
+	Machine cluster.Spec
+	// Walltime bounds the pilot (0 = unbounded).
+	Walltime time.Duration
+	// Sub is the sub-pipeline generation policy.
+	Sub SubPolicy
+	// MaxConcurrent caps concurrently active pipelines (0 = unlimited;
+	// the control runner forces 1).
+	MaxConcurrent int
+	// Backfill enables the agent scheduler's backfill pass.
+	Backfill bool
+	// Seed is the campaign's root seed.
+	Seed uint64
+}
+
+// AdaptiveConfig returns the IM-RP campaign configuration on the paper's
+// Amarel node.
+func AdaptiveConfig(seed uint64) Config {
+	p := pipeline.IMRPParams()
+	p.Seed = seed
+	return Config{
+		Pipeline: p,
+		Machine:  cluster.AmarelNode(),
+		Sub:      DefaultSubPolicy(),
+		Backfill: true,
+		Seed:     seed,
+	}
+}
+
+// ControlConfig returns the CONT-V campaign configuration: sequential,
+// non-adaptive, no sub-pipelines.
+func ControlConfig(seed uint64) Config {
+	p := pipeline.ControlParams()
+	p.Seed = seed
+	return Config{
+		Pipeline:      p,
+		Machine:       cluster.AmarelNode(),
+		Sub:           SubPolicy{},
+		MaxConcurrent: 1,
+		Backfill:      false,
+		Seed:          seed,
+	}
+}
+
+// Coordinator drives one campaign over the pilot runtime. Create with
+// NewCoordinator, then call Run.
+type Coordinator struct {
+	cfg     Config
+	targets []*workload.Target
+
+	engine *simclock.Engine
+	rec    *trace.Recorder
+	pilot  *pilot.Pilot
+	tm     *pilot.TaskManager
+
+	pipelines    map[string]*pipeline.Pipeline
+	waiting      []*pipeline.Pipeline
+	active       int
+	pool         *ga.Pool
+	trajectories []pipeline.Trajectory
+	events       *EventStream
+	bestDesign   map[string]*protein.Structure
+
+	basePipelines int
+	subPipelines  int
+	subPerTarget  map[string]int
+	terminated    int
+	evaluations   int
+	failedTasks   int
+	nextSubID     int
+	errs          []error
+}
+
+// NewCoordinator validates the configuration and prepares a campaign over
+// the given targets.
+func NewCoordinator(targets []*workload.Target, cfg Config) (*Coordinator, error) {
+	if len(targets) == 0 {
+		return nil, fmt.Errorf("core: no targets")
+	}
+	if err := cfg.Pipeline.Validate(); err != nil {
+		return nil, err
+	}
+	if err := cfg.Machine.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Sub.Enabled {
+		if cfg.Sub.Cycles <= 0 || cfg.Sub.Quantile < 0 || cfg.Sub.Quantile > 1 || cfg.Sub.TempFactor <= 0 {
+			return nil, fmt.Errorf("core: invalid sub-pipeline policy %+v", cfg.Sub)
+		}
+	}
+	seen := make(map[string]bool, len(targets))
+	for _, tg := range targets {
+		if tg == nil {
+			return nil, fmt.Errorf("core: nil target")
+		}
+		if seen[tg.Name] {
+			return nil, fmt.Errorf("core: duplicate target %q", tg.Name)
+		}
+		seen[tg.Name] = true
+	}
+	return &Coordinator{
+		cfg:          cfg,
+		targets:      targets,
+		pipelines:    make(map[string]*pipeline.Pipeline),
+		pool:         ga.NewPool(),
+		subPerTarget: make(map[string]int),
+		bestDesign:   make(map[string]*protein.Structure),
+	}, nil
+}
+
+// Run executes the campaign to completion in virtual time and returns its
+// results. It can be called once.
+func (c *Coordinator) Run() (*Result, error) {
+	if c.engine != nil {
+		return nil, fmt.Errorf("core: Run called twice")
+	}
+	c.engine = simclock.New()
+	c.rec = trace.NewRecorder(c.cfg.Machine.TotalCores(), c.cfg.Machine.TotalGPUs(), 0)
+	pm := pilot.NewPilotManager(c.engine, c.rec)
+	p, err := pm.Submit(pilot.PilotDescription{
+		Machine:  c.cfg.Machine,
+		Cost:     c.cfg.Pipeline.Cost,
+		Backfill: c.cfg.Backfill,
+		Walltime: c.cfg.Walltime,
+		Seed:     xrand.Derive(c.cfg.Seed, "pilot"),
+	})
+	if err != nil {
+		return nil, err
+	}
+	c.pilot = p
+	c.tm = pilot.NewTaskManager(c.engine, p)
+	c.tm.OnState(c.onTaskState)
+
+	// Construct the base pipelines — one per starting structure, as in
+	// the paper's implementation ("submitting a single protein structure
+	// for each new pipeline").
+	for i, tg := range c.targets {
+		id := fmt.Sprintf("pl.%04d", i+1)
+		params := c.cfg.Pipeline
+		params.Seed = xrand.Derive(c.cfg.Seed, "pipeline:"+id)
+		pl, err := pipeline.New(id, tg, nil, params)
+		if err != nil {
+			return nil, err
+		}
+		c.pipelines[id] = pl
+		c.basePipelines++
+		c.waiting = append(c.waiting, pl)
+	}
+	c.startWaiting()
+
+	c.engine.Run()
+	c.rec.Close(c.engine.Now())
+	c.publish(EventCampaignDone, nil, nil, fmt.Sprintf("%d trajectories", len(c.trajectories)))
+	if c.events != nil {
+		c.events.q.Close()
+	}
+	if len(c.errs) > 0 {
+		return nil, fmt.Errorf("core: campaign had %d errors; first: %w", len(c.errs), c.errs[0])
+	}
+	return c.buildResult(), nil
+}
+
+// startWaiting launches queued pipelines up to the concurrency cap.
+func (c *Coordinator) startWaiting() {
+	for len(c.waiting) > 0 && (c.cfg.MaxConcurrent == 0 || c.active < c.cfg.MaxConcurrent) {
+		pl := c.waiting[0]
+		c.waiting = c.waiting[1:]
+		c.active++
+		c.publish(EventPipelineStarted, pl, nil, "")
+		c.apply(pl, pl.Start())
+	}
+}
+
+// onTaskState is the completed-tasks communication channel (Fig. 1): it
+// routes every finished task back to its pipeline and feeds the outcome
+// through the decision-making step.
+func (c *Coordinator) onTaskState(t *pilot.Task, s pilot.TaskState) {
+	switch s {
+	case pilot.StateDone:
+	case pilot.StateFailed, pilot.StateCanceled:
+		if plID := t.Tag("pipeline"); plID != "" {
+			c.failedTasks++
+			c.errs = append(c.errs, fmt.Errorf("task %s (%s) ended %v: %w", t.ID, t.Description.Name, s, t.Err))
+		}
+		return
+	default:
+		return
+	}
+	plID := t.Tag("pipeline")
+	pl, ok := c.pipelines[plID]
+	if !ok {
+		c.errs = append(c.errs, fmt.Errorf("task %s references unknown pipeline %q", t.ID, plID))
+		return
+	}
+	stage, err := pipeline.StageOf(t)
+	if err != nil {
+		c.errs = append(c.errs, err)
+		return
+	}
+	if stage == pipeline.StageFold {
+		c.evaluations++
+	}
+	c.apply(pl, pl.HandleResult(stage, t.Result.Value))
+}
+
+// apply submits a pipeline outcome's next steps and runs the coordinator
+// decision step on concluded cycles.
+func (c *Coordinator) apply(pl *pipeline.Pipeline, out pipeline.Outcome) {
+	for _, step := range out.Steps {
+		if _, err := c.tm.Submit(step.Desc); err != nil {
+			c.errs = append(c.errs, err)
+		}
+	}
+	if out.Cycle != nil {
+		traj := *out.Cycle
+		c.trajectories = append(c.trajectories, traj)
+		// The global pool holds the accepted design set — what Figs. 2
+		// and 3 plot per iteration. Declined terminal cycles count as
+		// trajectories but never join the design pool.
+		if traj.Accepted {
+			best, had := c.pool.Best(traj.Target)
+			c.pool.Add(ga.Entry{
+				Target:    traj.Target,
+				Iteration: traj.Generation,
+				Metrics:   traj.Metrics,
+				Sub:       traj.Sub,
+			})
+			if traj.Result != nil && (!had || traj.Metrics.BetterThan(best)) {
+				c.bestDesign[traj.Target] = traj.Result
+			}
+		}
+		c.publish(EventCycleConcluded, pl, &traj, "")
+		c.decide(pl, traj, out)
+	}
+	if out.Finished {
+		note := "completed"
+		if out.Terminated {
+			c.terminated++
+			note = "terminated: retries exhausted"
+		}
+		c.publish(EventPipelineFinished, pl, nil, note)
+		c.active--
+		c.startWaiting()
+	}
+}
+
+// decide is the IMPRESS decision-making step: evaluate the concluded
+// cycle against the global pool and, when warranted, generate a
+// refinement sub-pipeline over the same backbone with more explorative
+// settings.
+func (c *Coordinator) decide(pl *pipeline.Pipeline, traj pipeline.Trajectory, out pipeline.Outcome) {
+	pol := c.cfg.Sub
+	if !pol.Enabled || pl.Sub {
+		return
+	}
+	lowQuality := c.pool.IsLowQualityAtIteration(traj.Metrics, traj.Generation, pol.Quantile, pol.MinPoolSamples)
+	died := out.Terminated && pol.SpawnOnTermination
+	if !lowQuality && !died {
+		return
+	}
+	if c.subPerTarget[traj.Target] >= pol.MaxPerTarget {
+		return
+	}
+	if pol.MaxTotal > 0 && c.subPipelines >= pol.MaxTotal {
+		return
+	}
+	target := c.targetByName(traj.Target)
+	if target == nil || traj.Input == nil {
+		return
+	}
+
+	c.nextSubID++
+	id := fmt.Sprintf("sub.%04d", c.nextSubID)
+	params := c.cfg.Pipeline
+	params.Cycles = pol.Cycles
+	params.MPNN.Temperature *= pol.TempFactor
+	params.MPNN.NumSequences += pol.ExtraSequences
+	if pol.ModelFactor > 1 {
+		params.Fold.NumModels *= pol.ModelFactor
+	}
+	params.Seed = xrand.Derive(c.cfg.Seed, "sub:"+id)
+	sub, err := pipeline.New(id, target, traj.Input, params)
+	if err != nil {
+		c.errs = append(c.errs, err)
+		return
+	}
+	sub.Sub = true
+	c.pipelines[id] = sub
+	c.subPipelines++
+	c.subPerTarget[traj.Target]++
+	reason := "low quality vs iteration cohort"
+	if died {
+		reason = "parent terminated"
+	}
+	c.publish(EventSubPipelineSpawned, sub, nil, fmt.Sprintf("%s (re-processing %s cycle %d)", reason, traj.Target, traj.Cycle))
+	c.waiting = append(c.waiting, sub)
+	c.startWaiting()
+}
+
+func (c *Coordinator) targetByName(name string) *workload.Target {
+	for _, tg := range c.targets {
+		if tg.Name == name {
+			return tg
+		}
+	}
+	return nil
+}
+
+// RunAdaptive executes an IM-RP campaign over the targets.
+func RunAdaptive(targets []*workload.Target, cfg Config) (*Result, error) {
+	coord, err := NewCoordinator(targets, cfg)
+	if err != nil {
+		return nil, err
+	}
+	res, err := coord.Run()
+	if err != nil {
+		return nil, err
+	}
+	res.Approach = "IM-RP"
+	return res, nil
+}
+
+// RunControl executes a CONT-V campaign: it forces sequential execution,
+// disables adaptivity-dependent coordinator features, and leaves the
+// pipeline parameters as configured (callers normally pass
+// ControlConfig).
+func RunControl(targets []*workload.Target, cfg Config) (*Result, error) {
+	cfg.MaxConcurrent = 1
+	cfg.Sub.Enabled = false
+	cfg.Backfill = false
+	coord, err := NewCoordinator(targets, cfg)
+	if err != nil {
+		return nil, err
+	}
+	res, err := coord.Run()
+	if err != nil {
+		return nil, err
+	}
+	res.Approach = "CONT-V"
+	return res, nil
+}

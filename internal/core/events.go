@@ -1,0 +1,155 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"impress/internal/pipeline"
+	"impress/internal/queue"
+)
+
+// EventKind classifies campaign events.
+type EventKind int
+
+const (
+	// EventPipelineStarted fires when a pipeline submits its first task.
+	EventPipelineStarted EventKind = iota
+	// EventCycleConcluded fires when a design cycle finishes (accepted
+	// or declined-terminal).
+	EventCycleConcluded
+	// EventSubPipelineSpawned fires when the decision step generates a
+	// refinement sub-pipeline.
+	EventSubPipelineSpawned
+	// EventPipelineFinished fires when a pipeline completes or
+	// terminates.
+	EventPipelineFinished
+	// EventCampaignDone fires once, after the last pipeline.
+	EventCampaignDone
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case EventPipelineStarted:
+		return "pipeline-started"
+	case EventCycleConcluded:
+		return "cycle-concluded"
+	case EventSubPipelineSpawned:
+		return "sub-pipeline-spawned"
+	case EventPipelineFinished:
+		return "pipeline-finished"
+	case EventCampaignDone:
+		return "campaign-done"
+	default:
+		return fmt.Sprintf("EventKind(%d)", int(k))
+	}
+}
+
+// Event is one entry of the campaign event stream — the coordinator's
+// second communication channel in the paper's design ("one … for
+// completed tasks from each pipeline"), lifted to protocol-level events.
+type Event struct {
+	// At is the virtual time of the event.
+	At time.Duration
+	// Kind classifies the event.
+	Kind EventKind
+	// Pipeline and Target identify the source.
+	Pipeline string
+	Target   string
+	// Trajectory carries the concluded cycle for EventCycleConcluded.
+	Trajectory *pipeline.Trajectory
+	// Note carries human-readable detail (spawn reasons, termination).
+	Note string
+}
+
+func (e Event) String() string {
+	s := fmt.Sprintf("[%8.2fh] %-20s %-9s %s", e.At.Hours(), e.Kind, e.Pipeline, e.Target)
+	if e.Trajectory != nil {
+		status := "accepted"
+		if !e.Trajectory.Accepted {
+			status = "declined"
+		}
+		s += fmt.Sprintf(" cycle %d gen %d pLDDT %.1f pTM %.3f ipAE %.1f (%s, %d evals)",
+			e.Trajectory.Cycle, e.Trajectory.Generation,
+			e.Trajectory.Metrics.PLDDT, e.Trajectory.Metrics.PTM, e.Trajectory.Metrics.IPAE,
+			status, e.Trajectory.Evaluations)
+	}
+	if e.Note != "" {
+		s += " — " + e.Note
+	}
+	return s
+}
+
+// EventStream exposes a campaign's event flow over a bounded queue. The
+// queue is safe for concurrent consumption: a goroutine may drain it while
+// the campaign runs, or the caller may Drain after Run returns. When the
+// buffer fills, the oldest unread events are dropped (and counted) rather
+// than stalling the campaign.
+type EventStream struct {
+	q       *queue.Queue[Event]
+	dropped int
+}
+
+// newEventStream creates a stream with the given buffer capacity.
+func newEventStream(capacity int) *EventStream {
+	return &EventStream{q: queue.New[Event](capacity)}
+}
+
+// Queue returns the underlying queue for live consumption.
+func (s *EventStream) Queue() *queue.Queue[Event] { return s.q }
+
+// Drain returns all currently buffered events.
+func (s *EventStream) Drain() []Event { return s.q.Drain() }
+
+// Dropped reports how many events were discarded due to a full buffer.
+func (s *EventStream) Dropped() int { return s.dropped }
+
+// publish enqueues an event, evicting the oldest on overflow.
+func (s *EventStream) publish(e Event) {
+	if s == nil {
+		return
+	}
+	for {
+		ok, err := s.q.TryPut(e)
+		if err != nil || ok {
+			return
+		}
+		if _, got := s.q.TryGet(); got {
+			s.dropped++
+			continue
+		}
+		return
+	}
+}
+
+// Events attaches (and returns) the coordinator's event stream. Must be
+// called before Run. capacity bounds the buffer; 4096 suits full
+// campaigns.
+func (c *Coordinator) Events(capacity int) *EventStream {
+	if c.engine != nil {
+		panic("core: Events must be attached before Run")
+	}
+	if capacity <= 0 {
+		capacity = 4096
+	}
+	c.events = newEventStream(capacity)
+	return c.events
+}
+
+func (c *Coordinator) publish(kind EventKind, pl *pipeline.Pipeline, traj *pipeline.Trajectory, note string) {
+	if c.events == nil {
+		return
+	}
+	e := Event{
+		Kind: kind,
+		Note: note,
+	}
+	if c.engine != nil {
+		e.At = c.engine.Now().Duration()
+	}
+	if pl != nil {
+		e.Pipeline = pl.ID
+		e.Target = pl.Target()
+	}
+	e.Trajectory = traj
+	c.events.publish(e)
+}

@@ -1,0 +1,224 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestResultJSONRoundTrip(t *testing.T) {
+	targets := smallTargets(t, 3, 21)
+	res, err := RunAdaptive(targets, fastAdaptive(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := res.WriteJSON(&buf, true); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ReadResultJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Approach != res.Approach ||
+		loaded.TrajectoryCount() != res.TrajectoryCount() ||
+		loaded.SubPipelines != res.SubPipelines ||
+		loaded.TaskCount != res.TaskCount {
+		t.Fatal("scalar fields lost in round trip")
+	}
+	if loaded.CPUUtilization != res.CPUUtilization || loaded.Makespan != res.Makespan {
+		t.Fatal("timeline fields lost")
+	}
+	// Analysis accessors agree.
+	for it := 1; it <= res.Iterations(); it++ {
+		am, as := res.IterationSummary(it, PLDDTOf)
+		bm, bs := loaded.IterationSummary(it, PLDDTOf)
+		if am != bm || as != bs {
+			t.Fatalf("iteration %d summary diverged", it)
+		}
+	}
+	if loaded.NetDelta(PTMOf) != res.NetDelta(PTMOf) {
+		t.Fatal("net delta diverged")
+	}
+	// Final designs survive with sequences and coordinates.
+	for name, st := range res.FinalDesigns {
+		got := loaded.FinalDesigns[name]
+		if got == nil {
+			t.Fatalf("final design %s lost", name)
+		}
+		if !got.Receptor.Seq.Equal(st.Receptor.Seq) || got.Generation != st.Generation {
+			t.Fatalf("final design %s corrupted", name)
+		}
+		if len(got.RecXYZ) != len(st.RecXYZ) {
+			t.Fatalf("final design %s coordinates lost", name)
+		}
+	}
+	if len(loaded.TaskRecords) != len(res.TaskRecords) {
+		t.Fatal("task records lost despite includeTasks")
+	}
+}
+
+func TestResultJSONWithoutTasks(t *testing.T) {
+	targets := smallTargets(t, 1, 22)
+	res, err := RunControl(targets, fastControl(22))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := res.WriteJSON(&buf, false); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ReadResultJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded.TaskRecords) != 0 {
+		t.Fatal("task records present despite includeTasks=false")
+	}
+}
+
+func TestReadResultJSONRejectsBadSchema(t *testing.T) {
+	if _, err := ReadResultJSON(strings.NewReader(`{"schema": 99}`)); err == nil {
+		t.Fatal("wrong schema accepted")
+	}
+	if _, err := ReadResultJSON(strings.NewReader("not json")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestEventStream(t *testing.T) {
+	targets := smallTargets(t, 3, 23)
+	coord, err := NewCoordinator(targets, fastAdaptive(23))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream := coord.Events(1024)
+	res, err := coord.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := stream.Drain()
+	if len(events) == 0 {
+		t.Fatal("no events published")
+	}
+	counts := map[EventKind]int{}
+	var lastAt int64 = -1
+	for _, e := range events {
+		counts[e.Kind]++
+		if int64(e.At) < lastAt {
+			t.Fatal("events out of time order")
+		}
+		lastAt = int64(e.At)
+	}
+	if counts[EventPipelineStarted] < 3 {
+		t.Errorf("pipeline-started events: %d", counts[EventPipelineStarted])
+	}
+	if counts[EventCycleConcluded] != res.TrajectoryCount() {
+		t.Errorf("cycle events %d != trajectories %d", counts[EventCycleConcluded], res.TrajectoryCount())
+	}
+	if counts[EventPipelineFinished] != res.BasePipelines+res.SubPipelines {
+		t.Errorf("finished events %d != pipelines %d", counts[EventPipelineFinished], res.BasePipelines+res.SubPipelines)
+	}
+	if counts[EventSubPipelineSpawned] != res.SubPipelines {
+		t.Errorf("spawn events %d != sub-pipelines %d", counts[EventSubPipelineSpawned], res.SubPipelines)
+	}
+	if counts[EventCampaignDone] != 1 {
+		t.Errorf("campaign-done events: %d", counts[EventCampaignDone])
+	}
+	// Event rendering includes trajectory detail.
+	sawDetail := false
+	for _, e := range events {
+		if e.Kind == EventCycleConcluded && strings.Contains(e.String(), "pLDDT") {
+			sawDetail = true
+			break
+		}
+	}
+	if !sawDetail {
+		t.Error("cycle events carry no metric detail")
+	}
+	if stream.Dropped() != 0 {
+		t.Errorf("events dropped with ample buffer: %d", stream.Dropped())
+	}
+}
+
+func TestEventStreamOverflowDropsOldest(t *testing.T) {
+	targets := smallTargets(t, 3, 24)
+	coord, err := NewCoordinator(targets, fastAdaptive(24))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream := coord.Events(4) // tiny buffer forces eviction
+	if _, err := coord.Run(); err != nil {
+		t.Fatal(err)
+	}
+	events := stream.Drain()
+	if len(events) != 4 {
+		t.Fatalf("buffer held %d events, want 4", len(events))
+	}
+	if stream.Dropped() == 0 {
+		t.Fatal("no drops recorded despite tiny buffer")
+	}
+	// The final event must be the campaign-done marker (newest kept).
+	if events[len(events)-1].Kind != EventCampaignDone {
+		t.Fatalf("last event is %v", events[len(events)-1].Kind)
+	}
+}
+
+func TestEventsAfterRunPanics(t *testing.T) {
+	targets := smallTargets(t, 1, 25)
+	coord, err := NewCoordinator(targets, fastControl(25))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := coord.Run(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Events after Run did not panic")
+		}
+	}()
+	coord.Events(16)
+}
+
+func TestEventKindStrings(t *testing.T) {
+	kinds := []EventKind{EventPipelineStarted, EventCycleConcluded, EventSubPipelineSpawned, EventPipelineFinished, EventCampaignDone}
+	seen := map[string]bool{}
+	for _, k := range kinds {
+		s := k.String()
+		if s == "" || seen[s] {
+			t.Fatalf("bad kind string %q", s)
+		}
+		seen[s] = true
+	}
+	if EventKind(99).String() == "" {
+		t.Fatal("unknown kind has empty string")
+	}
+}
+
+func TestTaskRecordsInResult(t *testing.T) {
+	targets := smallTargets(t, 1, 26)
+	res, err := RunControl(targets, fastControl(26))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.TaskRecords) != res.TaskCount {
+		t.Fatalf("task records %d != task count %d", len(res.TaskRecords), res.TaskCount)
+	}
+	for _, tr := range res.TaskRecords {
+		if tr.State != "DONE" {
+			t.Fatalf("task %s in state %s", tr.ID, tr.State)
+		}
+		if tr.EndedAt < tr.RunAt || tr.RunAt < tr.SetupAt {
+			t.Fatalf("task %s timeline inverted", tr.ID)
+		}
+	}
+	if len(res.FinalDesigns) != 1 {
+		t.Fatalf("final designs: %d", len(res.FinalDesigns))
+	}
+	for name, st := range res.FinalDesigns {
+		if st.Generation == 0 {
+			t.Fatalf("final design %s still generation 0", name)
+		}
+	}
+}

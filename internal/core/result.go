@@ -1,0 +1,168 @@
+package core
+
+import (
+	"time"
+
+	"impress/internal/ga"
+	"impress/internal/landscape"
+	"impress/internal/pipeline"
+	"impress/internal/protein"
+	"impress/internal/stats"
+	"impress/internal/trace"
+)
+
+// Result is a completed campaign's full record: everything the paper's
+// Table I and Figures 2–5 are derived from.
+type Result struct {
+	// Approach labels the protocol ("IM-RP" or "CONT-V").
+	Approach string
+	// Targets lists the campaign's target names in submission order.
+	Targets []string
+
+	// Trajectories are all concluded design cycles, in conclusion order.
+	Trajectories []pipeline.Trajectory
+	// Pool is the coordinator's global result pool (per-iteration
+	// metric buckets for Figs. 2 and 3).
+	Pool *ga.Pool
+
+	// BasePipelines and SubPipelines count pipeline instances; Table I's
+	// "# PL" and "# Sub-PL".
+	BasePipelines int
+	SubPipelines  int
+	// EarlyTerminated counts pipelines that died of retry exhaustion.
+	EarlyTerminated int
+	// Evaluations counts AlphaFold predictions (Stage 4 executions).
+	Evaluations int
+	// TaskCount is the number of pilot tasks submitted.
+	TaskCount int
+	// FailedTasks counts runtime failures (0 in healthy campaigns).
+	FailedTasks int
+
+	// CPUUtilization and GPUUtilization are busy-resource fractions
+	// (0..1) over the makespan — Figs. 4 and 5.
+	CPUUtilization float64
+	GPUUtilization float64
+	// Makespan is the campaign's wall-clock span in virtual time.
+	Makespan time.Duration
+	// AggregateTaskTime is the sum of all task running phases — the
+	// quantity the paper reports as "Time (h)".
+	AggregateTaskTime time.Duration
+	// Phases breaks runtime overhead down as in Fig. 5's legend
+	// (bootstrap / exec_setup / running).
+	Phases map[string]time.Duration
+	// CPUSeries and GPUSeries are the busy-resource step functions.
+	CPUSeries, GPUSeries []trace.Point
+	// TotalCores and TotalGPUs record the machine capacity.
+	TotalCores, TotalGPUs int
+
+	// Starting maps target → native (generation 0) metrics.
+	Starting map[string]landscape.Metrics
+	// FinalBest maps target → best accepted metrics over the campaign.
+	FinalBest map[string]landscape.Metrics
+	// FinalDesigns maps target → the best accepted design's structure.
+	FinalDesigns map[string]*protein.Structure
+	// TaskRecords holds the per-task timeline (sorted by submission),
+	// for Gantt-style inspection.
+	TaskRecords []trace.TaskRecord
+}
+
+func (c *Coordinator) buildResult() *Result {
+	approach := "CONT-V"
+	if c.cfg.Pipeline.Adaptive {
+		approach = "IM-RP"
+	}
+	res := &Result{
+		Approach:          approach,
+		Trajectories:      c.trajectories,
+		Pool:              c.pool,
+		BasePipelines:     c.basePipelines,
+		SubPipelines:      c.subPipelines,
+		EarlyTerminated:   c.terminated,
+		Evaluations:       c.evaluations,
+		TaskCount:         c.tm.Count(),
+		FailedTasks:       c.failedTasks,
+		CPUUtilization:    c.rec.CPUUtilization(),
+		GPUUtilization:    c.rec.GPUUtilization(),
+		Makespan:          c.rec.Makespan(),
+		AggregateTaskTime: c.rec.AggregateTaskTime(),
+		Phases:            c.rec.Phases(),
+		CPUSeries:         c.rec.CPUSeries(),
+		GPUSeries:         c.rec.GPUSeries(),
+		TotalCores:        c.cfg.Machine.TotalCores(),
+		TotalGPUs:         c.cfg.Machine.TotalGPUs(),
+		Starting:          make(map[string]landscape.Metrics),
+		FinalBest:         make(map[string]landscape.Metrics),
+		FinalDesigns:      c.bestDesign,
+		TaskRecords:       c.rec.Tasks(),
+	}
+	for _, tg := range c.targets {
+		res.Targets = append(res.Targets, tg.Name)
+		res.Starting[tg.Name] = tg.StartingMetrics()
+		if best, ok := c.pool.Best(tg.Name); ok {
+			res.FinalBest[tg.Name] = best
+		}
+	}
+	return res
+}
+
+// TrajectoryCount returns the number of concluded design cycles — the
+// paper's "Trajectories" column.
+func (r *Result) TrajectoryCount() int { return len(r.Trajectories) }
+
+// MetricSeries extracts one metric from a metrics set.
+type MetricSeries func(landscape.Metrics) float64
+
+// PLDDTOf, PTMOf and IPAEOf are the three metric extractors used by the
+// figures.
+func PLDDTOf(m landscape.Metrics) float64 { return m.PLDDT }
+func PTMOf(m landscape.Metrics) float64   { return m.PTM }
+func IPAEOf(m landscape.Metrics) float64  { return m.IPAE }
+
+// IterationSummary returns median and stddev of a metric over iteration
+// it's pool (1-based) — a figure bar plus its error bar (the figures show
+// half a standard deviation).
+func (r *Result) IterationSummary(it int, f MetricSeries) (median, std float64) {
+	ms := r.Pool.IterationMetrics(it)
+	vals := make([]float64, 0, len(ms))
+	for _, m := range ms {
+		vals = append(vals, f(m))
+	}
+	return stats.Median(vals), stats.StdDev(vals)
+}
+
+// Iterations returns the highest iteration index with recorded results.
+func (r *Result) Iterations() int {
+	max := 0
+	for _, tr := range r.Trajectories {
+		if tr.Generation > max {
+			max = tr.Generation
+		}
+	}
+	return max
+}
+
+// medianOver maps f over a metrics map and returns the median.
+func medianOver(ms map[string]landscape.Metrics, f MetricSeries) float64 {
+	vals := make([]float64, 0, len(ms))
+	for _, m := range ms {
+		vals = append(vals, f(m))
+	}
+	return stats.Median(vals)
+}
+
+// NetDelta returns the campaign's net change of a metric: median over
+// targets of the final best minus median of the starting designs —
+// Table I's "Net Δ" columns.
+func (r *Result) NetDelta(f MetricSeries) float64 {
+	return medianOver(r.FinalBest, f) - medianOver(r.Starting, f)
+}
+
+// StartingMedian returns the median starting value of a metric.
+func (r *Result) StartingMedian(f MetricSeries) float64 {
+	return medianOver(r.Starting, f)
+}
+
+// FinalMedian returns the median final-best value of a metric.
+func (r *Result) FinalMedian(f MetricSeries) float64 {
+	return medianOver(r.FinalBest, f)
+}

@@ -1,0 +1,160 @@
+// Package costmodel holds the calibrated task duration and resource
+// models for the simulated Amarel node.
+//
+// The paper's Table I is self-consistent with ~1.7 h of task work per
+// design trajectory (27.7 h / 16 trajectories for CONT-V, 38.3 h / 23 for
+// IM-RP), dominated by the AlphaFold MSA/feature phase, which runs on CPU
+// "due to large databases and I/O bottlenecks" while GPUs sit idle
+// (Section III-B, citing ParaFold). The models below encode that split:
+//
+//   - ProteinMPNN: short GPU task (sequence sampling).
+//   - AlphaFold MSA: long CPU-only task (~1.4 h), 8 cores.
+//   - AlphaFold inference: medium GPU task, ~4 min per model × 5 models.
+//   - Ranking / FASTA / metrics: small CPU tasks.
+//
+// Durations carry deterministic log-normal jitter derived from the task
+// seed, so timelines are realistic but exactly reproducible.
+package costmodel
+
+import (
+	"math"
+	"time"
+
+	"impress/internal/xrand"
+)
+
+// Params is the full set of calibrated constants. The zero value is not
+// usable; start from Default.
+type Params struct {
+	// ProteinMPNN (GPU): base + per-sequence sampling cost.
+	MPNNBase   time.Duration
+	MPNNPerSeq time.Duration
+	MPNNCores  int
+	MPNNGPUs   int
+
+	// AlphaFold MSA/feature construction (CPU-only, I/O heavy).
+	MSABase       time.Duration
+	MSAPerResidue time.Duration
+	MSACores      int
+
+	// AlphaFold structure inference (GPU).
+	InferBase       time.Duration
+	InferPerModel   time.Duration
+	InferPerResidue time.Duration
+	InferCores      int
+	InferGPUs       int
+
+	// Small CPU stages: sequence ranking (S2), FASTA compilation (S3),
+	// metric gathering (S5).
+	RankDuration    time.Duration
+	FastaDuration   time.Duration
+	MetricsDuration time.Duration
+	SmallTaskCores  int
+
+	// Runtime overheads (Fig. 5 legend): pilot bootstrap and per-task
+	// execution setup (script creation and sandbox setup; "time varies
+	// depending on the file system" — modelled as contention on
+	// concurrent setups).
+	BootstrapTime    time.Duration
+	SetupBase        time.Duration
+	SetupPerConcur   time.Duration
+	SetupMax         time.Duration
+	JitterFrac       float64
+	SchedulerLatency time.Duration
+}
+
+// Default returns the calibrated parameters for the 28-core / 4-GPU
+// Amarel node experiments.
+func Default() Params {
+	return Params{
+		MPNNBase:   150 * time.Second,
+		MPNNPerSeq: 18 * time.Second,
+		MPNNCores:  2,
+		MPNNGPUs:   1,
+
+		MSABase:       52 * time.Minute,
+		MSAPerResidue: 20 * time.Second,
+		MSACores:      8,
+
+		InferBase:       90 * time.Second,
+		InferPerModel:   3 * time.Minute,
+		InferPerResidue: 600 * time.Millisecond,
+		InferCores:      2,
+		InferGPUs:       1,
+
+		RankDuration:    25 * time.Second,
+		FastaDuration:   15 * time.Second,
+		MetricsDuration: 45 * time.Second,
+		SmallTaskCores:  1,
+
+		BootstrapTime:    4 * time.Minute,
+		SetupBase:        20 * time.Second,
+		SetupPerConcur:   6 * time.Second,
+		SetupMax:         3 * time.Minute,
+		JitterFrac:       0.06,
+		SchedulerLatency: 500 * time.Millisecond,
+	}
+}
+
+// jitter applies deterministic log-normal noise: d × exp(N(0, frac)).
+func (p Params) jitter(d time.Duration, seed uint64) time.Duration {
+	if p.JitterFrac <= 0 {
+		return d
+	}
+	rng := xrand.New(seed)
+	f := math.Exp(rng.NormFloat64() * p.JitterFrac)
+	return time.Duration(float64(d) * f)
+}
+
+// MPNNDuration returns the ProteinMPNN task duration for nSeq samples.
+func (p Params) MPNNDuration(nSeq int, seed uint64) time.Duration {
+	d := p.MPNNBase + time.Duration(nSeq)*p.MPNNPerSeq
+	return p.jitter(d, xrand.Derive(seed, "mpnn"))
+}
+
+// MSADuration returns the MSA/feature phase duration for a complex of the
+// given total residue count.
+func (p Params) MSADuration(residues int, seed uint64) time.Duration {
+	d := p.MSABase + time.Duration(residues)*p.MSAPerResidue
+	return p.jitter(d, xrand.Derive(seed, "msa"))
+}
+
+// InferDuration returns the inference phase duration for nModels candidate
+// models over a complex of the given residue count.
+func (p Params) InferDuration(residues, nModels int, seed uint64) time.Duration {
+	d := p.InferBase + time.Duration(nModels)*p.InferPerModel +
+		time.Duration(residues*nModels)*p.InferPerResidue
+	return p.jitter(d, xrand.Derive(seed, "infer"))
+}
+
+// SetupDuration returns the exec-setup (sandbox) time given how many
+// setups run concurrently — the filesystem contention effect called out in
+// the Fig. 5 caption.
+func (p Params) SetupDuration(concurrentSetups int, seed uint64) time.Duration {
+	d := p.SetupBase + time.Duration(concurrentSetups)*p.SetupPerConcur
+	if d > p.SetupMax {
+		d = p.SetupMax
+	}
+	return p.jitter(d, xrand.Derive(seed, "setup"))
+}
+
+// Validate reports obviously broken parameter sets.
+func (p Params) Validate() error {
+	switch {
+	case p.MPNNBase <= 0 || p.MSABase <= 0 || p.InferBase <= 0:
+		return errNonPositive("base duration")
+	case p.MPNNCores <= 0 || p.MSACores <= 0 || p.InferCores <= 0 || p.SmallTaskCores <= 0:
+		return errNonPositive("core count")
+	case p.MPNNGPUs < 0 || p.InferGPUs < 0:
+		return errNonPositive("gpu count")
+	case p.JitterFrac < 0 || p.JitterFrac > 1:
+		return errNonPositive("jitter fraction")
+	}
+	return nil
+}
+
+type paramError string
+
+func (e paramError) Error() string { return "costmodel: invalid " + string(e) }
+
+func errNonPositive(what string) error { return paramError(what) }

@@ -1,0 +1,126 @@
+package costmodel
+
+import (
+	"testing"
+	"time"
+)
+
+func TestDefaultValid(t *testing.T) {
+	if err := Default().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateCatchesBadParams(t *testing.T) {
+	p := Default()
+	p.MSABase = 0
+	if p.Validate() == nil {
+		t.Error("zero MSABase accepted")
+	}
+	p = Default()
+	p.MSACores = 0
+	if p.Validate() == nil {
+		t.Error("zero MSACores accepted")
+	}
+	p = Default()
+	p.JitterFrac = 2
+	if p.Validate() == nil {
+		t.Error("jitter > 1 accepted")
+	}
+	p = Default()
+	p.InferGPUs = -1
+	if p.Validate() == nil {
+		t.Error("negative GPUs accepted")
+	}
+}
+
+func TestDurationsDeterministic(t *testing.T) {
+	p := Default()
+	if p.MPNNDuration(10, 42) != p.MPNNDuration(10, 42) {
+		t.Error("MPNN duration not deterministic")
+	}
+	if p.MSADuration(100, 42) != p.MSADuration(100, 42) {
+		t.Error("MSA duration not deterministic")
+	}
+	if p.InferDuration(100, 5, 42) != p.InferDuration(100, 5, 42) {
+		t.Error("Infer duration not deterministic")
+	}
+	if p.MPNNDuration(10, 42) == p.MPNNDuration(10, 43) {
+		t.Error("different seeds give identical jitter (suspicious)")
+	}
+}
+
+func TestDurationsScaleWithWork(t *testing.T) {
+	p := Default()
+	p.JitterFrac = 0
+	if p.MPNNDuration(20, 1) <= p.MPNNDuration(5, 1) {
+		t.Error("MPNN duration not increasing in sequence count")
+	}
+	if p.MSADuration(300, 1) <= p.MSADuration(50, 1) {
+		t.Error("MSA duration not increasing in residues")
+	}
+	if p.InferDuration(100, 10, 1) <= p.InferDuration(100, 1, 1) {
+		t.Error("inference duration not increasing in model count")
+	}
+}
+
+func TestCalibrationRegime(t *testing.T) {
+	// Table I implies ~1.7 h of aggregate task work per CONT-V trajectory.
+	// One trajectory = MPNN(10) + MSA + inference(5 models) + rank +
+	// fasta + metrics for a ~100-residue complex.
+	p := Default()
+	p.JitterFrac = 0
+	total := p.MPNNDuration(10, 1) +
+		p.MSADuration(100, 1) +
+		p.InferDuration(100, 5, 1) +
+		p.RankDuration + p.FastaDuration + p.MetricsDuration
+	hours := total.Hours()
+	if hours < 1.2 || hours > 2.3 {
+		t.Fatalf("per-trajectory task time = %.2f h, want ~1.7 h", hours)
+	}
+	// The MSA phase must dominate (the paper's CPU-bound bottleneck).
+	if frac := float64(p.MSADuration(100, 1)) / float64(total); frac < 0.6 {
+		t.Fatalf("MSA fraction = %.2f, want > 0.6", frac)
+	}
+	// GPU work must be a small fraction (CONT-V's ~1% GPU util origin).
+	gpuWork := p.MPNNDuration(10, 1) + p.InferDuration(100, 5, 1)
+	if frac := float64(gpuWork) / float64(total); frac > 0.35 {
+		t.Fatalf("GPU-task fraction = %.2f, want < 0.35", frac)
+	}
+}
+
+func TestSetupContention(t *testing.T) {
+	p := Default()
+	p.JitterFrac = 0
+	d1 := p.SetupDuration(0, 1)
+	d2 := p.SetupDuration(10, 1)
+	if d2 <= d1 {
+		t.Fatal("setup duration ignores contention")
+	}
+	d3 := p.SetupDuration(10000, 1)
+	if d3 > p.SetupMax {
+		t.Fatalf("setup duration %v exceeds cap %v", d3, p.SetupMax)
+	}
+}
+
+func TestJitterBounded(t *testing.T) {
+	p := Default()
+	base := p.MSABase + 100*p.MSAPerResidue
+	for seed := uint64(0); seed < 200; seed++ {
+		d := p.MSADuration(100, seed)
+		lo := time.Duration(float64(base) * 0.7)
+		hi := time.Duration(float64(base) * 1.4)
+		if d < lo || d > hi {
+			t.Fatalf("jittered duration %v outside [%v, %v]", d, lo, hi)
+		}
+	}
+}
+
+func TestZeroJitterExact(t *testing.T) {
+	p := Default()
+	p.JitterFrac = 0
+	want := p.MSABase + 100*p.MSAPerResidue
+	if got := p.MSADuration(100, 5); got != want {
+		t.Fatalf("MSADuration = %v, want %v", got, want)
+	}
+}

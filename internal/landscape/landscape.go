@@ -1,0 +1,478 @@
+// Package landscape implements the hidden fitness landscape that stands in
+// for physical reality in the IMPRESS reproduction.
+//
+// The paper's protocol alternates ProteinMPNN (propose sequences for a
+// backbone) and AlphaFold (reveal quality metrics) and claims that adaptive
+// selection over those metrics beats random selection. For that claim to be
+// reproducible rather than hard-coded, there must be a ground truth that
+// both tools observe imperfectly. We use a Potts model — the standard
+// statistical-mechanics model of protein sequence landscapes — built from
+// each target's backbone contact graph:
+//
+//	E(s) = Σ_i h_i(s_i) + Σ_(i,j)∈contacts J_ij(s_i, s_j)
+//
+// Lower energy means a better design. Inter-chain contact couplings define
+// the binding energy scored by inter-chain pAE. The ProteinMPNN simulator
+// samples from a corrupted copy of the model (imperfect proposals, see
+// Corrupt); the AlphaFold simulator converts true energies into
+// pLDDT/pTM/ipAE with observation noise. Epistasis (the coupling terms)
+// makes greedy single-shot design suboptimal, which is exactly why the
+// paper's iterative genetic protocol helps.
+package landscape
+
+import (
+	"fmt"
+	"math"
+
+	"impress/internal/protein"
+	"impress/internal/xrand"
+)
+
+// Config controls landscape construction.
+type Config struct {
+	// ContactCutoff is the Å distance defining coupled residue pairs.
+	ContactCutoff float64
+	// FieldStd scales per-position preferences.
+	FieldStd float64
+	// CouplingStd scales intra-chain epistatic couplings.
+	CouplingStd float64
+	// InterCouplingStd scales receptor–peptide couplings; stronger than
+	// intra-chain so binding dominates design quality, as in the paper's
+	// binder-design objective.
+	InterCouplingStd float64
+	// CalibrationSamples is the number of random receptor sequences used
+	// to standardize energies into z-scores for metric conversion.
+	CalibrationSamples int
+}
+
+// DefaultConfig returns the configuration used by all experiments.
+func DefaultConfig() Config {
+	return Config{
+		ContactCutoff:      8.0,
+		FieldStd:           1.0,
+		CouplingStd:        0.45,
+		InterCouplingStd:   0.9,
+		CalibrationSamples: 192,
+	}
+}
+
+// Edge is one coupled residue pair with its 20×20 coupling table. Indices
+// follow the Structure convention: receptor residues first, then peptide.
+type Edge struct {
+	I, J       int
+	Interchain bool
+	W          [protein.NumAA][protein.NumAA]float64
+}
+
+type halfEdge struct {
+	other     int
+	edge      *Edge
+	transpose bool // true when this position is the edge's J side
+}
+
+// Model is a target-specific Potts landscape. It is immutable after
+// construction and safe for concurrent readers.
+type Model struct {
+	Name   string
+	RecLen int
+	PepLen int
+	Fields [][protein.NumAA]float64
+	Edges  []Edge
+
+	adj [][]halfEdge
+
+	// Calibration statistics over random receptor sequences (peptide held
+	// at the target's native peptide): total and inter-chain energies.
+	EnergyMean, EnergyStd float64
+	InterMean, InterStd   float64
+	// EnergyOpt and InterOpt estimate the achievable optimum (via
+	// annealing), anchoring the normalized score scale that metrics are
+	// derived from: 0 = random sequence, 1 = optimal design.
+	EnergyOpt, InterOpt float64
+
+	seed uint64
+	cfg  Config
+}
+
+// New builds the landscape for a structure. The same (structure geometry,
+// peptide sequence, seed) always yields an identical model.
+func New(st *protein.Structure, seed uint64, cfg Config) *Model {
+	if cfg.ContactCutoff <= 0 {
+		panic("landscape: non-positive contact cutoff")
+	}
+	n := st.Len()
+	m := &Model{
+		Name:   st.Name,
+		RecLen: len(st.Receptor.Seq),
+		PepLen: len(st.Peptide.Seq),
+		Fields: make([][protein.NumAA]float64, n),
+		seed:   seed,
+		cfg:    cfg,
+	}
+	rng := xrand.New(xrand.Derive(seed, "landscape:"+st.Name))
+	for i := range m.Fields {
+		for a := 0; a < protein.NumAA; a++ {
+			m.Fields[i][a] = rng.NormFloat64() * cfg.FieldStd
+		}
+	}
+	contacts := st.Contacts(cfg.ContactCutoff)
+	m.Edges = make([]Edge, len(contacts))
+	for k, c := range contacts {
+		e := &m.Edges[k]
+		e.I, e.J, e.Interchain = c.I, c.J, c.Interchain
+		std := cfg.CouplingStd
+		if c.Interchain {
+			std = cfg.InterCouplingStd
+		}
+		for a := 0; a < protein.NumAA; a++ {
+			for b := 0; b < protein.NumAA; b++ {
+				e.W[a][b] = rng.NormFloat64() * std
+			}
+		}
+	}
+	m.buildAdjacency()
+	m.calibrate(st)
+	return m
+}
+
+func (m *Model) buildAdjacency() {
+	n := m.RecLen + m.PepLen
+	m.adj = make([][]halfEdge, n)
+	for k := range m.Edges {
+		e := &m.Edges[k]
+		m.adj[e.I] = append(m.adj[e.I], halfEdge{other: e.J, edge: e})
+		m.adj[e.J] = append(m.adj[e.J], halfEdge{other: e.I, edge: e, transpose: true})
+	}
+}
+
+// calibrate standardizes the energy scale using random receptor sequences
+// paired with the target's native peptide, so that z-scores (and hence
+// metrics) are comparable across targets with different graph densities.
+func (m *Model) calibrate(st *protein.Structure) {
+	rng := xrand.New(xrand.Derive(m.seed, "calibrate:"+m.Name))
+	k := m.cfg.CalibrationSamples
+	if k < 2 {
+		k = 2
+	}
+	totals := make([]float64, k)
+	inters := make([]float64, k)
+	full := st.FullSequence()
+	for s := 0; s < k; s++ {
+		for i := 0; i < m.RecLen; i++ {
+			full[i] = protein.Alphabet[rng.Intn(protein.NumAA)]
+		}
+		totals[s], inters[s] = m.Energies(full)
+	}
+	m.EnergyMean, m.EnergyStd = meanStd(totals)
+	m.InterMean, m.InterStd = meanStd(inters)
+	if m.EnergyStd < 1e-9 {
+		m.EnergyStd = 1
+	}
+	if m.InterStd < 1e-9 {
+		m.InterStd = 1
+	}
+
+	// Estimate the achievable optimum with two independent anneals; the
+	// best defines the top of the normalized score scale. Without this
+	// anchor, metric sigmoids calibrated on the random ensemble saturate
+	// long before a design campaign's working regime.
+	optSeed := xrand.Derive(m.seed, "calibrate-opt:"+m.Name)
+	m.EnergyOpt, m.InterOpt = m.EnergyMean, m.InterMean
+	for k := uint64(0); k < 2; k++ {
+		opt := m.Anneal(full, 28, 2.0, 0.15, xrand.DeriveN(optSeed, k))
+		e, ei := m.Energies(opt)
+		if e < m.EnergyOpt {
+			m.EnergyOpt, m.InterOpt = e, ei
+		}
+	}
+}
+
+// NormScores converts raw energies into normalized quality scores on the
+// calibrated scale: 0 at the random-sequence mean, 1 at the annealed
+// optimum. Metric conversion (TrueMetrics, MetricsFromZ) works on this
+// scale. Monomer landscapes report a zero inter-chain score.
+func (m *Model) NormScores(total, inter float64) (s, si float64) {
+	denom := m.EnergyMean - m.EnergyOpt
+	if denom < 1e-9 {
+		denom = m.EnergyStd
+	}
+	s = (m.EnergyMean - total) / denom
+	idenom := m.InterMean - m.InterOpt
+	if idenom < 1e-9 {
+		return s, 0
+	}
+	si = (m.InterMean - inter) / idenom
+	return s, si
+}
+
+func meanStd(xs []float64) (mean, std float64) {
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	var ss float64
+	for _, x := range xs {
+		d := x - mean
+		ss += d * d
+	}
+	std = math.Sqrt(ss / float64(len(xs)-1))
+	return mean, std
+}
+
+// Seed returns the construction seed (used to derive corruption streams).
+func (m *Model) Seed() uint64 { return m.seed }
+
+// Len returns the total number of positions.
+func (m *Model) Len() int { return m.RecLen + m.PepLen }
+
+// checkLen panics when a sequence does not span the full complex — passing
+// a receptor-only sequence here is the most likely caller bug.
+func (m *Model) checkLen(full protein.Sequence) {
+	if len(full) != m.Len() {
+		panic(fmt.Sprintf("landscape: sequence length %d, model wants %d (receptor+peptide)", len(full), m.Len()))
+	}
+}
+
+// Energy returns the total Potts energy of the full (receptor+peptide)
+// sequence. Lower is better.
+func (m *Model) Energy(full protein.Sequence) float64 {
+	e, _ := m.Energies(full)
+	return e
+}
+
+// Energies returns total and inter-chain energy in one pass.
+func (m *Model) Energies(full protein.Sequence) (total, inter float64) {
+	m.checkLen(full)
+	for i := range full {
+		total += m.Fields[i][protein.Index(full[i])]
+	}
+	for k := range m.Edges {
+		e := &m.Edges[k]
+		w := e.W[protein.Index(full[e.I])][protein.Index(full[e.J])]
+		total += w
+		if e.Interchain {
+			inter += w
+		}
+	}
+	return total, inter
+}
+
+// ConditionalEnergies fills out[a] with the energy contribution of placing
+// amino acid a at position pos, holding the rest of full fixed. This is
+// the Gibbs-sampling kernel shared by the ProteinMPNN simulator and the
+// annealer. out must have length protein.NumAA.
+func (m *Model) ConditionalEnergies(full protein.Sequence, pos int, out []float64) {
+	m.checkLen(full)
+	if len(out) != protein.NumAA {
+		panic("landscape: ConditionalEnergies buffer size")
+	}
+	for a := 0; a < protein.NumAA; a++ {
+		out[a] = m.Fields[pos][a]
+	}
+	for _, he := range m.adj[pos] {
+		other := protein.Index(full[he.other])
+		if he.transpose {
+			for a := 0; a < protein.NumAA; a++ {
+				out[a] += he.edge.W[other][a]
+			}
+		} else {
+			for a := 0; a < protein.NumAA; a++ {
+				out[a] += he.edge.W[a][other]
+			}
+		}
+	}
+}
+
+// Degree returns the number of couplings touching position pos.
+func (m *Model) Degree(pos int) int { return len(m.adj[pos]) }
+
+// ZScores converts raw energies to standardized quality scores: z > 0
+// means better (lower energy) than a random sequence, in units of the
+// random-ensemble standard deviation.
+func (m *Model) ZScores(total, inter float64) (z, zInter float64) {
+	return (m.EnergyMean - total) / m.EnergyStd, (m.InterMean - inter) / m.InterStd
+}
+
+// Zero-allocation scratch for samplers.
+type scratch struct {
+	cond    []float64
+	weights []float64
+}
+
+func newScratch() *scratch {
+	return &scratch{
+		cond:    make([]float64, protein.NumAA),
+		weights: make([]float64, protein.NumAA),
+	}
+}
+
+// SampleOptions configures Gibbs sampling over the model.
+type SampleOptions struct {
+	// Sweeps is the number of full passes over designable positions.
+	Sweeps int
+	// Temperature scales the Boltzmann factor; higher samples more
+	// diversely (ProteinMPNN's sampling temperature).
+	Temperature float64
+	// Fixed marks positions that must not change (peptide positions are
+	// always fixed; the protease protocol also fixes catalytic residues).
+	// May be nil. Length must equal Len() when set.
+	Fixed []bool
+	// Seed drives the sampling stream.
+	Seed uint64
+}
+
+// Sample runs Gibbs sampling from start and returns the sampled full
+// sequence. Peptide positions are always held fixed regardless of
+// opts.Fixed. The input is not modified.
+func (m *Model) Sample(start protein.Sequence, opts SampleOptions) protein.Sequence {
+	m.checkLen(start)
+	if opts.Sweeps <= 0 {
+		panic("landscape: non-positive sweep count")
+	}
+	if opts.Temperature <= 0 {
+		panic("landscape: non-positive temperature")
+	}
+	if opts.Fixed != nil && len(opts.Fixed) != m.Len() {
+		panic("landscape: Fixed mask length mismatch")
+	}
+	seq := start.Clone()
+	rng := xrand.New(opts.Seed)
+	sc := newScratch()
+	for sweep := 0; sweep < opts.Sweeps; sweep++ {
+		for pos := 0; pos < m.RecLen; pos++ {
+			if opts.Fixed != nil && opts.Fixed[pos] {
+				continue
+			}
+			m.gibbsStep(seq, pos, opts.Temperature, rng, sc)
+		}
+	}
+	return seq
+}
+
+func (m *Model) gibbsStep(seq protein.Sequence, pos int, temp float64, rng *xrand.RNG, sc *scratch) {
+	m.ConditionalEnergies(seq, pos, sc.cond)
+	minE := sc.cond[0]
+	for _, e := range sc.cond[1:] {
+		if e < minE {
+			minE = e
+		}
+	}
+	var total float64
+	for a, e := range sc.cond {
+		w := math.Exp(-(e - minE) / temp)
+		sc.weights[a] = w
+		total += w
+	}
+	t := rng.Float64() * total
+	pick := protein.NumAA - 1
+	for a, w := range sc.weights {
+		t -= w
+		if t < 0 {
+			pick = a
+			break
+		}
+	}
+	seq[pos] = protein.Letter(pick)
+}
+
+// LogLikelihood returns the model's per-residue average log-likelihood of
+// the receptor design under the Boltzmann distribution at the given
+// temperature — the score ProteinMPNN reports and Stage 2 ranks by.
+// Higher is better.
+func (m *Model) LogLikelihood(full protein.Sequence, temp float64) float64 {
+	m.checkLen(full)
+	if temp <= 0 {
+		panic("landscape: non-positive temperature")
+	}
+	sc := newScratch()
+	var ll float64
+	for pos := 0; pos < m.RecLen; pos++ {
+		m.ConditionalEnergies(full, pos, sc.cond)
+		minE := sc.cond[0]
+		for _, e := range sc.cond[1:] {
+			if e < minE {
+				minE = e
+			}
+		}
+		var z float64
+		for _, e := range sc.cond {
+			z += math.Exp(-(e - minE) / temp)
+		}
+		self := sc.cond[protein.Index(full[pos])]
+		ll += -(self-minE)/temp - math.Log(z)
+	}
+	return ll / float64(m.RecLen)
+}
+
+// Anneal performs simulated annealing from start, returning a
+// progressively optimized sequence. Used by the workload generator to
+// produce native sequences of tunable quality (a native protein should be
+// decent but leave headroom for design).
+func (m *Model) Anneal(start protein.Sequence, sweeps int, tHi, tLo float64, seed uint64) protein.Sequence {
+	if sweeps <= 0 {
+		panic("landscape: non-positive sweeps")
+	}
+	seq := start.Clone()
+	rng := xrand.New(seed)
+	sc := newScratch()
+	for sweep := 0; sweep < sweeps; sweep++ {
+		frac := float64(sweep) / float64(sweeps)
+		temp := tHi * math.Pow(tLo/tHi, frac)
+		for pos := 0; pos < m.RecLen; pos++ {
+			m.gibbsStep(seq, pos, temp, rng, sc)
+		}
+	}
+	return seq
+}
+
+// Corrupt returns an independent model whose fields and couplings are the
+// true ones plus Gaussian noise of the given relative level. This is the
+// ProteinMPNN simulator's imperfect view of reality: at level 0 the
+// sampler would propose near-optimal designs immediately; at high levels
+// its log-likelihood ranking decorrelates from true quality. The noise is
+// frozen by seed so one design stage sees one consistent surrogate model.
+// Calibration statistics are copied (not recomputed): z-scores always
+// refer to the true landscape's scale.
+func (m *Model) Corrupt(level float64, seed uint64) *Model {
+	if level < 0 {
+		panic("landscape: negative corruption level")
+	}
+	c := &Model{
+		Name:       m.Name,
+		RecLen:     m.RecLen,
+		PepLen:     m.PepLen,
+		Fields:     make([][protein.NumAA]float64, len(m.Fields)),
+		Edges:      make([]Edge, len(m.Edges)),
+		EnergyMean: m.EnergyMean,
+		EnergyStd:  m.EnergyStd,
+		InterMean:  m.InterMean,
+		InterStd:   m.InterStd,
+		EnergyOpt:  m.EnergyOpt,
+		InterOpt:   m.InterOpt,
+		seed:       seed,
+		cfg:        m.cfg,
+	}
+	rng := xrand.New(xrand.Derive(seed, "corrupt:"+m.Name))
+	fStd := m.cfg.FieldStd * level
+	for i := range m.Fields {
+		for a := 0; a < protein.NumAA; a++ {
+			c.Fields[i][a] = m.Fields[i][a] + rng.NormFloat64()*fStd
+		}
+	}
+	for k := range m.Edges {
+		src := &m.Edges[k]
+		dst := &c.Edges[k]
+		dst.I, dst.J, dst.Interchain = src.I, src.J, src.Interchain
+		std := m.cfg.CouplingStd * level
+		if src.Interchain {
+			std = m.cfg.InterCouplingStd * level
+		}
+		for a := 0; a < protein.NumAA; a++ {
+			for b := 0; b < protein.NumAA; b++ {
+				dst.W[a][b] = src.W[a][b] + rng.NormFloat64()*std
+			}
+		}
+	}
+	c.buildAdjacency()
+	return c
+}

@@ -1,0 +1,283 @@
+package pilot
+
+import (
+	"fmt"
+
+	"impress/internal/cluster"
+	"impress/internal/simclock"
+	"impress/internal/trace"
+)
+
+// agent is the on-resource component of a pilot: a continuous scheduler
+// feeding an executor, per the paper's Fig. 1 ("Agent: Executor,
+// Scheduler"). It places queued tasks onto the pilot's resource ledger as
+// capacity frees up, runs their sandbox setup, replays their phase
+// profiles on the virtual timeline, and reports every transition through
+// the TaskManager.
+type agent struct {
+	pilot   *Pilot
+	cluster *cluster.Cluster
+	rec     *trace.Recorder
+	tm      *TaskManager
+
+	queue   []*Task
+	running map[string]*execution
+
+	activeSetups int
+
+	scheduling bool
+	rerun      bool
+}
+
+// execution tracks one placed task: its allocation, its pending timeline
+// events, and the busy-resource deltas currently applied to the recorder
+// (so cancellation can unwind them exactly).
+type execution struct {
+	task      *Task
+	alloc     *cluster.Alloc
+	events    []*simclock.Event
+	busyCores int
+	busyGPUs  int
+	inSetup   bool
+}
+
+func newAgent(p *Pilot, clu *cluster.Cluster, rec *trace.Recorder) *agent {
+	return &agent{
+		pilot:   p,
+		cluster: clu,
+		rec:     rec,
+		running: make(map[string]*execution),
+	}
+}
+
+// enqueue accepts a task from the TaskManager and tries to place it.
+func (a *agent) enqueue(t *Task) {
+	a.tm.transition(t, StateScheduling)
+	a.queue = append(a.queue, t)
+	if a.pilot.state == PilotActive {
+		a.schedule()
+	}
+}
+
+// QueueLen returns the number of tasks waiting for resources.
+func (a *agent) QueueLen() int { return len(a.queue) }
+
+// schedule is the continuous scheduling pass: walk the queue in
+// submission order and start every task whose allocation fits. Without
+// backfill the pass stops at the first task that does not fit (strict
+// FIFO); with backfill later tasks may jump the blocked head — that is
+// how adaptive sub-pipelines soak up idle resources while a wide MSA task
+// waits.
+func (a *agent) schedule() {
+	if a.scheduling {
+		a.rerun = true
+		return
+	}
+	a.scheduling = true
+	defer func() { a.scheduling = false }()
+
+	for {
+		a.rerun = false
+		a.schedulePass()
+		if !a.rerun {
+			return
+		}
+	}
+}
+
+func (a *agent) schedulePass() {
+	if a.pilot.state != PilotActive {
+		return
+	}
+	backfill := a.pilot.desc.Backfill
+	var remaining []*Task
+	blocked := false
+	for i, t := range a.queue {
+		if blocked && !backfill {
+			remaining = append(remaining, a.queue[i:]...)
+			break
+		}
+		req := cluster.Request{Cores: t.Description.Cores, GPUs: t.Description.GPUs, MemGB: t.Description.MemGB}
+		alloc := a.cluster.Allocate(req)
+		if alloc == nil {
+			blocked = true
+			remaining = append(remaining, t)
+			continue
+		}
+		a.startSetup(t, alloc)
+	}
+	a.queue = remaining
+}
+
+// startSetup begins the sandbox preparation phase. Setup time grows with
+// the number of concurrent setups (shared-filesystem contention, Fig. 5
+// caption).
+func (a *agent) startSetup(t *Task, alloc *cluster.Alloc) {
+	now := a.pilot.engine.Now()
+	t.SetupAt = now
+	ex := &execution{task: t, alloc: alloc, inSetup: true}
+	t.exec = ex
+	a.running[t.ID] = ex
+	a.tm.transition(t, StateExecSetup)
+
+	d := a.pilot.desc.Cost.SetupDuration(a.activeSetups, t.seed)
+	a.activeSetups++
+	if a.rec != nil {
+		a.rec.AddPhase(trace.PhaseExecSetup, d)
+	}
+	ev := a.pilot.engine.AfterNamed(d, t.ID+":setup", func() {
+		a.activeSetups--
+		ex.inSetup = false
+		a.startRun(ex)
+	})
+	ex.events = append(ex.events, ev)
+}
+
+// startRun executes the payload eagerly and replays its phase profile.
+func (a *agent) startRun(ex *execution) {
+	t := ex.task
+	engine := a.pilot.engine
+	t.RunAt = engine.Now()
+	a.tm.transition(t, StateRunning)
+
+	ctx := &ExecContext{
+		TaskID: t.ID,
+		Now:    t.RunAt,
+		Seed:   t.seed,
+		Cores:  ex.alloc.Cores,
+		GPUs:   ex.alloc.GPUs,
+	}
+	res, err := t.Description.Work.Run(ctx)
+	if err != nil {
+		a.finish(ex, StateFailed, err)
+		return
+	}
+	if verr := validatePhases(res.Phases, ex.alloc); verr != nil {
+		a.finish(ex, StateFailed, verr)
+		return
+	}
+	t.Result = res
+
+	var offset simclock.Duration
+	for _, ph := range res.Phases {
+		ph := ph
+		ev := engine.AfterNamed(offset, t.ID+":phase:"+ph.Name, func() {
+			a.setBusy(ex, ph.BusyCores, ph.BusyGPUs)
+		})
+		ex.events = append(ex.events, ev)
+		offset += ph.Duration
+	}
+	done := engine.AfterNamed(offset, t.ID+":done", func() {
+		a.finish(ex, StateDone, nil)
+	})
+	ex.events = append(ex.events, done)
+}
+
+func validatePhases(phases []Phase, alloc *cluster.Alloc) error {
+	for _, ph := range phases {
+		if ph.Duration < 0 {
+			return fmt.Errorf("pilot: phase %q has negative duration", ph.Name)
+		}
+		if ph.BusyCores < 0 || ph.BusyCores > alloc.Cores {
+			return fmt.Errorf("pilot: phase %q busy cores %d outside allocation %d", ph.Name, ph.BusyCores, alloc.Cores)
+		}
+		if ph.BusyGPUs < 0 || ph.BusyGPUs > alloc.GPUs {
+			return fmt.Errorf("pilot: phase %q busy GPUs %d outside allocation %d", ph.Name, ph.BusyGPUs, alloc.GPUs)
+		}
+	}
+	return nil
+}
+
+func (a *agent) setBusy(ex *execution, cores, gpus int) {
+	if a.rec != nil {
+		a.rec.AddBusy(a.pilot.engine.Now(), cores-ex.busyCores, gpus-ex.busyGPUs)
+	}
+	ex.busyCores = cores
+	ex.busyGPUs = gpus
+}
+
+// finish retires an execution: unwind busy counters, release the
+// allocation, record the task timeline, notify, and reschedule.
+func (a *agent) finish(ex *execution, state TaskState, err error) {
+	t := ex.task
+	now := a.pilot.engine.Now()
+	a.setBusy(ex, 0, 0)
+	for _, ev := range ex.events {
+		a.pilot.engine.Cancel(ev)
+	}
+	a.cluster.Release(ex.alloc)
+	delete(a.running, t.ID)
+	t.EndedAt = now
+	t.Err = err
+	if a.rec != nil {
+		if t.RunAt > 0 || state == StateDone {
+			a.rec.AddPhase(trace.PhaseRunning, t.EndedAt.Sub(t.RunAt))
+		}
+		a.rec.AddTask(a.record(t, state))
+	}
+	a.tm.transition(t, state)
+	a.schedule()
+}
+
+func (a *agent) record(t *Task, state TaskState) trace.TaskRecord {
+	return trace.TaskRecord{
+		ID:        t.ID,
+		Name:      t.Description.Name,
+		Submitted: t.SubmittedAt,
+		SetupAt:   t.SetupAt,
+		RunAt:     t.RunAt,
+		EndedAt:   t.EndedAt,
+		Cores:     t.Description.Cores,
+		GPUs:      t.Description.GPUs,
+		State:     state.String(),
+	}
+}
+
+// cancel removes a task wherever it currently lives.
+func (a *agent) cancel(t *Task, reason string) {
+	switch t.state {
+	case StateSubmitted, StateScheduling:
+		for i, q := range a.queue {
+			if q == t {
+				a.queue = append(a.queue[:i], a.queue[i+1:]...)
+				break
+			}
+		}
+		t.EndedAt = a.pilot.engine.Now()
+		t.Err = fmt.Errorf("pilot: %s", reason)
+		if a.rec != nil {
+			a.rec.AddTask(a.record(t, StateCanceled))
+		}
+		a.tm.transition(t, StateCanceled)
+	case StateExecSetup, StateRunning:
+		ex := t.exec
+		if ex.inSetup {
+			a.activeSetups--
+			ex.inSetup = false
+		}
+		a.finish(ex, StateCanceled, fmt.Errorf("pilot: %s", reason))
+	}
+}
+
+// terminateAll cancels everything (pilot cancellation or walltime).
+func (a *agent) terminateAll(reason string) {
+	queued := append([]*Task(nil), a.queue...)
+	for _, t := range queued {
+		a.cancel(t, reason)
+	}
+	var execs []*execution
+	for _, ex := range a.running {
+		execs = append(execs, ex)
+	}
+	// Deterministic order: by task UID.
+	for i := 0; i < len(execs); i++ {
+		for j := i + 1; j < len(execs); j++ {
+			if execs[j].task.UID < execs[i].task.UID {
+				execs[i], execs[j] = execs[j], execs[i]
+			}
+		}
+	}
+	for _, ex := range execs {
+		a.cancel(ex.task, reason)
+	}
+}

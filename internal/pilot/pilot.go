@@ -1,0 +1,268 @@
+package pilot
+
+import (
+	"fmt"
+	"time"
+
+	"impress/internal/cluster"
+	"impress/internal/costmodel"
+	"impress/internal/simclock"
+	"impress/internal/trace"
+)
+
+// PilotState is the lifecycle of a pilot job.
+type PilotState int
+
+const (
+	// PilotLaunching covers batch-queue wait plus agent bootstrap (the
+	// "Bootstrap" band of Fig. 5).
+	PilotLaunching PilotState = iota
+	// PilotActive means the agent schedules and executes tasks.
+	PilotActive
+	// PilotDone means the pilot ended (cancelled or walltime expired);
+	// remaining tasks were cancelled.
+	PilotDone
+)
+
+func (s PilotState) String() string {
+	switch s {
+	case PilotLaunching:
+		return "LAUNCHING"
+	case PilotActive:
+		return "ACTIVE"
+	case PilotDone:
+		return "DONE"
+	default:
+		return fmt.Sprintf("PilotState(%d)", int(s))
+	}
+}
+
+// PilotDescription declares the resource request for one pilot.
+type PilotDescription struct {
+	// Machine is the resource to acquire.
+	Machine cluster.Spec
+	// Cost supplies runtime overhead models (bootstrap, exec setup).
+	Cost costmodel.Params
+	// Backfill lets the agent scheduler start later queued tasks when
+	// the queue head does not fit — the mechanism that lets IM-RP
+	// "offload newly created pipelines to idle resources".
+	Backfill bool
+	// Walltime bounds the pilot lifetime from activation; zero means
+	// unbounded.
+	Walltime time.Duration
+	// Seed derives all task jitter streams for this pilot.
+	Seed uint64
+}
+
+// PilotManager launches pilots, following RP's architecture where the
+// pilot manager owns resource acquisition and hands an agent to the task
+// layer.
+type PilotManager struct {
+	engine *simclock.Engine
+	rec    *trace.Recorder
+	nextID int
+}
+
+// NewPilotManager creates a pilot manager bound to an engine and a trace
+// recorder. The recorder may be nil when no accounting is wanted.
+func NewPilotManager(engine *simclock.Engine, rec *trace.Recorder) *PilotManager {
+	if engine == nil {
+		panic("pilot: nil engine")
+	}
+	return &PilotManager{engine: engine, rec: rec}
+}
+
+// Submit launches a pilot. The pilot becomes active after the bootstrap
+// delay; tasks submitted earlier queue in the agent.
+func (pm *PilotManager) Submit(pd PilotDescription) (*Pilot, error) {
+	if err := pd.Machine.Validate(); err != nil {
+		return nil, err
+	}
+	if err := pd.Cost.Validate(); err != nil {
+		return nil, err
+	}
+	clu, err := cluster.New(pd.Machine)
+	if err != nil {
+		return nil, err
+	}
+	pm.nextID++
+	p := &Pilot{
+		ID:     fmt.Sprintf("pilot.%04d", pm.nextID),
+		desc:   pd,
+		engine: pm.engine,
+		state:  PilotLaunching,
+	}
+	p.agent = newAgent(p, clu, pm.rec)
+
+	boot := pd.Cost.BootstrapTime
+	if pm.rec != nil {
+		pm.rec.AddPhase(trace.PhaseBootstrap, boot)
+	}
+	pm.engine.AfterNamed(boot, p.ID+":bootstrap", func() {
+		if p.state != PilotLaunching {
+			return
+		}
+		p.state = PilotActive
+		p.activeAt = pm.engine.Now()
+		if pd.Walltime > 0 {
+			p.wallEvent = pm.engine.AfterNamed(pd.Walltime, p.ID+":walltime", func() {
+				p.terminate("walltime expired")
+			})
+		}
+		p.agent.schedule()
+	})
+	return p, nil
+}
+
+// Pilot is a live pilot job: a resource allocation plus the agent running
+// on it.
+type Pilot struct {
+	ID     string
+	desc   PilotDescription
+	engine *simclock.Engine
+	agent  *agent
+
+	state     PilotState
+	activeAt  simclock.Time
+	wallEvent *simclock.Event
+}
+
+// State returns the pilot lifecycle state.
+func (p *Pilot) State() PilotState { return p.state }
+
+// ActiveAt returns when the pilot became active (zero until then).
+func (p *Pilot) ActiveAt() simclock.Time { return p.activeAt }
+
+// Description returns the pilot's submitted description.
+func (p *Pilot) Description() PilotDescription { return p.desc }
+
+// Cluster exposes the pilot's resource ledger (read-mostly; used by
+// adaptive clients to inspect idle capacity during decision-making).
+func (p *Pilot) Cluster() *cluster.Cluster { return p.agent.cluster }
+
+// Cancel terminates the pilot: queued tasks are cancelled, running tasks
+// are interrupted and their resources unwound.
+func (p *Pilot) Cancel() { p.terminate("pilot cancelled") }
+
+func (p *Pilot) terminate(reason string) {
+	if p.state == PilotDone {
+		return
+	}
+	p.state = PilotDone
+	p.engine.Cancel(p.wallEvent)
+	p.agent.terminateAll(reason)
+}
+
+// TaskManager accepts task submissions and routes them to a pilot's
+// agent, reporting every state transition to registered callbacks — the
+// "Submit & Monitor Continuously" channel pair of the paper's Fig. 1.
+type TaskManager struct {
+	engine    *simclock.Engine
+	pilot     *Pilot
+	nextUID   uint64
+	tasks     map[string]*Task
+	callbacks []func(*Task, TaskState)
+}
+
+// NewTaskManager creates a task manager bound to one pilot.
+func NewTaskManager(engine *simclock.Engine, p *Pilot) *TaskManager {
+	if engine == nil || p == nil {
+		panic("pilot: nil engine or pilot")
+	}
+	tm := &TaskManager{engine: engine, pilot: p, tasks: make(map[string]*Task)}
+	p.agent.tm = tm
+	return tm
+}
+
+// OnState registers a callback invoked on every task state transition.
+// Callbacks run inside engine events; they may submit more tasks.
+func (tm *TaskManager) OnState(fn func(*Task, TaskState)) {
+	if fn == nil {
+		panic("pilot: nil state callback")
+	}
+	tm.callbacks = append(tm.callbacks, fn)
+}
+
+// Submit validates and enqueues a task for execution. Impossible resource
+// requests (bigger than any node) fail fast instead of wedging the queue.
+func (tm *TaskManager) Submit(td TaskDescription) (*Task, error) {
+	if err := td.validate(); err != nil {
+		return nil, err
+	}
+	tm.nextUID++
+	t := &Task{
+		ID:          fmt.Sprintf("task.%06d", tm.nextUID),
+		UID:         tm.nextUID,
+		Description: td,
+		state:       StateNew,
+		SubmittedAt: tm.engine.Now(),
+	}
+	t.seed = deriveTaskSeed(tm.pilot.desc.Seed, t.ID)
+	tm.tasks[t.ID] = t
+	tm.transition(t, StateSubmitted)
+
+	if tm.pilot.state == PilotDone {
+		tm.fail(t, fmt.Errorf("pilot: %s is done", tm.pilot.ID))
+		return t, nil
+	}
+	req := cluster.Request{Cores: td.Cores, GPUs: td.GPUs, MemGB: td.MemGB}
+	if !tm.pilot.agent.cluster.Fits(req) {
+		tm.fail(t, fmt.Errorf("pilot: task %s request %+v exceeds node capacity", t.ID, req))
+		return t, nil
+	}
+	tm.pilot.agent.enqueue(t)
+	return t, nil
+}
+
+// MustSubmit is Submit for callers whose descriptions are statically
+// valid; it panics on error.
+func (tm *TaskManager) MustSubmit(td TaskDescription) *Task {
+	t, err := tm.Submit(td)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Cancel cancels a queued or running task; terminal tasks are unaffected.
+func (tm *TaskManager) Cancel(t *Task) {
+	if t == nil || t.state.Final() {
+		return
+	}
+	tm.pilot.agent.cancel(t, "cancelled by client")
+}
+
+// Get returns a task by ID.
+func (tm *TaskManager) Get(id string) (*Task, bool) {
+	t, ok := tm.tasks[id]
+	return t, ok
+}
+
+// Count returns how many tasks were ever submitted.
+func (tm *TaskManager) Count() int { return len(tm.tasks) }
+
+func (tm *TaskManager) transition(t *Task, to TaskState) {
+	if !legalTransition(t.state, to) {
+		panic(fmt.Sprintf("pilot: illegal transition %v -> %v for %s", t.state, to, t.ID))
+	}
+	t.state = to
+	for _, cb := range tm.callbacks {
+		cb(t, to)
+	}
+}
+
+func (tm *TaskManager) fail(t *Task, err error) {
+	t.Err = err
+	t.EndedAt = tm.engine.Now()
+	tm.transition(t, StateFailed)
+}
+
+func deriveTaskSeed(pilotSeed uint64, taskID string) uint64 {
+	// Fold the task ID into the pilot seed so each task owns an
+	// independent deterministic stream.
+	h := pilotSeed
+	for i := 0; i < len(taskID); i++ {
+		h = h*0x100000001b3 ^ uint64(taskID[i])
+	}
+	return h ^ 0x9e3779b97f4a7c15
+}

@@ -1,0 +1,176 @@
+package protein
+
+import (
+	"math"
+
+	"impress/internal/xrand"
+)
+
+// BackboneConfig controls synthetic backbone generation.
+type BackboneConfig struct {
+	// Length is the receptor residue count.
+	Length int
+	// PeptideLength is the bound peptide residue count (0 for monomers).
+	PeptideLength int
+	// Compactness scales the harmonic pull toward the centroid; higher
+	// values give denser contact graphs. Typical: 0.02–0.08.
+	Compactness float64
+	// StepLen is the virtual Cα–Cα distance in Å (canonically ~3.8).
+	StepLen float64
+	// GrooveStart/GrooveEnd delimit the receptor segment that forms the
+	// peptide-binding groove (PDZ domains bind C-terminal peptides in a
+	// groove between a β-strand and an α-helix). The peptide is placed
+	// alongside this segment so that interchain contacts concentrate
+	// there.
+	GrooveStart, GrooveEnd int
+}
+
+// DefaultBackboneConfig returns the PDZ-like defaults used across the
+// experiments: ~90-residue receptor with a binding groove in the second
+// third of the chain.
+func DefaultBackboneConfig(recLen, pepLen int) BackboneConfig {
+	gs := recLen / 3
+	ge := gs + recLen/4
+	if ge > recLen {
+		ge = recLen
+	}
+	return BackboneConfig{
+		Length:        recLen,
+		PeptideLength: pepLen,
+		Compactness:   0.05,
+		StepLen:       3.8,
+		GrooveStart:   gs,
+		GrooveEnd:     ge,
+	}
+}
+
+// Backbone deterministically generates a compact receptor fold and (if
+// requested) a peptide placed in the binding groove. The same seed always
+// yields the same geometry, so every target's contact graph — and hence
+// its hidden fitness landscape — is reproducible.
+func Backbone(seed uint64, cfg BackboneConfig) (rec, pep []Coord) {
+	if cfg.Length <= 0 {
+		panic("protein: non-positive backbone length")
+	}
+	rng := xrand.New(xrand.Derive(seed, "backbone"))
+	rec = compactWalk(rng, cfg.Length, cfg.StepLen, cfg.Compactness)
+	if cfg.PeptideLength > 0 {
+		pep = placePeptide(rng, rec, cfg)
+	}
+	return rec, pep
+}
+
+// compactWalk builds a self-avoiding-ish random walk biased toward the
+// running centroid, mimicking a globular fold: consecutive residues are
+// stepLen apart, and a weak harmonic pull keeps the chain compact enough
+// to produce long-range contacts.
+func compactWalk(rng *xrand.RNG, n int, stepLen, compactness float64) []Coord {
+	coords := make([]Coord, n)
+	coords[0] = Coord{}
+	var cx, cy, cz float64 // running centroid sums
+	dir := randomUnit(rng)
+	for i := 1; i < n; i++ {
+		prev := coords[i-1]
+		cx += prev.X
+		cy += prev.Y
+		cz += prev.Z
+		cen := Coord{cx / float64(i), cy / float64(i), cz / float64(i)}
+
+		// Persistence: new direction is a perturbation of the previous
+		// one (secondary-structure-like local stiffness) plus a pull
+		// toward the centroid (global compactness).
+		pert := randomUnit(rng)
+		pull := Coord{cen.X - prev.X, cen.Y - prev.Y, cen.Z - prev.Z}
+		d := Coord{
+			dir.X*0.55 + pert.X*0.45 + pull.X*compactness,
+			dir.Y*0.55 + pert.Y*0.45 + pull.Y*compactness,
+			dir.Z*0.55 + pert.Z*0.45 + pull.Z*compactness,
+		}
+		d = normalize(d)
+
+		// Crude self-avoidance: if the step lands within 2 Å of an
+		// earlier residue, retry with a fresh random direction (bounded
+		// attempts — occasional clashes are tolerable for a contact-graph
+		// generator).
+		next := Coord{prev.X + d.X*stepLen, prev.Y + d.Y*stepLen, prev.Z + d.Z*stepLen}
+		for attempt := 0; attempt < 8 && tooClose(coords[:i], next, 2.0); attempt++ {
+			d = normalize(randomUnit(rng))
+			next = Coord{prev.X + d.X*stepLen, prev.Y + d.Y*stepLen, prev.Z + d.Z*stepLen}
+		}
+		coords[i] = next
+		dir = d
+	}
+	return coords
+}
+
+func tooClose(coords []Coord, c Coord, minDist float64) bool {
+	for i := 0; i+1 < len(coords); i++ { // skip the immediate predecessor
+		if coords[i].Dist(c) < minDist {
+			return true
+		}
+	}
+	return false
+}
+
+// placePeptide lays the peptide as a near-extended strand offset ~5 Å from
+// the groove segment of the receptor, so that each peptide residue gains a
+// handful of interchain contacts — the couplings scored by inter-chain pAE.
+func placePeptide(rng *xrand.RNG, rec []Coord, cfg BackboneConfig) []Coord {
+	gs, ge := cfg.GrooveStart, cfg.GrooveEnd
+	if gs < 0 {
+		gs = 0
+	}
+	if ge > len(rec) {
+		ge = len(rec)
+	}
+	if ge <= gs {
+		gs, ge = 0, len(rec)
+	}
+	// Groove direction: vector along the groove segment.
+	a, b := rec[gs], rec[ge-1]
+	axis := normalize(Coord{b.X - a.X, b.Y - a.Y, b.Z - a.Z})
+	// Offset normal: away from the receptor centroid so the peptide sits
+	// on the surface.
+	var cen Coord
+	for _, c := range rec {
+		cen.X += c.X
+		cen.Y += c.Y
+		cen.Z += c.Z
+	}
+	n := float64(len(rec))
+	cen = Coord{cen.X / n, cen.Y / n, cen.Z / n}
+	mid := Coord{(a.X + b.X) / 2, (a.Y + b.Y) / 2, (a.Z + b.Z) / 2}
+	normal := normalize(Coord{mid.X - cen.X, mid.Y - cen.Y, mid.Z - cen.Z})
+
+	pep := make([]Coord, cfg.PeptideLength)
+	const offset = 5.0
+	for i := range pep {
+		t := float64(i) * cfg.StepLen
+		jit := 0.4
+		pep[i] = Coord{
+			mid.X + normal.X*offset + axis.X*(t-float64(cfg.PeptideLength-1)*cfg.StepLen/2) + rng.Range(-jit, jit),
+			mid.Y + normal.Y*offset + axis.Y*(t-float64(cfg.PeptideLength-1)*cfg.StepLen/2) + rng.Range(-jit, jit),
+			mid.Z + normal.Z*offset + axis.Z*(t-float64(cfg.PeptideLength-1)*cfg.StepLen/2) + rng.Range(-jit, jit),
+		}
+	}
+	return pep
+}
+
+func randomUnit(rng *xrand.RNG) Coord {
+	for {
+		c := Coord{rng.Range(-1, 1), rng.Range(-1, 1), rng.Range(-1, 1)}
+		d := c.X*c.X + c.Y*c.Y + c.Z*c.Z
+		if d > 1e-6 && d <= 1 {
+			inv := 1 / math.Sqrt(d)
+			return Coord{c.X * inv, c.Y * inv, c.Z * inv}
+		}
+	}
+}
+
+func normalize(c Coord) Coord {
+	d := math.Sqrt(c.X*c.X + c.Y*c.Y + c.Z*c.Z)
+	if d < 1e-12 {
+		return Coord{X: 1}
+	}
+	return Coord{c.X / d, c.Y / d, c.Z / d}
+}

@@ -1,0 +1,124 @@
+package protein
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// FastaRecord is one entry of a FASTA file: Stage 3 of the IMPRESS
+// pipeline compiles the highest-ranking designed sequences into FASTA for
+// the AlphaFold stage.
+type FastaRecord struct {
+	// Header is the text after '>' (without the marker).
+	Header string
+	// Seq is the record's sequence. Multi-chain complexes follow the
+	// AlphaFold-multimer convention of joining chains with ':'.
+	Seq string
+}
+
+// fastaWidth is the line-wrap column for sequence data.
+const fastaWidth = 60
+
+// WriteFasta writes records in FASTA format, wrapping sequence lines at 60
+// columns.
+func WriteFasta(w io.Writer, records []FastaRecord) error {
+	bw := bufio.NewWriter(w)
+	for _, r := range records {
+		if strings.ContainsAny(r.Header, "\n\r") {
+			return fmt.Errorf("protein: FASTA header contains newline: %q", r.Header)
+		}
+		if len(r.Seq) == 0 {
+			return fmt.Errorf("protein: FASTA record %q has empty sequence", r.Header)
+		}
+		if _, err := fmt.Fprintf(bw, ">%s\n", r.Header); err != nil {
+			return err
+		}
+		for i := 0; i < len(r.Seq); i += fastaWidth {
+			end := i + fastaWidth
+			if end > len(r.Seq) {
+				end = len(r.Seq)
+			}
+			if _, err := fmt.Fprintf(bw, "%s\n", r.Seq[i:end]); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// FastaString renders records to a string, panicking on the (programmer)
+// errors WriteFasta reports.
+func FastaString(records []FastaRecord) string {
+	var sb strings.Builder
+	if err := WriteFasta(&sb, records); err != nil {
+		panic(err)
+	}
+	return sb.String()
+}
+
+// ParseFasta reads all records from r. It accepts wrapped sequence lines,
+// skips blank lines, and rejects sequence data appearing before the first
+// header.
+func ParseFasta(r io.Reader) ([]FastaRecord, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var records []FastaRecord
+	var cur *FastaRecord
+	var seq strings.Builder
+	flush := func() {
+		if cur != nil {
+			cur.Seq = seq.String()
+			records = append(records, *cur)
+			seq.Reset()
+		}
+	}
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		if strings.HasPrefix(text, ">") {
+			flush()
+			cur = &FastaRecord{Header: strings.TrimSpace(text[1:])}
+			continue
+		}
+		if cur == nil {
+			return nil, fmt.Errorf("protein: line %d: sequence data before FASTA header", line)
+		}
+		seq.WriteString(text)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	flush()
+	for i, rec := range records {
+		if rec.Seq == "" {
+			return nil, fmt.Errorf("protein: record %d (%q) has no sequence", i, rec.Header)
+		}
+	}
+	return records, nil
+}
+
+// ComplexFasta builds the AlphaFold-multimer input record for a structure:
+// receptor and peptide sequences joined with ':'; monomers emit just the
+// receptor.
+func ComplexFasta(st *Structure) FastaRecord {
+	seq := st.Receptor.Seq.String()
+	if st.IsComplex() {
+		seq += ":" + st.Peptide.Seq.String()
+	}
+	return FastaRecord{
+		Header: fmt.Sprintf("%s gen=%d", st.Name, st.Generation),
+		Seq:    seq,
+	}
+}
+
+// SplitComplexSeq splits an AlphaFold-multimer style "REC:PEP" sequence
+// into its chains. A sequence without ':' is returned as a single chain.
+func SplitComplexSeq(s string) []string {
+	return strings.Split(s, ":")
+}

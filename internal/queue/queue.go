@@ -1,0 +1,151 @@
+// Package queue provides the bounded, thread-safe FIFO channels the
+// IMPRESS coordinator uses to talk to the runtime. The paper (Section
+// II-D) describes two such channels: one carrying new pipeline instances
+// toward the execution layer and one carrying completed-task notifications
+// back to the decision-making step. The campaign simulations pump these
+// queues from discrete-event callbacks; live/concurrent clients can block
+// on them from goroutines — the implementation supports both.
+package queue
+
+import (
+	"errors"
+	"sync"
+)
+
+// ErrClosed is returned by Put on a closed queue.
+var ErrClosed = errors.New("queue: closed")
+
+// Queue is a bounded FIFO. The zero value is not usable; call New.
+type Queue[T any] struct {
+	mu       sync.Mutex
+	notFull  *sync.Cond
+	notEmpty *sync.Cond
+	buf      []T
+	head     int
+	count    int
+	closed   bool
+}
+
+// New creates a queue with the given capacity (must be positive).
+func New[T any](capacity int) *Queue[T] {
+	if capacity <= 0 {
+		panic("queue: non-positive capacity")
+	}
+	q := &Queue[T]{buf: make([]T, capacity)}
+	q.notFull = sync.NewCond(&q.mu)
+	q.notEmpty = sync.NewCond(&q.mu)
+	return q
+}
+
+// Cap returns the queue capacity.
+func (q *Queue[T]) Cap() int { return len(q.buf) }
+
+// Len returns the current number of queued items.
+func (q *Queue[T]) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.count
+}
+
+// Closed reports whether Close has been called.
+func (q *Queue[T]) Closed() bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.closed
+}
+
+// Put appends v, blocking while the queue is full. It returns ErrClosed
+// if the queue is (or becomes) closed while waiting.
+func (q *Queue[T]) Put(v T) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for q.count == len(q.buf) && !q.closed {
+		q.notFull.Wait()
+	}
+	if q.closed {
+		return ErrClosed
+	}
+	q.put(v)
+	return nil
+}
+
+// TryPut appends v without blocking. It reports whether the item was
+// accepted; err is ErrClosed when the queue is closed.
+func (q *Queue[T]) TryPut(v T) (ok bool, err error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return false, ErrClosed
+	}
+	if q.count == len(q.buf) {
+		return false, nil
+	}
+	q.put(v)
+	return true, nil
+}
+
+func (q *Queue[T]) put(v T) {
+	tail := (q.head + q.count) % len(q.buf)
+	q.buf[tail] = v
+	q.count++
+	q.notEmpty.Signal()
+}
+
+// Get removes the oldest item, blocking while the queue is empty. ok is
+// false only when the queue is closed and fully drained.
+func (q *Queue[T]) Get() (v T, ok bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for q.count == 0 && !q.closed {
+		q.notEmpty.Wait()
+	}
+	if q.count == 0 {
+		return v, false
+	}
+	return q.get(), true
+}
+
+// TryGet removes the oldest item without blocking; ok is false when the
+// queue is currently empty (closed or not).
+func (q *Queue[T]) TryGet() (v T, ok bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.count == 0 {
+		return v, false
+	}
+	return q.get(), true
+}
+
+func (q *Queue[T]) get() T {
+	v := q.buf[q.head]
+	var zero T
+	q.buf[q.head] = zero
+	q.head = (q.head + 1) % len(q.buf)
+	q.count--
+	q.notFull.Signal()
+	return v
+}
+
+// Drain removes and returns all currently queued items without blocking.
+func (q *Queue[T]) Drain() []T {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	out := make([]T, 0, q.count)
+	for q.count > 0 {
+		out = append(out, q.get())
+	}
+	return out
+}
+
+// Close marks the queue closed: pending and future Puts fail, Gets drain
+// the remaining items and then report ok=false. Closing twice is a no-op.
+func (q *Queue[T]) Close() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return
+	}
+	q.closed = true
+	q.notFull.Broadcast()
+	q.notEmpty.Broadcast()
+}

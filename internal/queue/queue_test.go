@@ -1,0 +1,242 @@
+package queue
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestFIFOOrder(t *testing.T) {
+	q := New[int](10)
+	for i := 0; i < 10; i++ {
+		if err := q.Put(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 10; i++ {
+		v, ok := q.Get()
+		if !ok || v != i {
+			t.Fatalf("Get = (%d, %v), want (%d, true)", v, ok, i)
+		}
+	}
+}
+
+func TestTryPutFullAndTryGetEmpty(t *testing.T) {
+	q := New[string](1)
+	ok, err := q.TryPut("a")
+	if !ok || err != nil {
+		t.Fatal("first TryPut failed")
+	}
+	ok, err = q.TryPut("b")
+	if ok || err != nil {
+		t.Fatalf("TryPut on full queue = (%v, %v)", ok, err)
+	}
+	if v, ok := q.TryGet(); !ok || v != "a" {
+		t.Fatal("TryGet failed")
+	}
+	if _, ok := q.TryGet(); ok {
+		t.Fatal("TryGet on empty queue succeeded")
+	}
+}
+
+func TestWrapAround(t *testing.T) {
+	q := New[int](3)
+	for round := 0; round < 7; round++ {
+		for i := 0; i < 3; i++ {
+			if err := q.Put(round*10 + i); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i := 0; i < 3; i++ {
+			v, ok := q.Get()
+			if !ok || v != round*10+i {
+				t.Fatalf("round %d: Get = (%d, %v)", round, v, ok)
+			}
+		}
+	}
+}
+
+func TestBlockingPutGetAcrossGoroutines(t *testing.T) {
+	q := New[int](2)
+	const n = 1000
+	var got []int
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			v, ok := q.Get()
+			if !ok {
+				return
+			}
+			got = append(got, v)
+		}
+	}()
+	for i := 0; i < n; i++ {
+		if err := q.Put(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q.Close()
+	<-done
+	if len(got) != n {
+		t.Fatalf("received %d items, want %d", len(got), n)
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("order violated at %d: %d", i, v)
+		}
+	}
+}
+
+func TestManyProducersManyConsumers(t *testing.T) {
+	q := New[int](8)
+	const producers, perProducer = 8, 500
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				if err := q.Put(p*perProducer + i); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(p)
+	}
+	var mu sync.Mutex
+	seen := make(map[int]bool)
+	var cwg sync.WaitGroup
+	for c := 0; c < 4; c++ {
+		cwg.Add(1)
+		go func() {
+			defer cwg.Done()
+			for {
+				v, ok := q.Get()
+				if !ok {
+					return
+				}
+				mu.Lock()
+				if seen[v] {
+					t.Errorf("duplicate item %d", v)
+				}
+				seen[v] = true
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	q.Close()
+	cwg.Wait()
+	if len(seen) != producers*perProducer {
+		t.Fatalf("saw %d items, want %d", len(seen), producers*perProducer)
+	}
+}
+
+func TestCloseUnblocksWaiters(t *testing.T) {
+	q := New[int](1)
+	q.Put(1) // fill
+	putErr := make(chan error, 1)
+	go func() {
+		putErr <- q.Put(2) // blocks on full queue
+	}()
+	getOK := make(chan bool, 1)
+	q2 := New[int](1)
+	go func() {
+		_, ok := q2.Get() // blocks on empty queue
+		getOK <- ok
+	}()
+	time.Sleep(10 * time.Millisecond)
+	q.Close()
+	q2.Close()
+	select {
+	case err := <-putErr:
+		if err != ErrClosed {
+			t.Fatalf("blocked Put returned %v, want ErrClosed", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("Put still blocked after Close")
+	}
+	select {
+	case ok := <-getOK:
+		if ok {
+			t.Fatal("Get on closed empty queue returned ok")
+		}
+	case <-time.After(time.Second):
+		t.Fatal("Get still blocked after Close")
+	}
+}
+
+func TestGetDrainsAfterClose(t *testing.T) {
+	q := New[int](4)
+	q.Put(1)
+	q.Put(2)
+	q.Close()
+	if v, ok := q.Get(); !ok || v != 1 {
+		t.Fatal("closed queue did not drain first item")
+	}
+	if v, ok := q.Get(); !ok || v != 2 {
+		t.Fatal("closed queue did not drain second item")
+	}
+	if _, ok := q.Get(); ok {
+		t.Fatal("drained closed queue returned ok")
+	}
+	if err := q.Put(3); err != ErrClosed {
+		t.Fatalf("Put after close = %v", err)
+	}
+	if ok, err := q.TryPut(3); ok || err != ErrClosed {
+		t.Fatalf("TryPut after close = (%v, %v)", ok, err)
+	}
+}
+
+func TestDrain(t *testing.T) {
+	q := New[int](8)
+	for i := 0; i < 5; i++ {
+		q.Put(i)
+	}
+	got := q.Drain()
+	if len(got) != 5 {
+		t.Fatalf("Drain returned %d items", len(got))
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("Drain order: %v", got)
+		}
+	}
+	if q.Len() != 0 {
+		t.Fatal("queue not empty after Drain")
+	}
+}
+
+func TestLenCapClosed(t *testing.T) {
+	q := New[int](4)
+	if q.Cap() != 4 || q.Len() != 0 || q.Closed() {
+		t.Fatal("fresh queue state wrong")
+	}
+	q.Put(1)
+	if q.Len() != 1 {
+		t.Fatal("Len wrong")
+	}
+	q.Close()
+	if !q.Closed() {
+		t.Fatal("Closed() false after Close")
+	}
+	q.Close() // double close is a no-op
+}
+
+func TestZeroCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for zero capacity")
+		}
+	}()
+	New[int](0)
+}
+
+func BenchmarkPutGet(b *testing.B) {
+	q := New[int](1024)
+	for i := 0; i < b.N; i++ {
+		q.Put(i)
+		q.Get()
+	}
+}

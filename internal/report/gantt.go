@@ -1,0 +1,80 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"impress/internal/core"
+)
+
+// Gantt renders the campaign's per-task timeline: one row per task with
+// queue-wait ('.'), exec-setup ('+') and running ('#') segments over the
+// makespan. maxRows caps the output (0 = all tasks); the remainder is
+// summarized. Useful for inspecting how the adaptive coordinator packs
+// the node (the mechanics behind Fig. 5).
+func Gantt(r *core.Result, maxRows int) string {
+	const cols = 84
+	tasks := r.TaskRecords
+	if len(tasks) == 0 {
+		return "no task records\n"
+	}
+	span := float64(r.Makespan)
+	if span <= 0 {
+		return "empty makespan\n"
+	}
+	colOf := func(ns float64) int {
+		c := int(ns / span * float64(cols))
+		if c < 0 {
+			c = 0
+		}
+		if c > cols {
+			c = cols
+		}
+		return c
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Task timeline (%d tasks over %.2f h; . wait, + setup, # run)\n",
+		len(tasks), r.Makespan.Hours())
+	shown := len(tasks)
+	if maxRows > 0 && shown > maxRows {
+		shown = maxRows
+	}
+	for _, t := range tasks[:shown] {
+		row := make([]byte, cols)
+		for i := range row {
+			row[i] = ' '
+		}
+		fill := func(from, to int, ch byte) {
+			if to <= from && to < cols {
+				to = from + 1 // keep sub-column segments visible
+			}
+			for i := from; i < to && i < cols; i++ {
+				row[i] = ch
+			}
+		}
+		sub := float64(t.Submitted)
+		setup := float64(t.SetupAt)
+		run := float64(t.RunAt)
+		end := float64(t.EndedAt)
+		switch {
+		case t.RunAt > 0 && t.EndedAt >= t.RunAt:
+			fill(colOf(sub), colOf(setup), '.')
+			fill(colOf(setup), colOf(run), '+')
+			fill(colOf(run), colOf(end), '#')
+		case t.SetupAt > 0:
+			fill(colOf(sub), colOf(setup), '.')
+			fill(colOf(setup), colOf(end), '+')
+		default:
+			fill(colOf(sub), colOf(end), '.')
+		}
+		label := t.Name
+		if len(label) > 26 {
+			label = label[:26]
+		}
+		fmt.Fprintf(&sb, "%-26s |%s|\n", label, row)
+	}
+	if shown < len(tasks) {
+		fmt.Fprintf(&sb, "... %d more tasks not shown\n", len(tasks)-shown)
+	}
+	return sb.String()
+}

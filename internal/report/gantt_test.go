@@ -1,0 +1,44 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"impress/internal/core"
+)
+
+func TestGantt(t *testing.T) {
+	ctrl, adpt := campaignPair(t)
+	out := Gantt(ctrl, 10)
+	if !strings.Contains(out, "Task timeline") {
+		t.Fatal("missing header")
+	}
+	if !strings.Contains(out, "#") {
+		t.Fatal("no running segments rendered")
+	}
+	if !strings.Contains(out, "more tasks not shown") {
+		t.Fatal("row cap not applied")
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// header + 10 rows + footer
+	if len(lines) != 12 {
+		t.Fatalf("got %d lines", len(lines))
+	}
+	// Unlimited rows shows every task.
+	all := Gantt(adpt, 0)
+	rows := strings.Count(all, "|\n")
+	if rows != adpt.TaskCount {
+		t.Fatalf("unlimited Gantt has %d rows, want %d", rows, adpt.TaskCount)
+	}
+	// In the adaptive campaign some tasks wait in the queue.
+	if !strings.Contains(all, ".") {
+		t.Error("no wait segments in concurrent campaign")
+	}
+}
+
+func TestGanttEmpty(t *testing.T) {
+	out := Gantt(&core.Result{}, 5)
+	if !strings.Contains(out, "no task records") {
+		t.Fatalf("empty result rendering: %q", out)
+	}
+}

@@ -1,0 +1,302 @@
+// Package trace records what the paper's Figures 4 and 5 plot: busy-CPU
+// and busy-GPU time series over a campaign, average utilization
+// percentages, and the per-task phase breakdown (Bootstrap / Exec setup /
+// Running).
+//
+// "Busy" is distinct from "allocated": a task may hold a GPU while only
+// its CPU phase runs (CONT-V's monolithic AlphaFold task does exactly
+// that), and utilization counts only actively used resources — the same
+// accounting the paper's monitoring produced.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"impress/internal/simclock"
+)
+
+// Point is one step of a resource step-function: Value holds from T until
+// the next point's T.
+type Point struct {
+	T     simclock.Time
+	Value int
+}
+
+// Phase names used across the runtime (Fig. 5 legend).
+const (
+	PhaseBootstrap = "bootstrap"
+	PhaseExecSetup = "exec_setup"
+	PhaseRunning   = "running"
+)
+
+// TaskRecord is the per-task timeline entry used for Gantt-style output
+// and the phase breakdown.
+type TaskRecord struct {
+	ID        string
+	Name      string
+	Submitted simclock.Time
+	SetupAt   simclock.Time
+	RunAt     simclock.Time
+	EndedAt   simclock.Time
+	Cores     int
+	GPUs      int
+	State     string
+}
+
+// Wait returns time from submission to the start of exec setup.
+func (t TaskRecord) Wait() time.Duration { return t.SetupAt.Sub(t.Submitted) }
+
+// Setup returns the exec-setup duration.
+func (t TaskRecord) Setup() time.Duration { return t.RunAt.Sub(t.SetupAt) }
+
+// Run returns the running-phase duration.
+func (t TaskRecord) Run() time.Duration { return t.EndedAt.Sub(t.RunAt) }
+
+// Recorder accumulates busy-resource deltas and phase durations. All
+// methods take explicit timestamps so the recorder works under any clock.
+type Recorder struct {
+	totalCores int
+	totalGPUs  int
+
+	cpuBusy int
+	gpuBusy int
+
+	cpuSeries []Point
+	gpuSeries []Point
+
+	phases map[string]time.Duration
+	tasks  []TaskRecord
+
+	start  simclock.Time
+	end    simclock.Time
+	closed bool
+}
+
+// NewRecorder creates a recorder for a resource of the given capacity,
+// with the campaign considered to begin at start.
+func NewRecorder(totalCores, totalGPUs int, start simclock.Time) *Recorder {
+	if totalCores <= 0 || totalGPUs < 0 {
+		panic("trace: invalid capacity")
+	}
+	return &Recorder{
+		totalCores: totalCores,
+		totalGPUs:  totalGPUs,
+		cpuSeries:  []Point{{T: start, Value: 0}},
+		gpuSeries:  []Point{{T: start, Value: 0}},
+		phases:     make(map[string]time.Duration),
+		start:      start,
+		end:        start,
+	}
+}
+
+// TotalCores returns the tracked core capacity.
+func (r *Recorder) TotalCores() int { return r.totalCores }
+
+// TotalGPUs returns the tracked GPU capacity.
+func (r *Recorder) TotalGPUs() int { return r.totalGPUs }
+
+// AddBusy applies a busy-resource delta at time t. Negative deltas mark
+// the end of a busy phase. Going below zero or above capacity panics —
+// both mean the executor's phase bookkeeping broke.
+func (r *Recorder) AddBusy(t simclock.Time, dCores, dGPUs int) {
+	if r.closed {
+		panic("trace: AddBusy after Close")
+	}
+	r.cpuBusy += dCores
+	r.gpuBusy += dGPUs
+	if r.cpuBusy < 0 || r.cpuBusy > r.totalCores {
+		panic(fmt.Sprintf("trace: busy cores %d outside [0,%d]", r.cpuBusy, r.totalCores))
+	}
+	if r.gpuBusy < 0 || r.gpuBusy > r.totalGPUs {
+		panic(fmt.Sprintf("trace: busy GPUs %d outside [0,%d]", r.gpuBusy, r.totalGPUs))
+	}
+	if dCores != 0 {
+		r.appendPoint(&r.cpuSeries, t, r.cpuBusy)
+	}
+	if dGPUs != 0 {
+		r.appendPoint(&r.gpuSeries, t, r.gpuBusy)
+	}
+	if t > r.end {
+		r.end = t
+	}
+}
+
+func (r *Recorder) appendPoint(series *[]Point, t simclock.Time, v int) {
+	s := *series
+	if len(s) > 0 && s[len(s)-1].T == t {
+		s[len(s)-1].Value = v
+		*series = s
+		return
+	}
+	if len(s) > 0 && t < s[len(s)-1].T {
+		panic("trace: timestamps must be monotone")
+	}
+	*series = append(s, Point{T: t, Value: v})
+}
+
+// AddPhase accumulates d into the named phase bucket.
+func (r *Recorder) AddPhase(name string, d time.Duration) {
+	if d < 0 {
+		panic("trace: negative phase duration")
+	}
+	r.phases[name] += d
+}
+
+// AddTask appends a completed task's timeline record.
+func (r *Recorder) AddTask(rec TaskRecord) {
+	r.tasks = append(r.tasks, rec)
+	if rec.EndedAt > r.end {
+		r.end = rec.EndedAt
+	}
+}
+
+// Close marks the campaign end time; utilization averages integrate up to
+// this point.
+func (r *Recorder) Close(t simclock.Time) {
+	if t > r.end {
+		r.end = t
+	}
+	r.closed = true
+}
+
+// Span returns the recorded campaign window.
+func (r *Recorder) Span() (start, end simclock.Time) { return r.start, r.end }
+
+// Makespan returns the campaign duration.
+func (r *Recorder) Makespan() time.Duration { return r.end.Sub(r.start) }
+
+// integrate returns the time integral of a step series over [start, end],
+// in resource-nanoseconds.
+func integrate(series []Point, start, end simclock.Time) float64 {
+	if end <= start || len(series) == 0 {
+		return 0
+	}
+	var acc float64
+	for i := 0; i < len(series); i++ {
+		t0 := series[i].T
+		var t1 simclock.Time
+		if i+1 < len(series) {
+			t1 = series[i+1].T
+		} else {
+			t1 = end
+		}
+		if t0 < start {
+			t0 = start
+		}
+		if t1 > end {
+			t1 = end
+		}
+		if t1 > t0 {
+			acc += float64(series[i].Value) * float64(t1-t0)
+		}
+	}
+	return acc
+}
+
+// CPUUtilization returns average busy-core fraction (0..1) over the
+// campaign window.
+func (r *Recorder) CPUUtilization() float64 {
+	span := float64(r.end - r.start)
+	if span <= 0 {
+		return 0
+	}
+	return integrate(r.cpuSeries, r.start, r.end) / (span * float64(r.totalCores))
+}
+
+// GPUUtilization returns average busy-GPU fraction (0..1).
+func (r *Recorder) GPUUtilization() float64 {
+	if r.totalGPUs == 0 {
+		return 0
+	}
+	span := float64(r.end - r.start)
+	if span <= 0 {
+		return 0
+	}
+	return integrate(r.gpuSeries, r.start, r.end) / (span * float64(r.totalGPUs))
+}
+
+// BusyCoreHours returns the integral of busy cores, in core-hours.
+func (r *Recorder) BusyCoreHours() float64 {
+	return integrate(r.cpuSeries, r.start, r.end) / float64(time.Hour)
+}
+
+// BusyGPUHours returns the integral of busy GPUs, in GPU-hours.
+func (r *Recorder) BusyGPUHours() float64 {
+	return integrate(r.gpuSeries, r.start, r.end) / float64(time.Hour)
+}
+
+// CPUSeries returns a copy of the busy-core step series.
+func (r *Recorder) CPUSeries() []Point { return append([]Point(nil), r.cpuSeries...) }
+
+// GPUSeries returns a copy of the busy-GPU step series.
+func (r *Recorder) GPUSeries() []Point { return append([]Point(nil), r.gpuSeries...) }
+
+// Phases returns a copy of the phase-duration buckets.
+func (r *Recorder) Phases() map[string]time.Duration {
+	out := make(map[string]time.Duration, len(r.phases))
+	for k, v := range r.phases {
+		out[k] = v
+	}
+	return out
+}
+
+// Tasks returns the task records sorted by submission time.
+func (r *Recorder) Tasks() []TaskRecord {
+	out := append([]TaskRecord(nil), r.tasks...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Submitted != out[j].Submitted {
+			return out[i].Submitted < out[j].Submitted
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// AggregateTaskTime returns the sum of all tasks' running-phase durations —
+// the quantity the paper reports as "Time (h)": "the total time taken by
+// all tasks to finish the execution on the compute resources".
+func (r *Recorder) AggregateTaskTime() time.Duration {
+	var total time.Duration
+	for _, t := range r.tasks {
+		total += t.Run()
+	}
+	return total
+}
+
+// Sample returns the series value at time t (the step function's value).
+func Sample(series []Point, t simclock.Time) int {
+	v := 0
+	for _, p := range series {
+		if p.T > t {
+			break
+		}
+		v = p.Value
+	}
+	return v
+}
+
+// Resample converts a step series into n equally spaced samples over
+// [start, end] — the form the figure renderers consume.
+func Resample(series []Point, start, end simclock.Time, n int) []float64 {
+	if n <= 0 {
+		panic("trace: non-positive sample count")
+	}
+	out := make([]float64, n)
+	if end <= start {
+		return out
+	}
+	for i := 0; i < n; i++ {
+		t := start + simclock.Time(float64(end-start)*float64(i)/float64(n-1+boolToInt(n == 1)))
+		out[i] = float64(Sample(series, t))
+	}
+	return out
+}
+
+func boolToInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,166 @@
+// Package workload generates the design problems the paper evaluates on:
+// PDZ-domain receptors in complex with the C-terminus of α-synuclein.
+//
+// Section III-A prepares four named PDZ domains (NHERF3, HTRA1, SCRIB,
+// SHANK1) bound to the last 10 residues of α-synuclein, and an expanded
+// screen of 70 experimentally resolved PDZ–peptide complexes mined from
+// the PDB, bound to the last 4 residues. PDB coordinates are not
+// available offline, so each target is synthesized deterministically: a
+// compact PDZ-sized backbone (protein.Backbone), a hidden Potts landscape
+// over its contact graph (landscape.New), and a native receptor sequence
+// annealed to moderate quality — decent, like a real protein, but with
+// clear design headroom.
+package workload
+
+import (
+	"fmt"
+
+	"impress/internal/landscape"
+	"impress/internal/protein"
+	"impress/internal/xrand"
+)
+
+// The C-terminal residues of human α-synuclein (UniProt P37840, 140 aa,
+// ...EEGYQDYEPEA). The paper uses the last 10 residues for the 4-domain
+// study and the last 4 for the 70-complex screen.
+const (
+	AlphaSynucleinTail10 = "EGYQDYEPEA"
+	AlphaSynucleinTail4  = "EPEA"
+)
+
+// NamedPDZ lists the four PDZ domains of Section III-A with PDZ-typical
+// receptor lengths.
+var NamedPDZ = []struct {
+	Name   string
+	RecLen int
+}{
+	{"NHERF3", 92},
+	{"HTRA1", 98},
+	{"SCRIB", 88},
+	{"SHANK1", 95},
+}
+
+// Target is one design problem: a starting complex plus the hidden
+// landscape that defines ground truth for it.
+type Target struct {
+	// Name identifies the PDZ domain.
+	Name string
+	// Structure is the generation-0 starting complex.
+	Structure *protein.Structure
+	// Truth is the target's hidden fitness landscape.
+	Truth *landscape.Model
+	// Seed is the target's deterministic stream root.
+	Seed uint64
+}
+
+// Config tunes target synthesis.
+type Config struct {
+	// Landscape parameterizes the hidden Potts models.
+	Landscape landscape.Config
+	// NativeAnnealSweeps controls how optimized the native sequence is;
+	// more sweeps leave less design headroom.
+	NativeAnnealSweeps int
+	// NativeTempHi/Lo is the annealing schedule for the native sequence.
+	NativeTempHi, NativeTempLo float64
+}
+
+// DefaultConfig returns the synthesis settings used by all experiments:
+// native sequences land around z ≈ 0.6–1.2, matching the paper's starting
+// metrics (pLDDT ≈ 70, pTM ≈ 0.45).
+func DefaultConfig() Config {
+	return Config{
+		Landscape:          landscape.DefaultConfig(),
+		NativeAnnealSweeps: 3,
+		NativeTempHi:       3.0,
+		NativeTempLo:       1.6,
+	}
+}
+
+// NewTarget synthesizes a single named target deterministically from
+// (seed, name): backbone, landscape, native sequences.
+func NewTarget(seed uint64, name string, recLen int, peptide string, cfg Config) (*Target, error) {
+	if recLen <= 0 {
+		return nil, fmt.Errorf("workload: non-positive receptor length for %s", name)
+	}
+	pep, err := protein.ParseSequence(peptide)
+	if err != nil && peptide != "" {
+		return nil, fmt.Errorf("workload: peptide for %s: %w", name, err)
+	}
+	tseed := xrand.Derive(seed, "target:"+name)
+	bcfg := protein.DefaultBackboneConfig(recLen, len(peptide))
+	recXYZ, pepXYZ := protein.Backbone(tseed, bcfg)
+
+	rng := xrand.New(xrand.Derive(tseed, "native"))
+	st := &protein.Structure{
+		Name:     name,
+		Receptor: protein.Chain{ID: "A", Seq: protein.RandomSequence(rng, recLen)},
+		RecXYZ:   recXYZ,
+		PepXYZ:   pepXYZ,
+	}
+	if len(peptide) > 0 {
+		st.Peptide = protein.Chain{ID: "B", Seq: pep}
+	}
+
+	truth := landscape.New(st, tseed, cfg.Landscape)
+
+	// Anneal the native receptor to a moderate starting quality.
+	native := truth.Anneal(st.FullSequence(), cfg.NativeAnnealSweeps,
+		cfg.NativeTempHi, cfg.NativeTempLo, xrand.Derive(tseed, "anneal"))
+	st.Receptor.Seq = native[:recLen].Clone()
+
+	return &Target{Name: name, Structure: st, Truth: truth, Seed: tseed}, nil
+}
+
+// NamedTargets builds the paper's four PDZ domains in complex with the
+// α-synuclein 10-mer.
+func NamedTargets(seed uint64, cfg Config) ([]*Target, error) {
+	targets := make([]*Target, 0, len(NamedPDZ))
+	for _, d := range NamedPDZ {
+		t, err := NewTarget(seed, d.Name, d.RecLen, AlphaSynucleinTail10, cfg)
+		if err != nil {
+			return nil, err
+		}
+		targets = append(targets, t)
+	}
+	return targets, nil
+}
+
+// MinedScreen builds the expanded workload: n synthetic "PDB-mined"
+// PDZ–peptide complexes bound to the α-synuclein 4-mer, with receptor
+// lengths varied over the PDZ-typical 82–105 range.
+func MinedScreen(seed uint64, n int, cfg Config) ([]*Target, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("workload: non-positive screen size %d", n)
+	}
+	rng := xrand.New(xrand.Derive(seed, "screen"))
+	targets := make([]*Target, 0, n)
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("PDZ-%03d", i+1)
+		recLen := 82 + rng.Intn(24)
+		t, err := NewTarget(seed, name, recLen, AlphaSynucleinTail4, cfg)
+		if err != nil {
+			return nil, err
+		}
+		targets = append(targets, t)
+	}
+	return targets, nil
+}
+
+// ProteaseTarget builds a monomeric protease-like design problem for the
+// paper's future-work protocol: no peptide chain, and the catalytic triad
+// positions are reported so the MPNN stage can hold them fixed.
+func ProteaseTarget(seed uint64, name string, recLen int, cfg Config) (*Target, []int, error) {
+	t, err := NewTarget(seed, name, recLen, "", cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	// A Ser-His-Asp-like triad: three well-separated positions.
+	triad := []int{recLen / 5, recLen / 2, (4 * recLen) / 5}
+	return t, triad, nil
+}
+
+// StartingMetrics returns the true metrics of a target's native complex —
+// the baseline every campaign's net deltas are measured against.
+func (t *Target) StartingMetrics() landscape.Metrics {
+	return t.Truth.TrueMetrics(t.Structure.FullSequence())
+}

@@ -1,0 +1,80 @@
+package impress
+
+import (
+	"io"
+
+	"impress/internal/core"
+	"impress/internal/protein"
+	"impress/internal/report"
+)
+
+// Structure is a designed (or starting) protein model: chains plus
+// backbone coordinates.
+type Structure = protein.Structure
+
+// EventStream carries a campaign's protocol-level events (pipeline
+// starts, concluded cycles, sub-pipeline spawns) over a bounded,
+// thread-safe queue; see Coordinator.Events.
+type EventStream = core.EventStream
+
+// Event is one campaign event.
+type Event = core.Event
+
+// Event kinds published on the stream.
+const (
+	EventPipelineStarted    = core.EventPipelineStarted
+	EventCycleConcluded     = core.EventCycleConcluded
+	EventSubPipelineSpawned = core.EventSubPipelineSpawned
+	EventPipelineFinished   = core.EventPipelineFinished
+	EventCampaignDone       = core.EventCampaignDone
+)
+
+// Coordinator drives one campaign and exposes its event stream; most
+// callers use RunAdaptive/RunControl instead and only reach for this when
+// they want live events.
+type Coordinator = core.Coordinator
+
+// NewCoordinator prepares a campaign without running it, so an event
+// stream can be attached via (*Coordinator).Events before Run.
+func NewCoordinator(targets []*Target, cfg Config) (*Coordinator, error) {
+	return core.NewCoordinator(targets, cfg)
+}
+
+// WriteResultJSON serializes a campaign result; includeTasks adds the
+// per-task timeline records.
+func WriteResultJSON(w io.Writer, r *Result, includeTasks bool) error {
+	return r.WriteJSON(w, includeTasks)
+}
+
+// ReadResultJSON loads a campaign result written by WriteResultJSON.
+func ReadResultJSON(r io.Reader) (*Result, error) {
+	return core.ReadResultJSON(r)
+}
+
+// WritePDB emits a Cα-trace PDB model of a structure; bfactors (optional)
+// fills the B-factor column, conventionally with per-residue pLDDT.
+func WritePDB(w io.Writer, st *Structure, bfactors []float64) error {
+	return protein.WritePDB(w, st, bfactors)
+}
+
+// ParsePDB reads a Cα-trace PDB back into a structure plus its B-factors.
+func ParsePDB(r io.Reader) (*Structure, []float64, error) {
+	return protein.ParsePDB(r)
+}
+
+// TableI renders the paper's Table I for a CONT-V / IM-RP result pair.
+func TableI(ctrl, adpt *Result) string { return report.TableI(ctrl, adpt) }
+
+// Gantt renders the campaign's per-task timeline (maxRows 0 = all).
+func Gantt(r *Result, maxRows int) string { return report.Gantt(r, maxRows) }
+
+// UtilizationFigure renders a Fig. 4 / Fig. 5 style utilization report.
+func UtilizationFigure(title string, r *Result) string {
+	return report.UtilizationFigure(title, r)
+}
+
+// IterationFigure renders a Fig. 2 / Fig. 3 style per-iteration metric
+// report for one or more results.
+func IterationFigure(title string, iterations int, results ...*Result) string {
+	return report.IterationFigure(title, iterations, results...)
+}
