@@ -262,6 +262,65 @@ func BenchmarkAblationConcurrency(b *testing.B) {
 	}
 }
 
+// BenchmarkSweepWorkers measures the campaign engine's wall-clock
+// speedup as the worker pool widens: an 8-seed CONT-V vs IM-RP sweep
+// (16 campaigns) at 1, 2, 4, and 8 workers. Outcomes are bit-identical
+// across worker counts; only ns/op should fall.
+func BenchmarkSweepWorkers(b *testing.B) {
+	campaigns, err := impress.BuildScenario("sweep", impress.ScenarioParams{Seed: 100, Seeds: 8})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			var outs []impress.CampaignOutcome
+			for i := 0; i < b.N; i++ {
+				outs = impress.RunCampaigns(campaigns, workers)
+			}
+			traj := 0
+			for _, o := range outs {
+				if o.Err != nil {
+					b.Fatal(o.Err)
+				}
+				traj += o.Result.TrajectoryCount()
+			}
+			b.ReportMetric(float64(len(outs)), "campaigns")
+			b.ReportMetric(float64(traj), "traj")
+		})
+	}
+}
+
+// BenchmarkSplitPilots compares the single shared pilot against the
+// heterogeneous CPU/GPU pilot pair on the adaptive 4-PDZ campaign.
+func BenchmarkSplitPilots(b *testing.B) {
+	for _, split := range []bool{false, true} {
+		name := "single"
+		if split {
+			name = "split"
+		}
+		b.Run(name, func(b *testing.B) {
+			targets := namedTargets(b, 42)
+			cfg := impress.AdaptiveConfig(42)
+			if split {
+				pilots, err := impress.SplitPilots(cfg.Machine)
+				if err != nil {
+					b.Fatal(err)
+				}
+				cfg.Pilots = pilots
+			}
+			var res *impress.Result
+			for i := 0; i < b.N; i++ {
+				var err error
+				res, err = impress.RunAdaptive(targets, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			reportCampaign(b, res)
+		})
+	}
+}
+
 // BenchmarkScreenScaling measures coordinator throughput as the workload
 // widens (trajectory counts grow superlinearly through sub-pipelines).
 func BenchmarkScreenScaling(b *testing.B) {

@@ -11,6 +11,7 @@
 //
 //	-seed N       campaign seed (default 42)
 //	-screen N     Fig. 3 screen size (default 70, the paper's)
+//	-parallel N   run experiments concurrently (default 1; 0 = GOMAXPROCS)
 //	-out DIR      also write <experiment>.txt and <experiment>.csv files
 package main
 
@@ -27,6 +28,7 @@ import (
 func main() {
 	seed := flag.Uint64("seed", 42, "campaign seed")
 	screen := flag.Int("screen", 70, "Fig. 3 screen size")
+	parallel := flag.Int("parallel", 1, "experiments to run concurrently (0 = GOMAXPROCS)")
 	outDir := flag.String("out", "", "directory for .txt/.csv outputs (optional)")
 	flag.Parse()
 
@@ -51,28 +53,35 @@ func main() {
 		}
 	}
 
-	failed := false
+	var selectedExps []impress.Experiment
 	for _, exp := range experiments {
 		if !want["all"] && !want[exp.ID] {
 			continue
 		}
-		run := exp.Run
 		if exp.ID == "fig3" && *screen != 70 {
 			n := *screen
-			run = func(seed uint64) (*impress.ExperimentOutput, error) {
+			exp.Run = func(seed uint64) (*impress.ExperimentOutput, error) {
 				return impress.Fig3Experiment(seed, n)
 			}
 		}
+		selectedExps = append(selectedExps, exp)
+	}
+
+	// Experiments run concurrently on the library's bounded worker pool;
+	// buffered outputs print in selection order.
+	outs, errs := impress.RunExperiments(selectedExps, *seed, *parallel)
+
+	failed := false
+	for i, exp := range selectedExps {
 		fmt.Printf("### %s — %s (seed %d)\n\n", exp.ID, exp.Title, *seed)
-		out, err := run(*seed)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "%s failed: %v\n", exp.ID, err)
+		if errs[i] != nil {
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", exp.ID, errs[i])
 			failed = true
 			continue
 		}
-		fmt.Println(out.Text)
+		fmt.Println(outs[i].Text)
 		if *outDir != "" {
-			if err := writeOutputs(*outDir, out); err != nil {
+			if err := writeOutputs(*outDir, outs[i]); err != nil {
 				fmt.Fprintf(os.Stderr, "writing %s outputs: %v\n", exp.ID, err)
 				failed = true
 			}

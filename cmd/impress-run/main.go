@@ -1,6 +1,6 @@
-// Command impress-run executes a single protein-design campaign — the
-// adaptive IM-RP protocol or the CONT-V baseline — over the paper's PDZ
-// workloads and prints the outcome.
+// Command impress-run executes protein-design campaigns through the
+// campaign engine — the adaptive IM-RP protocol or the CONT-V baseline —
+// over the paper's PDZ workloads and prints the outcome.
 //
 // Examples:
 //
@@ -8,6 +8,9 @@
 //	impress-run -protocol contv -seed 7
 //	impress-run -protocol imrp -targets screen -screen-size 24 -csv iters.csv
 //	impress-run -protocol imrp -cycles 6 -sequences 16 -max-concurrent 2
+//	impress-run -protocol imrp -pilots split
+//	impress-run -scenario sweep -seeds 12 -parallel 4
+//	impress-run -scenario stress -seeds 4 -screen-size 16 -parallel 8
 package main
 
 import (
@@ -21,8 +24,13 @@ import (
 
 func main() {
 	protocol := flag.String("protocol", "imrp", "protocol: imrp (adaptive) or contv (control)")
+	scenario := flag.String("scenario", "", "run a registered scenario instead of a single campaign (pair, sweep, screen, stress); -list-scenarios shows all")
+	listScenarios := flag.Bool("list-scenarios", false, "list registered scenarios and exit")
+	parallel := flag.Int("parallel", 1, "campaign engine workers (0 = GOMAXPROCS)")
+	pilots := flag.String("pilots", "single", "pilot placement: single (one shared pilot) or split (CPU pilot + GPU pilot)")
 	targetsKind := flag.String("targets", "named", "workload: named (4 PDZ domains) or screen")
-	screenSize := flag.Int("screen-size", 70, "screen workload size")
+	screenSize := flag.Int("screen-size", 70, "screen workload size (also the scenario Targets parameter)")
+	seeds := flag.Int("seeds", 8, "scenario sweep width (multi-seed scenarios)")
 	seed := flag.Uint64("seed", 42, "campaign seed")
 	cycles := flag.Int("cycles", 0, "override design cycles per pipeline (0 = protocol default)")
 	sequences := flag.Int("sequences", 0, "override MPNN sequences per cycle (0 = default)")
@@ -38,6 +46,54 @@ func main() {
 	verbose := flag.Bool("v", false, "also print per-trajectory details")
 	flag.Parse()
 
+	if *listScenarios {
+		for _, s := range impress.Scenarios() {
+			fmt.Printf("%-10s %s\n", s.Name, s.Description)
+		}
+		return
+	}
+
+	split := false
+	switch *pilots {
+	case "single":
+	case "split":
+		split = true
+	default:
+		fmt.Fprintf(os.Stderr, "unknown pilot placement %q (want single or split)\n", *pilots)
+		os.Exit(2)
+	}
+
+	if *scenario != "" {
+		// Scenarios are self-contained campaign declarations: the
+		// single-campaign tuning and output flags don't apply. Reject
+		// explicitly set ones instead of silently dropping them.
+		compat := map[string]bool{
+			"scenario": true, "seed": true, "seeds": true,
+			"screen-size": true, "pilots": true, "parallel": true,
+		}
+		var ignored []string
+		flag.Visit(func(f *flag.Flag) {
+			if !compat[f.Name] {
+				ignored = append(ignored, "-"+f.Name)
+			}
+		})
+		if len(ignored) > 0 {
+			fmt.Fprintf(os.Stderr, "flags %v do not apply to -scenario runs\n", ignored)
+			os.Exit(2)
+		}
+		runScenario(*scenario, impress.ScenarioParams{
+			Seed:        *seed,
+			Seeds:       *seeds,
+			Targets:     *screenSize,
+			SplitPilots: split,
+		}, *parallel)
+		return
+	}
+
+	// The protocol config fully encodes the execution policy here
+	// (ControlConfig is already sequential and non-adaptive), and flags
+	// may override any part of it — so the campaign is submitted without
+	// Control, which would re-force the control policy over the overrides.
 	var cfg impress.Config
 	switch *protocol {
 	case "imrp":
@@ -47,6 +103,14 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "unknown protocol %q (want imrp or contv)\n", *protocol)
 		os.Exit(2)
+	}
+	if split {
+		ps, err := impress.SplitPilots(cfg.Machine)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		cfg.Pilots = ps
 	}
 	if *cycles > 0 {
 		cfg.Pipeline.Cycles = *cycles
@@ -85,20 +149,21 @@ func main() {
 		os.Exit(1)
 	}
 
-	coord, err := impress.NewCoordinator(targets, cfg)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+	c := impress.Campaign{
+		Name:    fmt.Sprintf("%s/seed%d", *protocol, *seed),
+		Seed:    *seed,
+		Targets: targets,
+		Config:  cfg,
 	}
-	var stream *impress.EventStream
 	if *events {
-		stream = coord.Events(16384)
+		c.EventCapacity = 16384
 	}
-	res, err := coord.Run()
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
+	out := impress.RunCampaigns([]impress.Campaign{c}, 1)[0]
+	if out.Err != nil {
+		fmt.Fprintln(os.Stderr, out.Err)
 		os.Exit(1)
 	}
+	res := out.Result
 	fmt.Println(impress.Summary(res))
 	fmt.Println()
 	for it := 1; it <= res.Iterations(); it++ {
@@ -123,12 +188,12 @@ func main() {
 				tr.Metrics.PLDDT, tr.Metrics.PTM, tr.Metrics.IPAE, kind, status)
 		}
 	}
-	if stream != nil {
+	if out.Events != nil {
 		fmt.Println("\nevent log:")
-		for _, e := range stream.Drain() {
+		for _, e := range out.Events.Drain() {
 			fmt.Println(" ", e)
 		}
-		if n := stream.Dropped(); n > 0 {
+		if n := out.Events.Dropped(); n > 0 {
 			fmt.Printf("  (%d events dropped)\n", n)
 		}
 	}
@@ -182,5 +247,31 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("\nwrote %s\n", *csvPath)
+	}
+}
+
+// runScenario builds a registered scenario and executes every campaign
+// on the engine's worker pool, printing one summary per outcome.
+func runScenario(name string, p impress.ScenarioParams, workers int) {
+	campaigns, err := impress.BuildScenario(name, p)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	fmt.Printf("scenario %s: %d campaigns on %d workers\n\n",
+		name, len(campaigns), impress.NewCampaignEngine(workers).WorkersFor(len(campaigns)))
+	outs := impress.RunCampaigns(campaigns, workers)
+	failed := 0
+	for _, o := range outs {
+		if o.Err != nil {
+			failed++
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", o.Name, o.Err)
+			continue
+		}
+		fmt.Printf("%-20s %s\n\n", o.Name, impress.Summary(o.Result))
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "%d/%d campaigns failed\n", failed, len(outs))
+		os.Exit(1)
 	}
 }

@@ -2,8 +2,14 @@
 // seeds and reports the distribution of outcomes — the statistical
 // robustness check behind the single-seed numbers of Table I.
 //
+// Seeds run concurrently on the campaign engine's worker pool; campaigns
+// are hermetically seeded, so results are identical at any -parallel
+// setting. A failing seed is reported and skipped — completed rows are
+// kept and still summarized and written to CSV.
+//
 //	impress-sweep -seeds 10
-//	impress-sweep -seeds 20 -csv sweep.csv
+//	impress-sweep -seeds 20 -parallel 8 -csv sweep.csv
+//	impress-sweep -seeds 10 -pilots split
 package main
 
 import (
@@ -23,32 +29,64 @@ type row struct {
 func main() {
 	nSeeds := flag.Int("seeds", 8, "number of seeds to sweep")
 	firstSeed := flag.Uint64("first-seed", 100, "first seed of the sweep")
+	parallel := flag.Int("parallel", 0, "campaign engine workers (0 = GOMAXPROCS)")
+	pilots := flag.String("pilots", "single", "pilot placement: single or split (CPU pilot + GPU pilot)")
 	csvPath := flag.String("csv", "", "write per-seed results as CSV")
 	flag.Parse()
 
-	var rows []row
+	split := false
+	switch *pilots {
+	case "single":
+	case "split":
+		split = true
+	default:
+		fmt.Fprintf(os.Stderr, "unknown pilot placement %q (want single or split)\n", *pilots)
+		os.Exit(2)
+	}
+
+	// Build the sweep as campaign data: a CONT-V/IM-RP pair per seed.
+	var campaigns []impress.Campaign
+	var buildErrs int
+	seeds := make([]uint64, 0, *nSeeds)
 	for i := 0; i < *nSeeds; i++ {
 		seed := *firstSeed + uint64(i)
-		targets, err := impress.NamedPDZTargets(seed)
+		pair, err := impress.BuildScenario("pair", impress.ScenarioParams{Seed: seed, SplitPilots: split})
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fmt.Fprintf(os.Stderr, "seed %d: %v\n", seed, err)
+			buildErrs++
+			continue
 		}
-		ctrl, err := impress.RunControl(targets, impress.ControlConfig(seed))
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+		seeds = append(seeds, seed)
+		campaigns = append(campaigns, pair...)
+	}
+
+	outs := impress.RunCampaigns(campaigns, *parallel)
+
+	// Collect per-seed rows, keeping every completed pair even when other
+	// seeds failed.
+	var rows []row
+	failures := buildErrs
+	for i, seed := range seeds {
+		ctrl, adpt := outs[2*i], outs[2*i+1]
+		if ctrl.Err != nil || adpt.Err != nil {
+			failures++
+			for _, o := range []impress.CampaignOutcome{ctrl, adpt} {
+				if o.Err != nil {
+					fmt.Fprintf(os.Stderr, "seed %d: %v\n", seed, o.Err)
+				}
+			}
+			continue
 		}
-		adpt, err := impress.RunAdaptive(targets, impress.AdaptiveConfig(seed))
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		rows = append(rows, row{seed, ctrl, adpt})
+		r := row{seed, ctrl.Result, adpt.Result}
+		rows = append(rows, r)
 		fmt.Printf("seed %d: Δ pLDDT CONT-V %+.2f vs IM-RP %+.2f; GPU %.1f%% vs %.1f%%; traj %d vs %d; sub-PL %d\n",
-			seed, ctrl.NetDelta(impress.PLDDT), adpt.NetDelta(impress.PLDDT),
-			ctrl.GPUUtilization*100, adpt.GPUUtilization*100,
-			ctrl.TrajectoryCount(), adpt.TrajectoryCount(), adpt.SubPipelines)
+			seed, r.ctrl.NetDelta(impress.PLDDT), r.adpt.NetDelta(impress.PLDDT),
+			r.ctrl.GPUUtilization*100, r.adpt.GPUUtilization*100,
+			r.ctrl.TrajectoryCount(), r.adpt.TrajectoryCount(), r.adpt.SubPipelines)
+	}
+	if len(rows) == 0 {
+		fmt.Fprintln(os.Stderr, "no seeds completed")
+		os.Exit(1)
 	}
 
 	collect := func(f func(r row) float64) []float64 {
@@ -102,5 +140,10 @@ func main() {
 			}
 		}
 		fmt.Printf("\nwrote %s\n", *csvPath)
+	}
+
+	if failures > 0 {
+		fmt.Fprintf(os.Stderr, "\n%d seed(s) failed; %d completed rows kept\n", failures, len(rows))
+		os.Exit(1)
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"io"
 	"sort"
 
+	"impress/internal/campaign"
 	"impress/internal/core"
 	"impress/internal/report"
 )
@@ -95,21 +96,55 @@ func Experiments() []Experiment {
 	}
 }
 
-// pairCampaign runs both protocols on the paper's 4-PDZ workload.
+// RunExperiments executes experiments on a bounded worker pool and
+// returns their outputs (and errors) in input order. Experiments are
+// independent campaign batches, so like campaigns they produce identical
+// outputs at any worker count; the campaign engine underneath divides
+// sampler parallelism across everything running in the process. A
+// panicking experiment fails its own row without killing the batch.
+// workers <= 0 uses GOMAXPROCS.
+func RunExperiments(exps []Experiment, seed uint64, workers int) ([]*ExperimentOutput, []error) {
+	outs := make([]*ExperimentOutput, len(exps))
+	errs := make([]error, len(exps))
+	campaign.RunIndexed(len(exps), workers, func(i int) {
+		outs[i], errs[i] = runExperiment(exps[i], seed)
+	})
+	return outs, errs
+}
+
+func runExperiment(exp Experiment, seed uint64) (out *ExperimentOutput, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			out, err = nil, fmt.Errorf("experiment %s panicked: %v", exp.ID, r)
+		}
+	}()
+	return exp.Run(seed)
+}
+
+// pairCampaign runs both protocols on the paper's 4-PDZ workload through
+// the campaign engine, one worker per protocol. Campaigns are hermetic,
+// so the concurrent pair is bit-identical to running the two in sequence.
 func pairCampaign(seed uint64) (ctrl, adpt *Result, err error) {
 	targets, err := NamedPDZTargets(seed)
 	if err != nil {
 		return nil, nil, err
 	}
-	ctrl, err = RunControl(targets, ControlConfig(seed))
-	if err != nil {
-		return nil, nil, err
+	outs := campaign.Run([]campaign.Campaign{
+		{Name: fmt.Sprintf("contv/seed%d", seed), Seed: seed, Targets: targets, Config: ControlConfig(seed), Control: true},
+		{Name: fmt.Sprintf("imrp/seed%d", seed), Seed: seed, Targets: targets, Config: AdaptiveConfig(seed)},
+	}, 2)
+	for _, o := range outs {
+		if o.Err != nil {
+			return nil, nil, o.Err
+		}
 	}
-	adpt, err = RunAdaptive(targets, AdaptiveConfig(seed))
-	if err != nil {
-		return nil, nil, err
-	}
-	return ctrl, adpt, nil
+	return outs[0].Result, outs[1].Result, nil
+}
+
+// runSingle executes one campaign through the engine.
+func runSingle(c campaign.Campaign) (*Result, error) {
+	out := campaign.Run([]campaign.Campaign{c}, 1)[0]
+	return out.Result, out.Err
 }
 
 // TableIExperiment regenerates Table I: CONT-V vs IM-RP on four PDZ
@@ -163,7 +198,9 @@ func Fig3Experiment(seed uint64, n int) (*ExperimentOutput, error) {
 	}
 	cfg := AdaptiveConfig(seed)
 	cfg.Pipeline.FinalCycleAdaptive = false
-	res, err := RunAdaptive(screen, cfg)
+	res, err := runSingle(campaign.Campaign{
+		Name: fmt.Sprintf("fig3/screen%d/seed%d", n, seed), Seed: seed, Targets: screen, Config: cfg,
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -185,7 +222,10 @@ func Fig4Experiment(seed uint64) (*ExperimentOutput, error) {
 	if err != nil {
 		return nil, err
 	}
-	res, err := RunControl(targets, ControlConfig(seed))
+	res, err := runSingle(campaign.Campaign{
+		Name: fmt.Sprintf("fig4/seed%d", seed), Seed: seed, Targets: targets,
+		Config: ControlConfig(seed), Control: true,
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -204,7 +244,10 @@ func Fig5Experiment(seed uint64) (*ExperimentOutput, error) {
 	if err != nil {
 		return nil, err
 	}
-	res, err := RunAdaptive(targets, AdaptiveConfig(seed))
+	res, err := runSingle(campaign.Campaign{
+		Name: fmt.Sprintf("fig5/seed%d", seed), Seed: seed, Targets: targets,
+		Config: AdaptiveConfig(seed),
+	})
 	if err != nil {
 		return nil, err
 	}

@@ -19,6 +19,7 @@
 package impress
 
 import (
+	"impress/internal/campaign"
 	"impress/internal/cluster"
 	"impress/internal/core"
 	"impress/internal/costmodel"
@@ -64,6 +65,26 @@ type (
 	MachineSpec = cluster.Spec
 	// SelectionPolicy orders candidate sequences for evaluation.
 	SelectionPolicy = ga.SelectionPolicy
+	// PilotSpec declares one pilot partition of a multi-pilot campaign.
+	PilotSpec = core.PilotSpec
+	// ResourceClass buckets tasks by hardware (CPU vs GPU) for placement.
+	ResourceClass = core.ResourceClass
+	// Campaign is one unit of work for the campaign engine.
+	Campaign = campaign.Campaign
+	// CampaignOutcome is one campaign's result or failure.
+	CampaignOutcome = campaign.Outcome
+	// CampaignEngine executes campaigns on a bounded worker pool.
+	CampaignEngine = campaign.Engine
+	// Scenario declares a family of campaigns as data.
+	Scenario = campaign.Scenario
+	// ScenarioParams parameterizes scenario construction.
+	ScenarioParams = campaign.Params
+)
+
+// Resource classes for PilotSpec.Serves.
+const (
+	ClassCPU = core.ClassCPU
+	ClassGPU = core.ClassGPU
 )
 
 // Selection policies for PipelineParams.Selection.
@@ -139,6 +160,14 @@ func IMRPParams() PipelineParams { return pipeline.IMRPParams() }
 // ControlParams returns the CONT-V per-pipeline protocol parameters.
 func ControlParams() PipelineParams { return pipeline.ControlParams() }
 
+// SplitPilots partitions a machine into the heterogeneous CPU/GPU pilot
+// pair (the paper's ParaFold-style placement): CPU-class stages run on a
+// dedicated CPU pilot while sampling and inference get their own GPU
+// pilot. Assign the result to Config.Pilots.
+func SplitPilots(machine MachineSpec) ([]PilotSpec, error) {
+	return core.SplitPilots(machine)
+}
+
 // RunAdaptive executes an IM-RP campaign over targets.
 func RunAdaptive(targets []*Target, cfg Config) (*Result, error) {
 	return core.RunAdaptive(targets, cfg)
@@ -148,6 +177,33 @@ func RunAdaptive(targets []*Target, cfg Config) (*Result, error) {
 func RunControl(targets []*Target, cfg Config) (*Result, error) {
 	return core.RunControl(targets, cfg)
 }
+
+// NewCampaignEngine creates a campaign engine with the given concurrency;
+// workers <= 0 uses GOMAXPROCS.
+func NewCampaignEngine(workers int) *CampaignEngine {
+	return campaign.NewEngine(workers)
+}
+
+// RunCampaigns executes campaigns on a bounded worker pool and returns
+// outcomes in input order. Campaigns are hermetically seeded, so outcomes
+// are bit-identical regardless of worker count; per-campaign failures
+// never discard the rest of a batch.
+func RunCampaigns(campaigns []Campaign, workers int) []CampaignOutcome {
+	return campaign.Run(campaigns, workers)
+}
+
+// Scenarios returns the registered campaign scenarios (sorted by name):
+// the declarative workload catalogue, including the paper's pair, sweep,
+// screen, and stress workloads.
+func Scenarios() []Scenario { return campaign.Scenarios() }
+
+// BuildScenario constructs the campaigns of a named scenario.
+func BuildScenario(name string, p ScenarioParams) ([]Campaign, error) {
+	return campaign.Build(name, p)
+}
+
+// RegisterScenario adds a new workload family to the scenario registry.
+func RegisterScenario(s Scenario) error { return campaign.Register(s) }
 
 // Summary renders a one-paragraph textual summary of a campaign result.
 func Summary(r *Result) string { return report.Summary(r) }

@@ -1,0 +1,217 @@
+package campaign
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"impress/internal/core"
+	"impress/internal/workload"
+)
+
+// Params parameterizes scenario construction. The zero value is usable:
+// scenarios substitute their documented defaults for zero counts (seed 0
+// is a valid seed and is used as given).
+type Params struct {
+	// Seed is the base campaign seed.
+	Seed uint64
+	// Seeds is the sweep width for multi-seed scenarios (default 8).
+	Seeds int
+	// Targets is the screen width for screen scenarios (default 70).
+	Targets int
+	// SplitPilots places every campaign on the heterogeneous CPU/GPU
+	// pilot pair instead of the single shared pilot.
+	SplitPilots bool
+}
+
+func (p Params) withDefaults() Params {
+	if p.Seeds <= 0 {
+		p.Seeds = 8
+	}
+	if p.Targets <= 0 {
+		p.Targets = 70
+	}
+	return p
+}
+
+// Scenario declares a family of campaigns as data: a name, a
+// description, and a builder from Params to concrete Campaign values.
+// New workloads register a Scenario instead of writing a new main().
+type Scenario struct {
+	Name        string
+	Description string
+	Build       func(p Params) ([]Campaign, error)
+}
+
+var registry = struct {
+	mu     sync.Mutex
+	byName map[string]Scenario
+}{byName: make(map[string]Scenario)}
+
+// Register adds a scenario to the global registry. Re-registering a name
+// is an error so two workloads cannot silently shadow each other.
+func Register(s Scenario) error {
+	if s.Name == "" || s.Build == nil {
+		return fmt.Errorf("campaign: scenario needs a name and a builder")
+	}
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	if _, dup := registry.byName[s.Name]; dup {
+		return fmt.Errorf("campaign: scenario %q already registered", s.Name)
+	}
+	registry.byName[s.Name] = s
+	return nil
+}
+
+// Lookup returns a registered scenario by name.
+func Lookup(name string) (Scenario, bool) {
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	s, ok := registry.byName[name]
+	return s, ok
+}
+
+// Names returns the registered scenario names, sorted.
+func Names() []string {
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	names := make([]string, 0, len(registry.byName))
+	for n := range registry.byName {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Scenarios returns all registered scenarios, sorted by name.
+func Scenarios() []Scenario {
+	names := Names()
+	out := make([]Scenario, 0, len(names))
+	for _, n := range names {
+		s, _ := Lookup(n)
+		out = append(out, s)
+	}
+	return out
+}
+
+// Build constructs the campaigns of a named scenario.
+func Build(name string, p Params) ([]Campaign, error) {
+	s, ok := Lookup(name)
+	if !ok {
+		return nil, fmt.Errorf("campaign: unknown scenario %q (known: %v)", name, Names())
+	}
+	return s.Build(p)
+}
+
+// applyPilots switches a config to the split CPU/GPU pilot pair when
+// requested.
+func applyPilots(cfg core.Config, split bool) (core.Config, error) {
+	if !split {
+		return cfg, nil
+	}
+	pilots, err := core.SplitPilots(cfg.Machine)
+	if err != nil {
+		return cfg, err
+	}
+	cfg.Pilots = pilots
+	return cfg, nil
+}
+
+// pairAt builds the paper's CONT-V + IM-RP pair over the four named PDZ
+// domains at one seed.
+func pairAt(seed uint64, split bool) ([]Campaign, error) {
+	targets, err := workload.NamedTargets(seed, workload.DefaultConfig())
+	if err != nil {
+		return nil, err
+	}
+	ctrlCfg, err := applyPilots(core.ControlConfig(seed), split)
+	if err != nil {
+		return nil, err
+	}
+	adptCfg, err := applyPilots(core.AdaptiveConfig(seed), split)
+	if err != nil {
+		return nil, err
+	}
+	return []Campaign{
+		{Name: fmt.Sprintf("contv/seed%d", seed), Seed: seed, Targets: targets, Config: ctrlCfg, Control: true},
+		{Name: fmt.Sprintf("imrp/seed%d", seed), Seed: seed, Targets: targets, Config: adptCfg},
+	}, nil
+}
+
+// screenAt builds one IM-RP campaign over n PDB-mined complexes.
+func screenAt(seed uint64, n int, split bool) (Campaign, error) {
+	targets, err := workload.MinedScreen(seed, n, workload.DefaultConfig())
+	if err != nil {
+		return Campaign{}, err
+	}
+	cfg, err := applyPilots(core.AdaptiveConfig(seed), split)
+	if err != nil {
+		return Campaign{}, err
+	}
+	return Campaign{
+		Name:    fmt.Sprintf("screen%d/seed%d", n, seed),
+		Seed:    seed,
+		Targets: targets,
+		Config:  cfg,
+	}, nil
+}
+
+func init() {
+	must := func(err error) {
+		if err != nil {
+			panic(err)
+		}
+	}
+	must(Register(Scenario{
+		Name:        "pair",
+		Description: "CONT-V vs IM-RP over the paper's four PDZ domains (Table I workload)",
+		Build: func(p Params) ([]Campaign, error) {
+			p = p.withDefaults()
+			return pairAt(p.Seed, p.SplitPilots)
+		},
+	}))
+	must(Register(Scenario{
+		Name:        "sweep",
+		Description: "the pair comparison replicated across Seeds consecutive seeds",
+		Build: func(p Params) ([]Campaign, error) {
+			p = p.withDefaults()
+			var all []Campaign
+			for i := 0; i < p.Seeds; i++ {
+				pair, err := pairAt(p.Seed+uint64(i), p.SplitPilots)
+				if err != nil {
+					return nil, err
+				}
+				all = append(all, pair...)
+			}
+			return all, nil
+		},
+	}))
+	must(Register(Scenario{
+		Name:        "screen",
+		Description: "one IM-RP campaign over Targets PDB-mined PDZ-peptide complexes (Fig. 3 workload)",
+		Build: func(p Params) ([]Campaign, error) {
+			p = p.withDefaults()
+			c, err := screenAt(p.Seed, p.Targets, p.SplitPilots)
+			if err != nil {
+				return nil, err
+			}
+			return []Campaign{c}, nil
+		},
+	}))
+	must(Register(Scenario{
+		Name:        "stress",
+		Description: "multi-target stress test: Seeds independent screen campaigns of Targets complexes each",
+		Build: func(p Params) ([]Campaign, error) {
+			p = p.withDefaults()
+			var all []Campaign
+			for i := 0; i < p.Seeds; i++ {
+				c, err := screenAt(p.Seed+uint64(i), p.Targets, p.SplitPilots)
+				if err != nil {
+					return nil, err
+				}
+				all = append(all, c)
+			}
+			return all, nil
+		},
+	}))
+}

@@ -27,6 +27,54 @@ func AmarelNode() Spec {
 	return Spec{Name: "amarel", Nodes: 1, CoresPerNode: 28, GPUsPerNode: 4, MemGBPerNode: 128}
 }
 
+// SplitCPUGPU carves a spec into two partitions, ParaFold-style: a GPU
+// partition holding every GPU plus gpuCores host cores and gpuMemGB
+// memory per node, and a CPU partition holding the remainder with no
+// GPUs. Running the CPU-bound stages (MSA, ranking, FASTA, metrics) on
+// the CPU partition while a dedicated GPU pilot serves inference is the
+// multi-pilot placement the IMPRESS middleware targets.
+func SplitCPUGPU(s Spec, gpuCores, gpuMemGB int) (cpu, gpu Spec, err error) {
+	if err := s.Validate(); err != nil {
+		return Spec{}, Spec{}, err
+	}
+	if s.GPUsPerNode == 0 {
+		return Spec{}, Spec{}, fmt.Errorf("cluster: spec %q has no GPUs to split out", s.Name)
+	}
+	if gpuCores <= 0 || gpuCores >= s.CoresPerNode {
+		return Spec{}, Spec{}, fmt.Errorf("cluster: GPU partition cores %d must be in (0, %d)", gpuCores, s.CoresPerNode)
+	}
+	if gpuMemGB <= 0 || gpuMemGB >= s.MemGBPerNode {
+		return Spec{}, Spec{}, fmt.Errorf("cluster: GPU partition memory %d must be in (0, %d)", gpuMemGB, s.MemGBPerNode)
+	}
+	cpu = Spec{
+		Name:         s.Name + "-cpu",
+		Nodes:        s.Nodes,
+		CoresPerNode: s.CoresPerNode - gpuCores,
+		GPUsPerNode:  0,
+		MemGBPerNode: s.MemGBPerNode - gpuMemGB,
+	}
+	gpu = Spec{
+		Name:         s.Name + "-gpu",
+		Nodes:        s.Nodes,
+		CoresPerNode: gpuCores,
+		GPUsPerNode:  s.GPUsPerNode,
+		MemGBPerNode: gpuMemGB,
+	}
+	return cpu, gpu, nil
+}
+
+// AmarelSplit returns the paper's evaluation node carved into a CPU
+// partition (20 cores, 96 GB) and a GPU partition (8 cores, 4 GPUs,
+// 32 GB): two host cores per GPU, enough for four concurrent inference
+// or MPNN tasks.
+func AmarelSplit() (cpu, gpu Spec) {
+	cpu, gpu, err := SplitCPUGPU(AmarelNode(), 8, 32)
+	if err != nil {
+		panic(err) // static split of a static spec cannot fail
+	}
+	return cpu, gpu
+}
+
 // TotalCores returns the aggregate core count.
 func (s Spec) TotalCores() int { return s.Nodes * s.CoresPerNode }
 

@@ -83,9 +83,14 @@ func DefaultSubPolicy() SubPolicy {
 type Config struct {
 	// Pipeline is the per-pipeline protocol configuration.
 	Pipeline pipeline.Params
-	// Machine is the resource to run on.
+	// Machine is the resource to run on when Pilots is empty (the classic
+	// single-pilot campaign).
 	Machine cluster.Spec
-	// Walltime bounds the pilot (0 = unbounded).
+	// Pilots, when set, runs the campaign over a set of heterogeneous
+	// pilots with task routing by resource class — e.g. SplitPilots'
+	// CPU/GPU partition pair. Machine is ignored when Pilots is non-empty.
+	Pilots []PilotSpec
+	// Walltime bounds each pilot (0 = unbounded).
 	Walltime time.Duration
 	// Sub is the sub-pipeline generation policy.
 	Sub SubPolicy
@@ -135,7 +140,8 @@ type Coordinator struct {
 
 	engine *simclock.Engine
 	rec    *trace.Recorder
-	pilot  *pilot.Pilot
+	specs  []PilotSpec
+	pilots []*pilot.Pilot
 	tm     *pilot.TaskManager
 
 	pipelines    map[string]*pipeline.Pipeline
@@ -165,7 +171,7 @@ func NewCoordinator(targets []*workload.Target, cfg Config) (*Coordinator, error
 	if err := cfg.Pipeline.Validate(); err != nil {
 		return nil, err
 	}
-	if err := cfg.Machine.Validate(); err != nil {
+	if err := validatePilots(cfg.pilotSpecs()); err != nil {
 		return nil, err
 	}
 	if cfg.Sub.Enabled {
@@ -200,20 +206,28 @@ func (c *Coordinator) Run() (*Result, error) {
 		return nil, fmt.Errorf("core: Run called twice")
 	}
 	c.engine = simclock.New()
-	c.rec = trace.NewRecorder(c.cfg.Machine.TotalCores(), c.cfg.Machine.TotalGPUs(), 0)
-	pm := pilot.NewPilotManager(c.engine, c.rec)
-	p, err := pm.Submit(pilot.PilotDescription{
-		Machine:  c.cfg.Machine,
-		Cost:     c.cfg.Pipeline.Cost,
-		Backfill: c.cfg.Backfill,
-		Walltime: c.cfg.Walltime,
-		Seed:     xrand.Derive(c.cfg.Seed, "pilot"),
-	})
-	if err != nil {
-		return nil, err
+	c.specs = c.cfg.pilotSpecs()
+	totalCores, totalGPUs := 0, 0
+	for _, ps := range c.specs {
+		totalCores += ps.Machine.TotalCores()
+		totalGPUs += ps.Machine.TotalGPUs()
 	}
-	c.pilot = p
-	c.tm = pilot.NewTaskManager(c.engine, p)
+	c.rec = trace.NewRecorder(totalCores, totalGPUs, 0)
+	pm := pilot.NewPilotManager(c.engine, c.rec)
+	for _, ps := range c.specs {
+		p, err := pm.Submit(pilot.PilotDescription{
+			Machine:  ps.Machine,
+			Cost:     c.cfg.Pipeline.Cost,
+			Backfill: c.cfg.Backfill,
+			Walltime: c.cfg.Walltime,
+			Seed:     xrand.Derive(c.cfg.Seed, ps.Name),
+		})
+		if err != nil {
+			return nil, err
+		}
+		c.pilots = append(c.pilots, p)
+	}
+	c.tm = pilot.NewTaskManager(c.engine, c.pilots...)
 	c.tm.OnState(c.onTaskState)
 
 	// Construct the base pipelines — one per starting structure, as in
@@ -292,6 +306,7 @@ func (c *Coordinator) onTaskState(t *pilot.Task, s pilot.TaskState) {
 // decision step on concluded cycles.
 func (c *Coordinator) apply(pl *pipeline.Pipeline, out pipeline.Outcome) {
 	for _, step := range out.Steps {
+		c.route(&step.Desc)
 		if _, err := c.tm.Submit(step.Desc); err != nil {
 			c.errs = append(c.errs, err)
 		}
@@ -405,15 +420,22 @@ func RunAdaptive(targets []*workload.Target, cfg Config) (*Result, error) {
 	return res, nil
 }
 
+// ForControl returns the configuration with the control protocol's
+// execution policy forced: sequential pipelines, no sub-pipeline
+// generation, no backfill. Pipeline parameters are left as configured.
+func (cfg Config) ForControl() Config {
+	cfg.MaxConcurrent = 1
+	cfg.Sub.Enabled = false
+	cfg.Backfill = false
+	return cfg
+}
+
 // RunControl executes a CONT-V campaign: it forces sequential execution,
 // disables adaptivity-dependent coordinator features, and leaves the
 // pipeline parameters as configured (callers normally pass
 // ControlConfig).
 func RunControl(targets []*workload.Target, cfg Config) (*Result, error) {
-	cfg.MaxConcurrent = 1
-	cfg.Sub.Enabled = false
-	cfg.Backfill = false
-	coord, err := NewCoordinator(targets, cfg)
+	coord, err := NewCoordinator(targets, cfg.ForControl())
 	if err != nil {
 		return nil, err
 	}

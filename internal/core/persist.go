@@ -102,6 +102,7 @@ type resultJSON struct {
 	GPUSeries         []trace.Point                `json:"gpu_series"`
 	TotalCores        int                          `json:"total_cores"`
 	TotalGPUs         int                          `json:"total_gpus"`
+	Pilots            []string                     `json:"pilots,omitempty"`
 	Starting          map[string]landscape.Metrics `json:"starting"`
 	FinalBest         map[string]landscape.Metrics `json:"final_best"`
 	FinalDesigns      map[string]*structureJSON    `json:"final_designs"`
@@ -132,6 +133,7 @@ func (r *Result) WriteJSON(w io.Writer, includeTasks bool) error {
 		GPUSeries:         r.GPUSeries,
 		TotalCores:        r.TotalCores,
 		TotalGPUs:         r.TotalGPUs,
+		Pilots:            r.Pilots,
 		Starting:          r.Starting,
 		FinalBest:         r.FinalBest,
 		FinalDesigns:      make(map[string]*structureJSON, len(r.FinalDesigns)),
@@ -191,6 +193,7 @@ func ReadResultJSON(rd io.Reader) (*Result, error) {
 		GPUSeries:         dto.GPUSeries,
 		TotalCores:        dto.TotalCores,
 		TotalGPUs:         dto.TotalGPUs,
+		Pilots:            dto.Pilots,
 		Starting:          dto.Starting,
 		FinalBest:         dto.FinalBest,
 		FinalDesigns:      make(map[string]*protein.Structure, len(dto.FinalDesigns)),

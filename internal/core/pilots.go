@@ -1,0 +1,139 @@
+package core
+
+import (
+	"fmt"
+
+	"impress/internal/cluster"
+	"impress/internal/pilot"
+)
+
+// ResourceClass buckets tasks by the hardware they occupy, the unit of
+// placement for heterogeneous multi-pilot campaigns. The paper's ParaFold
+// split is exactly this distinction: MSA/ranking/FASTA/metrics stages are
+// CPU-class, MPNN sampling and AlphaFold inference are GPU-class.
+type ResourceClass int
+
+const (
+	// ClassCPU marks tasks that request no GPUs.
+	ClassCPU ResourceClass = iota
+	// ClassGPU marks tasks that request at least one GPU.
+	ClassGPU
+)
+
+func (c ResourceClass) String() string {
+	switch c {
+	case ClassCPU:
+		return "cpu"
+	case ClassGPU:
+		return "gpu"
+	default:
+		return fmt.Sprintf("ResourceClass(%d)", int(c))
+	}
+}
+
+// ClassOf derives a task's resource class from its allocation request.
+func ClassOf(td pilot.TaskDescription) ResourceClass {
+	if td.GPUs > 0 {
+		return ClassGPU
+	}
+	return ClassCPU
+}
+
+// PilotSpec declares one pilot of a campaign: a named resource partition
+// plus the task classes it serves. A campaign with an empty Config.Pilots
+// runs the classic single pilot over Config.Machine.
+type PilotSpec struct {
+	// Name labels the pilot and salts its seed stream. Must be unique
+	// within a campaign.
+	Name string
+	// Machine is the resource partition this pilot acquires.
+	Machine cluster.Spec
+	// Serves restricts the task classes routed here; empty serves all.
+	Serves []ResourceClass
+}
+
+// ServesClass reports whether the spec accepts tasks of class c.
+func (ps PilotSpec) ServesClass(c ResourceClass) bool {
+	if len(ps.Serves) == 0 {
+		return true
+	}
+	for _, s := range ps.Serves {
+		if s == c {
+			return true
+		}
+	}
+	return false
+}
+
+// SplitPilots partitions a machine into the paper's heterogeneous
+// placement: a CPU pilot serving the MSA/rank/fasta/metrics stages and a
+// GPU pilot serving sequence sampling and structure inference. The GPU
+// pilot keeps two host cores per GPU and a quarter of node memory.
+func SplitPilots(machine cluster.Spec) ([]PilotSpec, error) {
+	cpu, gpu, err := cluster.SplitCPUGPU(machine, 2*machine.GPUsPerNode, machine.MemGBPerNode/4)
+	if err != nil {
+		return nil, err
+	}
+	return []PilotSpec{
+		{Name: "pilot-cpu", Machine: cpu, Serves: []ResourceClass{ClassCPU}},
+		{Name: "pilot-gpu", Machine: gpu, Serves: []ResourceClass{ClassGPU}},
+	}, nil
+}
+
+// validatePilots checks a campaign's resolved pilot set: machines valid,
+// names unique, every task class served, and GPU-serving pilots actually
+// holding GPUs.
+func validatePilots(specs []PilotSpec) error {
+	names := make(map[string]bool, len(specs))
+	served := make(map[ResourceClass]bool)
+	for _, ps := range specs {
+		if ps.Name == "" {
+			return fmt.Errorf("core: unnamed pilot spec")
+		}
+		if names[ps.Name] {
+			return fmt.Errorf("core: duplicate pilot name %q", ps.Name)
+		}
+		names[ps.Name] = true
+		if err := ps.Machine.Validate(); err != nil {
+			return err
+		}
+		if ps.ServesClass(ClassGPU) && len(ps.Serves) > 0 && ps.Machine.TotalGPUs() == 0 {
+			return fmt.Errorf("core: pilot %q serves GPU tasks but has no GPUs", ps.Name)
+		}
+		for _, c := range []ResourceClass{ClassCPU, ClassGPU} {
+			if ps.ServesClass(c) {
+				served[c] = true
+			}
+		}
+	}
+	if !served[ClassCPU] || !served[ClassGPU] {
+		return fmt.Errorf("core: pilot set %v leaves a task class unserved", specs)
+	}
+	return nil
+}
+
+// pilotSpecs resolves the campaign's pilot set: explicit Pilots, or the
+// classic single pilot over Machine. The default name "pilot" keeps the
+// single-pilot seed stream identical to the pre-multi-pilot coordinator.
+func (cfg Config) pilotSpecs() []PilotSpec {
+	if len(cfg.Pilots) > 0 {
+		return cfg.Pilots
+	}
+	return []PilotSpec{{Name: "pilot", Machine: cfg.Machine}}
+}
+
+// route assigns an unplaced task description to the first pilot serving
+// its resource class. With a single pilot the description is left
+// untargeted, preserving the classic submission path.
+func (c *Coordinator) route(td *pilot.TaskDescription) {
+	if td.Pilot != "" || len(c.pilots) <= 1 {
+		return
+	}
+	class := ClassOf(*td)
+	for i, ps := range c.specs {
+		if ps.ServesClass(class) {
+			td.Pilot = c.pilots[i].ID
+			return
+		}
+	}
+}

@@ -52,8 +52,12 @@ type Result struct {
 	Phases map[string]time.Duration
 	// CPUSeries and GPUSeries are the busy-resource step functions.
 	CPUSeries, GPUSeries []trace.Point
-	// TotalCores and TotalGPUs record the machine capacity.
+	// TotalCores and TotalGPUs record the aggregate capacity across the
+	// campaign's pilots.
 	TotalCores, TotalGPUs int
+	// Pilots names the campaign's pilot partitions in submission order
+	// (a single "pilot" for classic campaigns).
+	Pilots []string
 
 	// Starting maps target → native (generation 0) metrics.
 	Starting map[string]landscape.Metrics
@@ -88,12 +92,15 @@ func (c *Coordinator) buildResult() *Result {
 		Phases:            c.rec.Phases(),
 		CPUSeries:         c.rec.CPUSeries(),
 		GPUSeries:         c.rec.GPUSeries(),
-		TotalCores:        c.cfg.Machine.TotalCores(),
-		TotalGPUs:         c.cfg.Machine.TotalGPUs(),
+		TotalCores:        c.rec.TotalCores(),
+		TotalGPUs:         c.rec.TotalGPUs(),
 		Starting:          make(map[string]landscape.Metrics),
 		FinalBest:         make(map[string]landscape.Metrics),
 		FinalDesigns:      c.bestDesign,
 		TaskRecords:       c.rec.Tasks(),
+	}
+	for _, ps := range c.specs {
+		res.Pilots = append(res.Pilots, ps.Name)
 	}
 	for _, tg := range c.targets {
 		res.Targets = append(res.Targets, tg.Name)

@@ -153,25 +153,68 @@ func (p *Pilot) terminate(reason string) {
 	p.agent.terminateAll(reason)
 }
 
-// TaskManager accepts task submissions and routes them to a pilot's
-// agent, reporting every state transition to registered callbacks — the
-// "Submit & Monitor Continuously" channel pair of the paper's Fig. 1.
+// TaskManager accepts task submissions and routes them to pilot agents,
+// reporting every state transition to registered callbacks — the "Submit
+// & Monitor Continuously" channel pair of the paper's Fig. 1. Like RP's
+// TaskManager, it can serve several pilots at once: tasks carry an
+// optional target pilot ID, and untargeted tasks go to the first pilot
+// whose resource ledger could ever fit them.
 type TaskManager struct {
 	engine    *simclock.Engine
-	pilot     *Pilot
+	pilots    []*Pilot
+	byID      map[string]*Pilot
 	nextUID   uint64
 	tasks     map[string]*Task
 	callbacks []func(*Task, TaskState)
 }
 
-// NewTaskManager creates a task manager bound to one pilot.
-func NewTaskManager(engine *simclock.Engine, p *Pilot) *TaskManager {
-	if engine == nil || p == nil {
-		panic("pilot: nil engine or pilot")
+// NewTaskManager creates a task manager bound to one or more pilots.
+func NewTaskManager(engine *simclock.Engine, pilots ...*Pilot) *TaskManager {
+	if engine == nil || len(pilots) == 0 {
+		panic("pilot: task manager needs an engine and at least one pilot")
 	}
-	tm := &TaskManager{engine: engine, pilot: p, tasks: make(map[string]*Task)}
-	p.agent.tm = tm
+	tm := &TaskManager{engine: engine, tasks: make(map[string]*Task), byID: make(map[string]*Pilot)}
+	for _, p := range pilots {
+		tm.AddPilot(p)
+	}
 	return tm
+}
+
+// AddPilot attaches another pilot to this task manager.
+func (tm *TaskManager) AddPilot(p *Pilot) {
+	if p == nil {
+		panic("pilot: nil pilot")
+	}
+	if _, dup := tm.byID[p.ID]; dup {
+		panic("pilot: pilot " + p.ID + " added twice")
+	}
+	tm.pilots = append(tm.pilots, p)
+	tm.byID[p.ID] = p
+	p.agent.tm = tm
+}
+
+// Pilots returns the attached pilots in attachment order.
+func (tm *TaskManager) Pilots() []*Pilot { return append([]*Pilot(nil), tm.pilots...) }
+
+// resolve picks the pilot a description targets: an explicit ID must
+// exist; otherwise the first pilot whose node shape could ever satisfy
+// the request wins (falling back to the first pilot so the submission
+// fails with a capacity error rather than a routing one).
+func (tm *TaskManager) resolve(td TaskDescription) (*Pilot, error) {
+	if td.Pilot != "" {
+		p, ok := tm.byID[td.Pilot]
+		if !ok {
+			return nil, fmt.Errorf("pilot: task %q targets unknown pilot %q", td.Name, td.Pilot)
+		}
+		return p, nil
+	}
+	req := cluster.Request{Cores: td.Cores, GPUs: td.GPUs, MemGB: td.MemGB}
+	for _, p := range tm.pilots {
+		if p.agent.cluster.Fits(req) {
+			return p, nil
+		}
+	}
+	return tm.pilots[0], nil
 }
 
 // OnState registers a callback invoked on every task state transition.
@@ -183,10 +226,15 @@ func (tm *TaskManager) OnState(fn func(*Task, TaskState)) {
 	tm.callbacks = append(tm.callbacks, fn)
 }
 
-// Submit validates and enqueues a task for execution. Impossible resource
-// requests (bigger than any node) fail fast instead of wedging the queue.
+// Submit validates and enqueues a task for execution on its resolved
+// pilot. Impossible resource requests (bigger than any node of that
+// pilot) fail fast instead of wedging the queue.
 func (tm *TaskManager) Submit(td TaskDescription) (*Task, error) {
 	if err := td.validate(); err != nil {
+		return nil, err
+	}
+	p, err := tm.resolve(td)
+	if err != nil {
 		return nil, err
 	}
 	tm.nextUID++
@@ -194,23 +242,25 @@ func (tm *TaskManager) Submit(td TaskDescription) (*Task, error) {
 		ID:          fmt.Sprintf("task.%06d", tm.nextUID),
 		UID:         tm.nextUID,
 		Description: td,
+		PilotID:     p.ID,
 		state:       StateNew,
 		SubmittedAt: tm.engine.Now(),
 	}
-	t.seed = deriveTaskSeed(tm.pilot.desc.Seed, t.ID)
+	t.pilot = p
+	t.seed = deriveTaskSeed(p.desc.Seed, t.ID)
 	tm.tasks[t.ID] = t
 	tm.transition(t, StateSubmitted)
 
-	if tm.pilot.state == PilotDone {
-		tm.fail(t, fmt.Errorf("pilot: %s is done", tm.pilot.ID))
+	if p.state == PilotDone {
+		tm.fail(t, fmt.Errorf("pilot: %s is done", p.ID))
 		return t, nil
 	}
 	req := cluster.Request{Cores: td.Cores, GPUs: td.GPUs, MemGB: td.MemGB}
-	if !tm.pilot.agent.cluster.Fits(req) {
-		tm.fail(t, fmt.Errorf("pilot: task %s request %+v exceeds node capacity", t.ID, req))
+	if !p.agent.cluster.Fits(req) {
+		tm.fail(t, fmt.Errorf("pilot: task %s request %+v exceeds %s node capacity", t.ID, req, p.ID))
 		return t, nil
 	}
-	tm.pilot.agent.enqueue(t)
+	p.agent.enqueue(t)
 	return t, nil
 }
 
@@ -229,7 +279,7 @@ func (tm *TaskManager) Cancel(t *Task) {
 	if t == nil || t.state.Final() {
 		return
 	}
-	tm.pilot.agent.cancel(t, "cancelled by client")
+	t.pilot.agent.cancel(t, "cancelled by client")
 }
 
 // Get returns a task by ID.

@@ -158,6 +158,10 @@ type TaskDescription struct {
 	MemGB int
 	// Work is the payload. Required.
 	Work Work
+	// Pilot optionally targets a specific pilot by ID when the task
+	// manager serves several (heterogeneous placement); empty routes to
+	// the first pilot that could fit the request.
+	Pilot string
 	// Tags carries opaque metadata for the client (pipeline id, stage).
 	Tags map[string]string
 }
@@ -180,6 +184,8 @@ type Task struct {
 	ID          string
 	Description TaskDescription
 	UID         uint64
+	// PilotID records the pilot the task was placed on.
+	PilotID string
 
 	state TaskState
 
@@ -193,8 +199,9 @@ type Task struct {
 	Result Result
 	Err    error
 
-	seed uint64
-	exec *execution
+	seed  uint64
+	pilot *Pilot
+	exec  *execution
 }
 
 // State returns the task's current lifecycle state.
