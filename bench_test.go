@@ -321,6 +321,30 @@ func BenchmarkSplitPilots(b *testing.B) {
 	}
 }
 
+// BenchmarkPolicyCompare races every registered scheduling policy on the
+// adaptive 4-PDZ campaign — one sub-benchmark per policy, so the
+// per-policy makespan/utilization deltas print side by side.
+func BenchmarkPolicyCompare(b *testing.B) {
+	for _, pol := range impress.SchedulingPolicies() {
+		b.Run(pol, func(b *testing.B) {
+			targets := namedTargets(b, 42)
+			cfg := impress.AdaptiveConfig(42)
+			cfg.Policy = pol
+			var res *impress.Result
+			for i := 0; i < b.N; i++ {
+				var err error
+				res, err = impress.RunAdaptive(targets, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			reportCampaign(b, res)
+			wait, _ := res.QueueWait()
+			b.ReportMetric(wait.Minutes(), "queue-wait-m")
+		})
+	}
+}
+
 // BenchmarkScreenScaling measures coordinator throughput as the workload
 // widens (trajectory counts grow superlinearly through sub-pipelines).
 func BenchmarkScreenScaling(b *testing.B) {

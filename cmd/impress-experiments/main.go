@@ -12,6 +12,7 @@
 //	-seed N       campaign seed (default 42)
 //	-screen N     Fig. 3 screen size (default 70, the paper's)
 //	-parallel N   run experiments concurrently (default 1; 0 = GOMAXPROCS)
+//	-policy P     scheduling-policy ablation (fifo, backfill, bestfit, worstfit, largest)
 //	-out DIR      also write <experiment>.txt and <experiment>.csv files
 package main
 
@@ -29,8 +30,15 @@ func main() {
 	seed := flag.Uint64("seed", 42, "campaign seed")
 	screen := flag.Int("screen", 70, "Fig. 3 screen size")
 	parallel := flag.Int("parallel", 1, "experiments to run concurrently (0 = GOMAXPROCS)")
+	policy := flag.String("policy", "", "agent scheduling policy ablation: "+strings.Join(impress.SchedulingPolicies(), ", ")+" (empty = the paper's defaults)")
 	outDir := flag.String("out", "", "directory for .txt/.csv outputs (optional)")
 	flag.Parse()
+
+	if err := impress.ValidatePolicy(*policy); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	opts := impress.ExperimentOptions{Policy: *policy}
 
 	selected := flag.Args()
 	if len(selected) == 0 {
@@ -41,7 +49,7 @@ func main() {
 		want[strings.ToLower(s)] = true
 	}
 
-	experiments := impress.Experiments()
+	experiments := impress.ExperimentsWith(opts)
 	known := make(map[string]bool)
 	for _, e := range experiments {
 		known[e.ID] = true
@@ -61,7 +69,7 @@ func main() {
 		if exp.ID == "fig3" && *screen != 70 {
 			n := *screen
 			exp.Run = func(seed uint64) (*impress.ExperimentOutput, error) {
-				return impress.Fig3Experiment(seed, n)
+				return impress.Fig3ExperimentWith(seed, n, opts)
 			}
 		}
 		selectedExps = append(selectedExps, exp)

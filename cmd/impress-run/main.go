@@ -9,8 +9,10 @@
 //	impress-run -protocol imrp -targets screen -screen-size 24 -csv iters.csv
 //	impress-run -protocol imrp -cycles 6 -sequences 16 -max-concurrent 2
 //	impress-run -protocol imrp -pilots split
+//	impress-run -protocol imrp -policy bestfit
 //	impress-run -scenario sweep -seeds 12 -parallel 4
 //	impress-run -scenario stress -seeds 4 -screen-size 16 -parallel 8
+//	impress-run -scenario policy-compare -seeds 4 -parallel 8
 package main
 
 import (
@@ -18,6 +20,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 
 	"impress"
 )
@@ -28,6 +31,7 @@ func main() {
 	listScenarios := flag.Bool("list-scenarios", false, "list registered scenarios and exit")
 	parallel := flag.Int("parallel", 1, "campaign engine workers (0 = GOMAXPROCS)")
 	pilots := flag.String("pilots", "single", "pilot placement: single (one shared pilot) or split (CPU pilot + GPU pilot)")
+	policy := flag.String("policy", "", "agent scheduling policy: "+strings.Join(impress.SchedulingPolicies(), ", ")+" (empty = protocol default)")
 	targetsKind := flag.String("targets", "named", "workload: named (4 PDZ domains) or screen")
 	screenSize := flag.Int("screen-size", 70, "screen workload size (also the scenario Targets parameter)")
 	seeds := flag.Int("seeds", 8, "scenario sweep width (multi-seed scenarios)")
@@ -62,31 +66,41 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown pilot placement %q (want single or split)\n", *pilots)
 		os.Exit(2)
 	}
+	if err := impress.ValidatePolicy(*policy); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 
 	if *scenario != "" {
 		// Scenarios are self-contained campaign declarations: the
 		// single-campaign tuning and output flags don't apply. Reject
-		// explicitly set ones instead of silently dropping them.
-		compat := map[string]bool{
-			"scenario": true, "seed": true, "seeds": true,
-			"screen-size": true, "pilots": true, "parallel": true,
-		}
-		var ignored []string
-		flag.Visit(func(f *flag.Flag) {
-			if !compat[f.Name] {
-				ignored = append(ignored, "-"+f.Name)
+		// explicitly set ones instead of silently dropping them. -csv is
+		// allowed exactly when the scenario declares a CSV report.
+		sc, known := impress.LookupScenario(*scenario)
+		if known {
+			compat := map[string]bool{
+				"scenario": true, "seed": true, "seeds": true,
+				"screen-size": true, "pilots": true, "parallel": true,
+				"policy": true, "csv": sc.ReportCSV != nil,
 			}
-		})
-		if len(ignored) > 0 {
-			fmt.Fprintf(os.Stderr, "flags %v do not apply to -scenario runs\n", ignored)
-			os.Exit(2)
+			var ignored []string
+			flag.Visit(func(f *flag.Flag) {
+				if !compat[f.Name] {
+					ignored = append(ignored, "-"+f.Name)
+				}
+			})
+			if len(ignored) > 0 {
+				fmt.Fprintf(os.Stderr, "flags %v do not apply to -scenario %s runs\n", ignored, *scenario)
+				os.Exit(2)
+			}
 		}
 		runScenario(*scenario, impress.ScenarioParams{
 			Seed:        *seed,
 			Seeds:       *seeds,
 			Targets:     *screenSize,
 			SplitPilots: split,
-		}, *parallel)
+			Policy:      *policy,
+		}, *parallel, *csvPath)
 		return
 	}
 
@@ -111,6 +125,9 @@ func main() {
 			os.Exit(1)
 		}
 		cfg.Pilots = ps
+	}
+	if *policy != "" {
+		cfg.Policy = *policy
 	}
 	if *cycles > 0 {
 		cfg.Pipeline.Cycles = *cycles
@@ -251,24 +268,46 @@ func main() {
 }
 
 // runScenario builds a registered scenario and executes every campaign
-// on the engine's worker pool, printing one summary per outcome.
-func runScenario(name string, p impress.ScenarioParams, workers int) {
+// on the engine's worker pool, printing one summary per outcome plus the
+// scenario's own cross-campaign report when it declares one (e.g.
+// policy-compare's per-policy table, and its CSV when csvPath is set).
+func runScenario(name string, p impress.ScenarioParams, workers int, csvPath string) {
 	campaigns, err := impress.BuildScenario(name, p)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
+	sc, _ := impress.LookupScenario(name)
 	fmt.Printf("scenario %s: %d campaigns on %d workers\n\n",
 		name, len(campaigns), impress.NewCampaignEngine(workers).WorkersFor(len(campaigns)))
 	outs := impress.RunCampaigns(campaigns, workers)
 	failed := 0
+	var results []*impress.Result
 	for _, o := range outs {
 		if o.Err != nil {
 			failed++
 			fmt.Fprintf(os.Stderr, "%s failed: %v\n", o.Name, o.Err)
 			continue
 		}
+		results = append(results, o.Result)
 		fmt.Printf("%-20s %s\n\n", o.Name, impress.Summary(o.Result))
+	}
+	if sc.Report != nil && len(results) > 0 {
+		fmt.Println(sc.Report(results))
+	}
+	if csvPath != "" && sc.ReportCSV != nil && len(results) > 0 {
+		f, err := os.Create(csvPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := sc.ReportCSV(f, results); err != nil {
+			f.Close()
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		f.Close()
+		fmt.Printf("wrote %s\n", csvPath)
 	}
 	if failed > 0 {
 		fmt.Fprintf(os.Stderr, "%d/%d campaigns failed\n", failed, len(outs))

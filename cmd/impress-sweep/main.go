@@ -10,12 +10,14 @@
 //	impress-sweep -seeds 10
 //	impress-sweep -seeds 20 -parallel 8 -csv sweep.csv
 //	impress-sweep -seeds 10 -pilots split
+//	impress-sweep -seeds 10 -policy bestfit
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"impress"
 	"impress/internal/stats"
@@ -31,6 +33,7 @@ func main() {
 	firstSeed := flag.Uint64("first-seed", 100, "first seed of the sweep")
 	parallel := flag.Int("parallel", 0, "campaign engine workers (0 = GOMAXPROCS)")
 	pilots := flag.String("pilots", "single", "pilot placement: single or split (CPU pilot + GPU pilot)")
+	policy := flag.String("policy", "", "agent scheduling policy: "+strings.Join(impress.SchedulingPolicies(), ", ")+" (empty = protocol default)")
 	csvPath := flag.String("csv", "", "write per-seed results as CSV")
 	flag.Parse()
 
@@ -43,6 +46,10 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown pilot placement %q (want single or split)\n", *pilots)
 		os.Exit(2)
 	}
+	if err := impress.ValidatePolicy(*policy); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 
 	// Build the sweep as campaign data: a CONT-V/IM-RP pair per seed.
 	var campaigns []impress.Campaign
@@ -50,7 +57,7 @@ func main() {
 	seeds := make([]uint64, 0, *nSeeds)
 	for i := 0; i < *nSeeds; i++ {
 		seed := *firstSeed + uint64(i)
-		pair, err := impress.BuildScenario("pair", impress.ScenarioParams{Seed: seed, SplitPilots: split})
+		pair, err := impress.BuildScenario("pair", impress.ScenarioParams{Seed: seed, SplitPilots: split, Policy: *policy})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "seed %d: %v\n", seed, err)
 			buildErrs++

@@ -64,34 +64,56 @@ type Experiment struct {
 	Run func(seed uint64) (*ExperimentOutput, error)
 }
 
+// ExperimentOptions adjusts how experiment campaigns execute without
+// changing what they compute — the ablation hook behind the
+// impress-experiments -policy flag (e.g. regenerate Table I under
+// best-fit scheduling).
+type ExperimentOptions struct {
+	// Policy overrides the agent scheduling policy of every campaign;
+	// empty keeps each protocol's default (backfill for IM-RP, fifo for
+	// CONT-V).
+	Policy string
+}
+
+func (o ExperimentOptions) apply(cfg Config) Config {
+	if o.Policy != "" {
+		cfg.Policy = o.Policy
+	}
+	return cfg
+}
+
 // Experiments returns the paper's full evaluation harness, one entry per
 // table and figure of Section III.
-func Experiments() []Experiment {
+func Experiments() []Experiment { return ExperimentsWith(ExperimentOptions{}) }
+
+// ExperimentsWith returns the evaluation harness with every campaign's
+// execution adjusted by opts.
+func ExperimentsWith(opts ExperimentOptions) []Experiment {
 	return []Experiment{
 		{
 			ID:    "table1",
 			Title: "Table I: experimental setup and results for CONT-V and IM-RP",
-			Run:   TableIExperiment,
+			Run:   func(seed uint64) (*ExperimentOutput, error) { return tableIExperiment(seed, opts) },
 		},
 		{
 			ID:    "fig2",
 			Title: "Fig. 2: per-iteration AlphaFold metrics, CONT-V vs IM-RP (4 PDZ-peptide structures)",
-			Run:   Fig2Experiment,
+			Run:   func(seed uint64) (*ExperimentOutput, error) { return fig2Experiment(seed, opts) },
 		},
 		{
 			ID:    "fig3",
 			Title: "Fig. 3: per-iteration AlphaFold metrics for the expanded IM-RP workflow (70 structures)",
-			Run:   func(seed uint64) (*ExperimentOutput, error) { return Fig3Experiment(seed, 70) },
+			Run:   func(seed uint64) (*ExperimentOutput, error) { return fig3Experiment(seed, 70, opts) },
 		},
 		{
 			ID:    "fig4",
 			Title: "Fig. 4: CONT-V total GPU/CPU resource utilization and execution time",
-			Run:   Fig4Experiment,
+			Run:   func(seed uint64) (*ExperimentOutput, error) { return fig4Experiment(seed, opts) },
 		},
 		{
 			ID:    "fig5",
 			Title: "Fig. 5: IM-RP total GPU/CPU utilization, execution time and phase breakdown",
-			Run:   Fig5Experiment,
+			Run:   func(seed uint64) (*ExperimentOutput, error) { return fig5Experiment(seed, opts) },
 		},
 	}
 }
@@ -124,14 +146,14 @@ func runExperiment(exp Experiment, seed uint64) (out *ExperimentOutput, err erro
 // pairCampaign runs both protocols on the paper's 4-PDZ workload through
 // the campaign engine, one worker per protocol. Campaigns are hermetic,
 // so the concurrent pair is bit-identical to running the two in sequence.
-func pairCampaign(seed uint64) (ctrl, adpt *Result, err error) {
+func pairCampaign(seed uint64, opts ExperimentOptions) (ctrl, adpt *Result, err error) {
 	targets, err := NamedPDZTargets(seed)
 	if err != nil {
 		return nil, nil, err
 	}
 	outs := campaign.Run([]campaign.Campaign{
-		{Name: fmt.Sprintf("contv/seed%d", seed), Seed: seed, Targets: targets, Config: ControlConfig(seed), Control: true},
-		{Name: fmt.Sprintf("imrp/seed%d", seed), Seed: seed, Targets: targets, Config: AdaptiveConfig(seed)},
+		{Name: fmt.Sprintf("contv/seed%d", seed), Seed: seed, Targets: targets, Config: opts.apply(ControlConfig(seed)), Control: true},
+		{Name: fmt.Sprintf("imrp/seed%d", seed), Seed: seed, Targets: targets, Config: opts.apply(AdaptiveConfig(seed))},
 	}, 2)
 	for _, o := range outs {
 		if o.Err != nil {
@@ -151,7 +173,11 @@ func runSingle(c campaign.Campaign) (*Result, error) {
 // domains against the α-synuclein 10-mer, reporting pipeline counts,
 // trajectories, utilization, time, and metric net deltas.
 func TableIExperiment(seed uint64) (*ExperimentOutput, error) {
-	ctrl, adpt, err := pairCampaign(seed)
+	return tableIExperiment(seed, ExperimentOptions{})
+}
+
+func tableIExperiment(seed uint64, opts ExperimentOptions) (*ExperimentOutput, error) {
+	ctrl, adpt, err := pairCampaign(seed, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -170,7 +196,11 @@ func TableIExperiment(seed uint64) (*ExperimentOutput, error) {
 // pAE per design iteration for CONT-V and IM-RP over the four named PDZ
 // targets, with half-σ error bars.
 func Fig2Experiment(seed uint64) (*ExperimentOutput, error) {
-	ctrl, adpt, err := pairCampaign(seed)
+	return fig2Experiment(seed, ExperimentOptions{})
+}
+
+func fig2Experiment(seed uint64, opts ExperimentOptions) (*ExperimentOutput, error) {
+	ctrl, adpt, err := pairCampaign(seed, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -192,11 +222,20 @@ func Fig2Experiment(seed uint64) (*ExperimentOutput, error) {
 // 4-mer, four design cycles, and adaptivity not enforced in the final
 // cycle — reproducing the final-iteration quality drop.
 func Fig3Experiment(seed uint64, n int) (*ExperimentOutput, error) {
+	return fig3Experiment(seed, n, ExperimentOptions{})
+}
+
+// Fig3ExperimentWith is Fig3Experiment with execution options applied.
+func Fig3ExperimentWith(seed uint64, n int, opts ExperimentOptions) (*ExperimentOutput, error) {
+	return fig3Experiment(seed, n, opts)
+}
+
+func fig3Experiment(seed uint64, n int, opts ExperimentOptions) (*ExperimentOutput, error) {
 	screen, err := PDZScreen(seed, n)
 	if err != nil {
 		return nil, err
 	}
-	cfg := AdaptiveConfig(seed)
+	cfg := opts.apply(AdaptiveConfig(seed))
 	cfg.Pipeline.FinalCycleAdaptive = false
 	res, err := runSingle(campaign.Campaign{
 		Name: fmt.Sprintf("fig3/screen%d/seed%d", n, seed), Seed: seed, Targets: screen, Config: cfg,
@@ -218,13 +257,17 @@ func Fig3Experiment(seed uint64, n int) (*ExperimentOutput, error) {
 // Fig4Experiment regenerates Fig. 4: CONT-V's CPU/GPU utilization time
 // series and execution time on the Amarel node.
 func Fig4Experiment(seed uint64) (*ExperimentOutput, error) {
+	return fig4Experiment(seed, ExperimentOptions{})
+}
+
+func fig4Experiment(seed uint64, opts ExperimentOptions) (*ExperimentOutput, error) {
 	targets, err := NamedPDZTargets(seed)
 	if err != nil {
 		return nil, err
 	}
 	res, err := runSingle(campaign.Campaign{
 		Name: fmt.Sprintf("fig4/seed%d", seed), Seed: seed, Targets: targets,
-		Config: ControlConfig(seed), Control: true,
+		Config: opts.apply(ControlConfig(seed)), Control: true,
 	})
 	if err != nil {
 		return nil, err
@@ -240,13 +283,17 @@ func Fig4Experiment(seed uint64) (*ExperimentOutput, error) {
 // series, execution time, and the Bootstrap / Exec setup / Running phase
 // breakdown.
 func Fig5Experiment(seed uint64) (*ExperimentOutput, error) {
+	return fig5Experiment(seed, ExperimentOptions{})
+}
+
+func fig5Experiment(seed uint64, opts ExperimentOptions) (*ExperimentOutput, error) {
 	targets, err := NamedPDZTargets(seed)
 	if err != nil {
 		return nil, err
 	}
 	res, err := runSingle(campaign.Campaign{
 		Name: fmt.Sprintf("fig5/seed%d", seed), Seed: seed, Targets: targets,
-		Config: AdaptiveConfig(seed),
+		Config: opts.apply(AdaptiveConfig(seed)),
 	})
 	if err != nil {
 		return nil, err

@@ -1,0 +1,114 @@
+package impress_test
+
+// Golden-trace regression layer: the pair scenario's full event trace,
+// per-task timeline, and Table-I numbers at seed 42 are pinned to a golden
+// file. Any change to the scheduler, pilot runtime, or coordinator that
+// shifts default-policy behaviour in any way — event order, task
+// timestamps, utilization, quality metrics — fails this test, so sprawling
+// refactors (like making the agent scheduling policy pluggable) can prove
+// they changed nothing under the defaults.
+//
+// Regenerate deliberately with:
+//
+//	UPDATE_GOLDEN=1 go test -run TestGoldenPairTrace .
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"impress"
+)
+
+const goldenPairPath = "testdata/golden/pair_seed42.golden"
+
+// renderPairTrace runs the pair scenario at seed 42 and renders its
+// complete observable behaviour as canonical text: one section per
+// campaign (summary, event trace, per-task timeline with raw-nanosecond
+// timestamps) plus the Table I rendering of the result pair.
+func renderPairTrace(t *testing.T) string {
+	t.Helper()
+	campaigns, err := impress.BuildScenario("pair", impress.ScenarioParams{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range campaigns {
+		campaigns[i].EventCapacity = 1 << 15
+	}
+	outs := impress.RunCampaigns(campaigns, 1)
+
+	var sb strings.Builder
+	for _, o := range outs {
+		if o.Err != nil {
+			t.Fatalf("campaign %s failed: %v", o.Name, o.Err)
+		}
+		fmt.Fprintf(&sb, "== %s\n", o.Name)
+		fmt.Fprintf(&sb, "%s\n", impress.Summary(o.Result))
+		sb.WriteString("-- events\n")
+		for _, e := range o.Events.Drain() {
+			sb.WriteString(e.String())
+			sb.WriteByte('\n')
+		}
+		if d := o.Events.Dropped(); d > 0 {
+			t.Fatalf("campaign %s dropped %d events; raise EventCapacity", o.Name, d)
+		}
+		sb.WriteString("-- tasks\n")
+		for _, tr := range o.Result.TaskRecords {
+			fmt.Fprintf(&sb, "%s %s sub=%d setup=%d run=%d end=%d cores=%d gpus=%d %s\n",
+				tr.ID, tr.Name, int64(tr.Submitted), int64(tr.SetupAt), int64(tr.RunAt),
+				int64(tr.EndedAt), tr.Cores, tr.GPUs, tr.State)
+		}
+	}
+	sb.WriteString("== table1\n")
+	sb.WriteString(impress.TableI(outs[0].Result, outs[1].Result))
+	return sb.String()
+}
+
+func TestGoldenPairTrace(t *testing.T) {
+	got := renderPairTrace(t)
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.MkdirAll(filepath.Dir(goldenPairPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPairPath, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d bytes)", goldenPairPath, len(got))
+		return
+	}
+	want, err := os.ReadFile(goldenPairPath)
+	if err != nil {
+		t.Fatalf("reading golden file: %v (regenerate with UPDATE_GOLDEN=1)", err)
+	}
+	if got == string(want) {
+		return
+	}
+	gotLines, wantLines := strings.Split(got, "\n"), strings.Split(string(want), "\n")
+	n := len(gotLines)
+	if len(wantLines) < n {
+		n = len(wantLines)
+	}
+	for i := 0; i < n; i++ {
+		if gotLines[i] != wantLines[i] {
+			t.Fatalf("golden trace diverged at line %d:\n got: %s\nwant: %s\n"+
+				"(default-policy behaviour must stay bit-identical; regenerate only for intentional changes)",
+				i+1, gotLines[i], wantLines[i])
+		}
+	}
+	t.Fatalf("golden trace length changed: got %d lines, want %d", len(gotLines), len(wantLines))
+}
+
+// TestGoldenTraceDeterminism guards the golden harness itself: two
+// renderings in one process must be byte-identical, otherwise the golden
+// comparison would flake rather than catch regressions.
+func TestGoldenTraceDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("double campaign run in -short mode")
+	}
+	a, b := renderPairTrace(t), renderPairTrace(t)
+	if a != b {
+		t.Fatal("pair trace rendering is not deterministic within one process")
+	}
+}

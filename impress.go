@@ -19,6 +19,8 @@
 package impress
 
 import (
+	"io"
+
 	"impress/internal/campaign"
 	"impress/internal/cluster"
 	"impress/internal/core"
@@ -29,6 +31,7 @@ import (
 	"impress/internal/mpnn"
 	"impress/internal/pipeline"
 	"impress/internal/report"
+	"impress/internal/sched"
 	"impress/internal/workload"
 )
 
@@ -202,8 +205,30 @@ func BuildScenario(name string, p ScenarioParams) ([]Campaign, error) {
 	return campaign.Build(name, p)
 }
 
+// LookupScenario returns a registered scenario by name.
+func LookupScenario(name string) (Scenario, bool) { return campaign.Lookup(name) }
+
 // RegisterScenario adds a new workload family to the scenario registry.
 func RegisterScenario(s Scenario) error { return campaign.Register(s) }
 
 // Summary renders a one-paragraph textual summary of a campaign result.
 func Summary(r *Result) string { return report.Summary(r) }
+
+// SchedulingPolicies returns the registered pilot-agent scheduling policy
+// names (sorted): the values accepted by Config.Policy, PilotSpec.Policy,
+// and the cmds' -policy flag.
+func SchedulingPolicies() []string { return sched.Names() }
+
+// ValidatePolicy checks a scheduling-policy name; the empty string is
+// valid (it derives the classic behaviour from Config.Backfill).
+func ValidatePolicy(name string) error { return sched.Validate(name) }
+
+// PolicyCompare renders the scheduling-policy comparison table over
+// campaign results grouped by their resolved policy — the report behind
+// the policy-compare scenario.
+func PolicyCompare(results []*Result) string { return report.PolicyCompare(results) }
+
+// PolicyCompareCSV writes one policy-comparison CSV row per result.
+func PolicyCompareCSV(w io.Writer, results []*Result) error {
+	return report.PolicyCompareCSV(w, results)
+}

@@ -57,6 +57,44 @@ func TestPublicAPICampaign(t *testing.T) {
 	}
 }
 
+func TestSchedulingPolicyAPI(t *testing.T) {
+	pols := impress.SchedulingPolicies()
+	if len(pols) < 5 {
+		t.Fatalf("SchedulingPolicies = %v, want at least 5", pols)
+	}
+	for _, p := range pols {
+		if err := impress.ValidatePolicy(p); err != nil {
+			t.Errorf("policy %q invalid: %v", p, err)
+		}
+	}
+	if err := impress.ValidatePolicy("bogus"); err == nil {
+		t.Error("bogus policy validated")
+	}
+
+	// A campaign pinned to a non-default policy runs end to end and
+	// reports its resolved policy.
+	target, err := impress.NewTarget(3, "MINI", 52, impress.AlphaSynucleinTail4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := impress.AdaptiveConfig(3)
+	cfg.Policy = "bestfit"
+	cfg.Pipeline.Cycles = 2
+	cfg.Pipeline.MPNN.NumSequences = 5
+	cfg.Pipeline.MPNN.Sweeps = 2
+	res, err := impress.RunAdaptive([]*impress.Target{target}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.PolicyLabel(); got != "bestfit" {
+		t.Fatalf("PolicyLabel = %q, want bestfit", got)
+	}
+	text := impress.PolicyCompare([]*impress.Result{res})
+	if !strings.Contains(text, "bestfit") {
+		t.Fatalf("PolicyCompare output missing policy:\n%s", text)
+	}
+}
+
 func TestExperimentRegistry(t *testing.T) {
 	exps := impress.Experiments()
 	if len(exps) != 5 {

@@ -2,10 +2,13 @@ package campaign
 
 import (
 	"fmt"
+	"io"
 	"sort"
 	"sync"
 
 	"impress/internal/core"
+	"impress/internal/report"
+	"impress/internal/sched"
 	"impress/internal/workload"
 )
 
@@ -22,6 +25,11 @@ type Params struct {
 	// SplitPilots places every campaign on the heterogeneous CPU/GPU
 	// pilot pair instead of the single shared pilot.
 	SplitPilots bool
+	// Policy sets the agent scheduling policy for every campaign
+	// (internal/sched name; empty keeps each protocol's default). The
+	// policy-compare scenario rejects it at build time — racing all
+	// policies is its whole point.
+	Policy string
 }
 
 func (p Params) withDefaults() Params {
@@ -41,6 +49,13 @@ type Scenario struct {
 	Name        string
 	Description string
 	Build       func(p Params) ([]Campaign, error)
+	// Report, when set, renders a scenario-level summary over the
+	// completed results of one run (e.g. the policy-compare table).
+	// Nil means the scenario has no cross-campaign report.
+	Report func(results []*core.Result) string
+	// ReportCSV, when set, writes the scenario's per-campaign report
+	// rows as CSV — the machine-readable companion of Report.
+	ReportCSV func(w io.Writer, results []*core.Result) error
 }
 
 var registry = struct {
@@ -103,32 +118,37 @@ func Build(name string, p Params) ([]Campaign, error) {
 	return s.Build(p)
 }
 
-// applyPilots switches a config to the split CPU/GPU pilot pair when
-// requested.
-func applyPilots(cfg core.Config, split bool) (core.Config, error) {
-	if !split {
-		return cfg, nil
+// applyExecution switches a config to the split CPU/GPU pilot pair and/or
+// a non-default scheduling policy when the scenario params request them.
+func applyExecution(cfg core.Config, p Params) (core.Config, error) {
+	if p.SplitPilots {
+		pilots, err := core.SplitPilots(cfg.Machine)
+		if err != nil {
+			return cfg, err
+		}
+		cfg.Pilots = pilots
 	}
-	pilots, err := core.SplitPilots(cfg.Machine)
-	if err != nil {
-		return cfg, err
+	if p.Policy != "" {
+		if err := sched.Validate(p.Policy); err != nil {
+			return cfg, err
+		}
+		cfg.Policy = p.Policy
 	}
-	cfg.Pilots = pilots
 	return cfg, nil
 }
 
 // pairAt builds the paper's CONT-V + IM-RP pair over the four named PDZ
 // domains at one seed.
-func pairAt(seed uint64, split bool) ([]Campaign, error) {
+func pairAt(seed uint64, p Params) ([]Campaign, error) {
 	targets, err := workload.NamedTargets(seed, workload.DefaultConfig())
 	if err != nil {
 		return nil, err
 	}
-	ctrlCfg, err := applyPilots(core.ControlConfig(seed), split)
+	ctrlCfg, err := applyExecution(core.ControlConfig(seed), p)
 	if err != nil {
 		return nil, err
 	}
-	adptCfg, err := applyPilots(core.AdaptiveConfig(seed), split)
+	adptCfg, err := applyExecution(core.AdaptiveConfig(seed), p)
 	if err != nil {
 		return nil, err
 	}
@@ -139,12 +159,12 @@ func pairAt(seed uint64, split bool) ([]Campaign, error) {
 }
 
 // screenAt builds one IM-RP campaign over n PDB-mined complexes.
-func screenAt(seed uint64, n int, split bool) (Campaign, error) {
+func screenAt(seed uint64, n int, p Params) (Campaign, error) {
 	targets, err := workload.MinedScreen(seed, n, workload.DefaultConfig())
 	if err != nil {
 		return Campaign{}, err
 	}
-	cfg, err := applyPilots(core.AdaptiveConfig(seed), split)
+	cfg, err := applyExecution(core.AdaptiveConfig(seed), p)
 	if err != nil {
 		return Campaign{}, err
 	}
@@ -154,6 +174,31 @@ func screenAt(seed uint64, n int, split bool) (Campaign, error) {
 		Targets: targets,
 		Config:  cfg,
 	}, nil
+}
+
+// policyCompareAt builds one IM-RP campaign per registered scheduling
+// policy at one seed, all over the identical named-PDZ workload — the
+// cluster-simulator experiment shape: the workload is the control
+// variable, the scheduler is the treatment.
+func policyCompareAt(seed uint64, split bool) ([]Campaign, error) {
+	targets, err := workload.NamedTargets(seed, workload.DefaultConfig())
+	if err != nil {
+		return nil, err
+	}
+	var all []Campaign
+	for _, pol := range sched.Names() {
+		cfg, err := applyExecution(core.AdaptiveConfig(seed), Params{SplitPilots: split, Policy: pol})
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, Campaign{
+			Name:    fmt.Sprintf("policy/%s/seed%d", pol, seed),
+			Seed:    seed,
+			Targets: targets,
+			Config:  cfg,
+		})
+	}
+	return all, nil
 }
 
 func init() {
@@ -167,7 +212,7 @@ func init() {
 		Description: "CONT-V vs IM-RP over the paper's four PDZ domains (Table I workload)",
 		Build: func(p Params) ([]Campaign, error) {
 			p = p.withDefaults()
-			return pairAt(p.Seed, p.SplitPilots)
+			return pairAt(p.Seed, p)
 		},
 	}))
 	must(Register(Scenario{
@@ -177,7 +222,7 @@ func init() {
 			p = p.withDefaults()
 			var all []Campaign
 			for i := 0; i < p.Seeds; i++ {
-				pair, err := pairAt(p.Seed+uint64(i), p.SplitPilots)
+				pair, err := pairAt(p.Seed+uint64(i), p)
 				if err != nil {
 					return nil, err
 				}
@@ -191,7 +236,7 @@ func init() {
 		Description: "one IM-RP campaign over Targets PDB-mined PDZ-peptide complexes (Fig. 3 workload)",
 		Build: func(p Params) ([]Campaign, error) {
 			p = p.withDefaults()
-			c, err := screenAt(p.Seed, p.Targets, p.SplitPilots)
+			c, err := screenAt(p.Seed, p.Targets, p)
 			if err != nil {
 				return nil, err
 			}
@@ -205,7 +250,7 @@ func init() {
 			p = p.withDefaults()
 			var all []Campaign
 			for i := 0; i < p.Seeds; i++ {
-				c, err := screenAt(p.Seed+uint64(i), p.Targets, p.SplitPilots)
+				c, err := screenAt(p.Seed+uint64(i), p.Targets, p)
 				if err != nil {
 					return nil, err
 				}
@@ -213,5 +258,26 @@ func init() {
 			}
 			return all, nil
 		},
+	}))
+	must(Register(Scenario{
+		Name:        "policy-compare",
+		Description: "races every scheduling policy (fifo, backfill, bestfit, worstfit, largest) as IM-RP campaigns over a Seeds-wide seed sweep of the four PDZ domains",
+		Build: func(p Params) ([]Campaign, error) {
+			p = p.withDefaults()
+			if p.Policy != "" {
+				return nil, fmt.Errorf("campaign: policy-compare races every policy; a fixed policy %q does not apply", p.Policy)
+			}
+			var all []Campaign
+			for i := 0; i < p.Seeds; i++ {
+				cs, err := policyCompareAt(p.Seed+uint64(i), p.SplitPilots)
+				if err != nil {
+					return nil, err
+				}
+				all = append(all, cs...)
+			}
+			return all, nil
+		},
+		Report:    report.PolicyCompare,
+		ReportCSV: report.PolicyCompareCSV,
 	}))
 }

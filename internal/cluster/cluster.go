@@ -192,6 +192,17 @@ func (c *Cluster) Release(a *Alloc) {
 	}
 }
 
+// NodeFree returns each node's free counters as requests, in node order —
+// the per-node ledger snapshot scheduling policies rank placements
+// against.
+func (c *Cluster) NodeFree() []Request {
+	out := make([]Request, len(c.nodes))
+	for i, n := range c.nodes {
+		out[i] = Request{Cores: n.freeCores, GPUs: n.freeGPUs, MemGB: n.freeMemGB}
+	}
+	return out
+}
+
 // FreeCores returns the total free cores across nodes.
 func (c *Cluster) FreeCores() int {
 	t := 0

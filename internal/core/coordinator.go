@@ -23,6 +23,7 @@ import (
 	"impress/internal/pilot"
 	"impress/internal/pipeline"
 	"impress/internal/protein"
+	"impress/internal/sched"
 	"impress/internal/simclock"
 	"impress/internal/trace"
 	"impress/internal/workload"
@@ -97,8 +98,14 @@ type Config struct {
 	// MaxConcurrent caps concurrently active pipelines (0 = unlimited;
 	// the control runner forces 1).
 	MaxConcurrent int
-	// Backfill enables the agent scheduler's backfill pass.
+	// Backfill enables the agent scheduler's backfill pass. It is
+	// consulted only when Policy is empty.
 	Backfill bool
+	// Policy names the agent scheduling policy for every pilot of the
+	// campaign (internal/sched: fifo, backfill, bestfit, worstfit,
+	// largest). Empty derives the classic behaviour from Backfill.
+	// Individual PilotSpec entries may override it per pilot.
+	Policy string
 	// Seed is the campaign's root seed.
 	Seed uint64
 }
@@ -174,6 +181,14 @@ func NewCoordinator(targets []*workload.Target, cfg Config) (*Coordinator, error
 	if err := validatePilots(cfg.pilotSpecs()); err != nil {
 		return nil, err
 	}
+	if err := sched.Validate(cfg.Policy); err != nil {
+		return nil, err
+	}
+	for _, ps := range cfg.pilotSpecs() {
+		if err := sched.Validate(ps.Policy); err != nil {
+			return nil, fmt.Errorf("core: pilot %q: %w", ps.Name, err)
+		}
+	}
 	if cfg.Sub.Enabled {
 		if cfg.Sub.Cycles <= 0 || cfg.Sub.Quantile < 0 || cfg.Sub.Quantile > 1 || cfg.Sub.TempFactor <= 0 {
 			return nil, fmt.Errorf("core: invalid sub-pipeline policy %+v", cfg.Sub)
@@ -219,6 +234,7 @@ func (c *Coordinator) Run() (*Result, error) {
 			Machine:  ps.Machine,
 			Cost:     c.cfg.Pipeline.Cost,
 			Backfill: c.cfg.Backfill,
+			Policy:   ps.policyFor(c.cfg),
 			Walltime: c.cfg.Walltime,
 			Seed:     xrand.Derive(c.cfg.Seed, ps.Name),
 		})

@@ -50,6 +50,19 @@ type PilotSpec struct {
 	Machine cluster.Spec
 	// Serves restricts the task classes routed here; empty serves all.
 	Serves []ResourceClass
+	// Policy overrides the campaign's scheduling policy for this pilot
+	// (internal/sched name); empty inherits Config.Policy.
+	Policy string
+}
+
+// policyFor resolves the scheduling policy this pilot runs under: its own
+// override, else the campaign-wide policy, else empty (the pilot layer
+// then derives fifo/backfill from the legacy Backfill flag).
+func (ps PilotSpec) policyFor(cfg Config) string {
+	if ps.Policy != "" {
+		return ps.Policy
+	}
+	return cfg.Policy
 }
 
 // ServesClass reports whether the spec accepts tasks of class c.

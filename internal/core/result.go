@@ -1,6 +1,7 @@
 package core
 
 import (
+	"strings"
 	"time"
 
 	"impress/internal/ga"
@@ -58,6 +59,9 @@ type Result struct {
 	// Pilots names the campaign's pilot partitions in submission order
 	// (a single "pilot" for classic campaigns).
 	Pilots []string
+	// Policies records each pilot's resolved scheduling policy, parallel
+	// to Pilots.
+	Policies []string
 
 	// Starting maps target → native (generation 0) metrics.
 	Starting map[string]landscape.Metrics
@@ -99,8 +103,9 @@ func (c *Coordinator) buildResult() *Result {
 		FinalDesigns:      c.bestDesign,
 		TaskRecords:       c.rec.Tasks(),
 	}
-	for _, ps := range c.specs {
+	for i, ps := range c.specs {
 		res.Pilots = append(res.Pilots, ps.Name)
+		res.Policies = append(res.Policies, c.pilots[i].Policy())
 	}
 	for _, tg := range c.targets {
 		res.Targets = append(res.Targets, tg.Name)
@@ -162,6 +167,46 @@ func medianOver(ms map[string]landscape.Metrics, f MetricSeries) float64 {
 // Table I's "Net Δ" columns.
 func (r *Result) NetDelta(f MetricSeries) float64 {
 	return medianOver(r.FinalBest, f) - medianOver(r.Starting, f)
+}
+
+// PolicyLabel summarizes the campaign's scheduling policy set: the single
+// policy name when every pilot agrees (the common case), otherwise the
+// per-pilot names joined with "+".
+func (r *Result) PolicyLabel() string {
+	if len(r.Policies) == 0 {
+		return ""
+	}
+	label := r.Policies[0]
+	for _, p := range r.Policies[1:] {
+		if p != r.Policies[0] {
+			return strings.Join(r.Policies, "+")
+		}
+	}
+	return label
+}
+
+// QueueWait returns the mean and max task queue wait — submission to the
+// start of exec setup — over tasks that actually reached an allocation.
+// This is the scheduling-policy quantity: FIFO holds small tasks behind a
+// wide head and inflates it, backfill-style policies deflate it.
+func (r *Result) QueueWait() (mean, max time.Duration) {
+	var total time.Duration
+	n := 0
+	for _, tr := range r.TaskRecords {
+		if !tr.Placed {
+			continue // never left the queue (failed fast or cancelled while queued)
+		}
+		w := tr.Wait()
+		total += w
+		if w > max {
+			max = w
+		}
+		n++
+	}
+	if n == 0 {
+		return 0, 0
+	}
+	return total / time.Duration(n), max
 }
 
 // StartingMedian returns the median starting value of a metric.

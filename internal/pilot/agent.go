@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"impress/internal/cluster"
+	"impress/internal/sched"
 	"impress/internal/simclock"
 	"impress/internal/trace"
 )
@@ -13,12 +14,15 @@ import (
 // Scheduler"). It places queued tasks onto the pilot's resource ledger as
 // capacity frees up, runs their sandbox setup, replays their phase
 // profiles on the virtual timeline, and reports every transition through
-// the TaskManager.
+// the TaskManager. The *order* in which queued tasks are offered
+// resources is delegated to a sched.Policy; the agent owns the mechanism
+// (allocation, setup, execution, unwinding).
 type agent struct {
 	pilot   *Pilot
 	cluster *cluster.Cluster
 	rec     *trace.Recorder
 	tm      *TaskManager
+	policy  sched.Policy
 
 	queue   []*Task
 	running map[string]*execution
@@ -41,11 +45,12 @@ type execution struct {
 	inSetup   bool
 }
 
-func newAgent(p *Pilot, clu *cluster.Cluster, rec *trace.Recorder) *agent {
+func newAgent(p *Pilot, clu *cluster.Cluster, rec *trace.Recorder, pol sched.Policy) *agent {
 	return &agent{
 		pilot:   p,
 		cluster: clu,
 		rec:     rec,
+		policy:  pol,
 		running: make(map[string]*execution),
 	}
 }
@@ -62,12 +67,13 @@ func (a *agent) enqueue(t *Task) {
 // QueueLen returns the number of tasks waiting for resources.
 func (a *agent) QueueLen() int { return len(a.queue) }
 
-// schedule is the continuous scheduling pass: walk the queue in
-// submission order and start every task whose allocation fits. Without
-// backfill the pass stops at the first task that does not fit (strict
-// FIFO); with backfill later tasks may jump the blocked head — that is
-// how adaptive sub-pipelines soak up idle resources while a wide MSA task
-// waits.
+// schedule is the continuous scheduling pass: offer free capacity to
+// queued tasks in the order the pilot's scheduling policy picks, starting
+// every task whose allocation fits. Under "fifo" the pass stops at the
+// first task that does not fit (strict submission order); under
+// "backfill" and the fit-ranking policies later tasks may jump a blocked
+// one — that is how adaptive sub-pipelines soak up idle resources while
+// a wide MSA task waits.
 func (a *agent) schedule() {
 	if a.scheduling {
 		a.rerun = true
@@ -86,27 +92,71 @@ func (a *agent) schedule() {
 }
 
 func (a *agent) schedulePass() {
-	if a.pilot.state != PilotActive {
+	if a.pilot.state != PilotActive || len(a.queue) == 0 {
 		return
 	}
-	backfill := a.pilot.desc.Backfill
-	var remaining []*Task
-	blocked := false
+	// Fast path for submission-order policies (fifo/backfill): no queue
+	// view, no ledger snapshot, no ordering — the legacy pass verbatim.
+	if sched.SubmissionOrder(a.policy) {
+		continueOnBlock := a.policy.ContinueOnBlock()
+		var remaining []*Task
+		blocked := false
+		for i, t := range a.queue {
+			if blocked && !continueOnBlock {
+				remaining = append(remaining, a.queue[i:]...)
+				break
+			}
+			alloc := a.cluster.Allocate(requestOf(t))
+			if alloc == nil {
+				blocked = true
+				remaining = append(remaining, t)
+				continue
+			}
+			a.startSetup(t, alloc)
+		}
+		a.queue = remaining
+		return
+	}
+
+	items := make([]sched.Task, len(a.queue))
 	for i, t := range a.queue {
-		if blocked && !backfill {
-			remaining = append(remaining, a.queue[i:]...)
+		items[i] = sched.Task{UID: t.UID, Req: requestOf(t)}
+	}
+	order := a.policy.Order(items, sched.Capacity{Nodes: a.cluster.NodeFree()})
+
+	started := make([]bool, len(a.queue))
+	offered := make([]bool, len(a.queue))
+	blocked := false
+	for _, idx := range order {
+		if idx < 0 || idx >= len(a.queue) || offered[idx] {
+			panic(fmt.Sprintf("pilot: policy %q returned invalid placement order %v for a queue of %d", a.policy.Name(), order, len(a.queue)))
+		}
+		offered[idx] = true
+		if blocked && !a.policy.ContinueOnBlock() {
 			break
 		}
-		req := cluster.Request{Cores: t.Description.Cores, GPUs: t.Description.GPUs, MemGB: t.Description.MemGB}
-		alloc := a.cluster.Allocate(req)
+		t := a.queue[idx]
+		alloc := a.cluster.Allocate(requestOf(t))
 		if alloc == nil {
 			blocked = true
-			remaining = append(remaining, t)
 			continue
 		}
+		started[idx] = true
 		a.startSetup(t, alloc)
 	}
+	// Unstarted tasks stay queued in submission order, whatever order the
+	// policy visited them in.
+	var remaining []*Task
+	for i, t := range a.queue {
+		if !started[i] {
+			remaining = append(remaining, t)
+		}
+	}
 	a.queue = remaining
+}
+
+func requestOf(t *Task) cluster.Request {
+	return cluster.Request{Cores: t.Description.Cores, GPUs: t.Description.GPUs, MemGB: t.Description.MemGB}
 }
 
 // startSetup begins the sandbox preparation phase. Setup time grows with
@@ -213,13 +263,13 @@ func (a *agent) finish(ex *execution, state TaskState, err error) {
 		if t.RunAt > 0 || state == StateDone {
 			a.rec.AddPhase(trace.PhaseRunning, t.EndedAt.Sub(t.RunAt))
 		}
-		a.rec.AddTask(a.record(t, state))
+		a.rec.AddTask(a.record(t, state, true))
 	}
 	a.tm.transition(t, state)
 	a.schedule()
 }
 
-func (a *agent) record(t *Task, state TaskState) trace.TaskRecord {
+func (a *agent) record(t *Task, state TaskState, placed bool) trace.TaskRecord {
 	return trace.TaskRecord{
 		ID:        t.ID,
 		Name:      t.Description.Name,
@@ -230,6 +280,7 @@ func (a *agent) record(t *Task, state TaskState) trace.TaskRecord {
 		Cores:     t.Description.Cores,
 		GPUs:      t.Description.GPUs,
 		State:     state.String(),
+		Placed:    placed,
 	}
 }
 
@@ -246,7 +297,7 @@ func (a *agent) cancel(t *Task, reason string) {
 		t.EndedAt = a.pilot.engine.Now()
 		t.Err = fmt.Errorf("pilot: %s", reason)
 		if a.rec != nil {
-			a.rec.AddTask(a.record(t, StateCanceled))
+			a.rec.AddTask(a.record(t, StateCanceled, false))
 		}
 		a.tm.transition(t, StateCanceled)
 	case StateExecSetup, StateRunning:

@@ -1,0 +1,247 @@
+package pilot
+
+// Scheduler invariant suite: a randomized, property-style harness that
+// drives every registered scheduling policy over random workloads, seeds,
+// machine shapes, cancellations, and walltimes, and asserts the
+// properties no policy is allowed to break:
+//
+//   - the capacity ledger never goes negative and never exceeds the
+//     pilot's cores/GPUs/memory,
+//   - no task is lost (every submission reaches exactly one terminal
+//     state) and none is placed twice,
+//   - cancellation unwinds busy-resource deltas exactly (the ledger and
+//     the busy series both return to empty),
+//   - strict FIFO never starves the queue head: tasks enter exec-setup
+//     in submission order.
+//
+// The randomness is seeded per (policy, trial), so failures reproduce.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"impress/internal/cluster"
+	"impress/internal/sched"
+	"impress/internal/simclock"
+	"impress/internal/trace"
+)
+
+func TestSchedulerInvariants(t *testing.T) {
+	const trials = 6
+	for _, polName := range sched.Names() {
+		for trial := 0; trial < trials; trial++ {
+			t.Run(fmt.Sprintf("%s/trial%d", polName, trial), func(t *testing.T) {
+				runInvariantTrial(t, polName, int64(trial))
+			})
+		}
+	}
+}
+
+func runInvariantTrial(t *testing.T, polName string, trial int64) {
+	rng := rand.New(rand.NewSource(trial*1000003 + int64(len(polName))*7919))
+
+	spec := cluster.Spec{
+		Name:         "rand",
+		Nodes:        1 + rng.Intn(3),
+		CoresPerNode: 4 + rng.Intn(28),
+		GPUsPerNode:  rng.Intn(5),
+		MemGBPerNode: 16 + rng.Intn(112),
+	}
+	pd := PilotDescription{
+		Machine: spec,
+		Cost:    testCost(),
+		Policy:  polName,
+		Seed:    uint64(trial + 1),
+	}
+	pd.Cost.JitterFrac = 0.2
+	pd.Cost.SetupPerConcur = 5 * time.Second
+	if rng.Intn(3) == 0 {
+		pd.Walltime = time.Duration(2+rng.Intn(6)) * time.Hour
+	}
+
+	engine := simclock.New()
+	rec := trace.NewRecorder(spec.TotalCores(), spec.TotalGPUs(), 0)
+	pm := NewPilotManager(engine, rec)
+	p, err := pm.Submit(pd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm := NewTaskManager(engine, p)
+
+	totalCores, totalGPUs, totalMem := spec.TotalCores(), spec.TotalGPUs(), spec.TotalMemGB()
+	clu := p.Cluster()
+
+	// Ledger bounds and double-placement are checked on every transition,
+	// while the pass is mid-flight — not only at quiescence.
+	setups := make(map[string]int)
+	terminals := make(map[string]int)
+	var setupOrder []uint64
+	tm.OnState(func(task *Task, s TaskState) {
+		if clu.FreeCores() < 0 || clu.FreeCores() > totalCores ||
+			clu.FreeGPUs() < 0 || clu.FreeGPUs() > totalGPUs ||
+			clu.FreeMemGB() < 0 || clu.FreeMemGB() > totalMem {
+			t.Fatalf("ledger out of bounds at %v: %d cores, %d GPUs, %d GB free",
+				engine.Now(), clu.FreeCores(), clu.FreeGPUs(), clu.FreeMemGB())
+		}
+		switch {
+		case s == StateExecSetup:
+			setups[task.ID]++
+			setupOrder = append(setupOrder, task.UID)
+		case s.Final():
+			terminals[task.ID]++
+		}
+	})
+
+	// A random workload: mostly feasible shapes, some impossible ones
+	// (fail fast), submitted both up front and mid-campaign.
+	nTasks := 25 + rng.Intn(40)
+	var tasks []*Task
+	submit := func() {
+		cores := rng.Intn(spec.CoresPerNode + 1)
+		gpus := 0
+		if spec.GPUsPerNode > 0 && rng.Intn(3) == 0 {
+			gpus = 1 + rng.Intn(spec.GPUsPerNode)
+		}
+		if cores == 0 && gpus == 0 {
+			cores = 1
+		}
+		mem := rng.Intn(spec.MemGBPerNode)
+		if rng.Intn(12) == 0 {
+			cores = spec.CoresPerNode + 1 + rng.Intn(8) // impossible: fails fast
+		}
+		dur := time.Duration(1+rng.Intn(90)) * time.Minute
+		busyC, busyG := rng.Intn(cores+1), 0
+		if gpus > 0 {
+			busyG = rng.Intn(gpus + 1)
+		}
+		tasks = append(tasks, tm.MustSubmit(TaskDescription{
+			Name: "rand", Cores: cores, GPUs: gpus, MemGB: mem,
+			Work: WorkFunc(func(*ExecContext) (Result, error) {
+				return Result{Phases: []Phase{{Name: "p", Duration: dur, BusyCores: busyC, BusyGPUs: busyG}}}, nil
+			}),
+		}))
+	}
+	upfront := 1 + rng.Intn(nTasks)
+	for i := 0; i < upfront; i++ {
+		submit()
+	}
+	for i := upfront; i < nTasks; i++ {
+		engine.After(time.Duration(rng.Intn(600))*time.Minute, submit)
+	}
+
+	// Random cancellations, queued and running alike.
+	cancels := rng.Intn(nTasks / 3)
+	for i := 0; i < cancels; i++ {
+		at := time.Duration(rng.Intn(600)) * time.Minute
+		engine.After(at, func() {
+			if len(tasks) == 0 {
+				return
+			}
+			tm.Cancel(tasks[rng.Intn(len(tasks))])
+		})
+	}
+
+	engine.Run()
+
+	// No task lost: every submission reached exactly one terminal state.
+	if len(tasks) != nTasks {
+		t.Fatalf("submitted %d tasks, expected %d", len(tasks), nTasks)
+	}
+	for _, task := range tasks {
+		if !task.State().Final() {
+			t.Fatalf("task %s stuck in %v", task.ID, task.State())
+		}
+		if n := terminals[task.ID]; n != 1 {
+			t.Fatalf("task %s reached %d terminal states", task.ID, n)
+		}
+		if n := setups[task.ID]; n > 1 {
+			t.Fatalf("task %s placed %d times", task.ID, n)
+		}
+		if task.State() == StateDone && setups[task.ID] != 1 {
+			t.Fatalf("task %s done without a placement", task.ID)
+		}
+	}
+
+	// Cancellation and completion unwound every delta exactly: the
+	// ledger is full again and the busy series has returned to zero.
+	if clu.FreeCores() != totalCores || clu.FreeGPUs() != totalGPUs || clu.FreeMemGB() != totalMem {
+		t.Fatalf("ledger leaked: %d/%d cores, %d/%d GPUs, %d/%d GB free",
+			clu.FreeCores(), totalCores, clu.FreeGPUs(), totalGPUs, clu.FreeMemGB(), totalMem)
+	}
+	end := engine.Now().Add(time.Minute)
+	if trace.Sample(rec.CPUSeries(), end) != 0 || trace.Sample(rec.GPUSeries(), end) != 0 {
+		t.Fatal("busy counters not unwound to zero")
+	}
+
+	// Strict FIFO never starves the queue head: placements happen in
+	// submission (UID) order.
+	if polName == "fifo" {
+		for i := 1; i < len(setupOrder); i++ {
+			if setupOrder[i] < setupOrder[i-1] {
+				t.Fatalf("fifo placed out of submission order: %v", setupOrder)
+			}
+		}
+	}
+}
+
+// TestPolicyMatchesLegacyBackfillFlag proves the tentpole's compatibility
+// claim: the explicit "fifo" and "backfill" policies are bit-identical to
+// the legacy Backfill flag off/on.
+func TestPolicyMatchesLegacyBackfillFlag(t *testing.T) {
+	timeline := func(pd PilotDescription) []simclock.Time {
+		engine := simclock.New()
+		pm := NewPilotManager(engine, nil)
+		p, err := pm.Submit(pd)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tm := NewTaskManager(engine, p)
+		var tasks []*Task
+		for i := 0; i < 40; i++ {
+			tasks = append(tasks, tm.MustSubmit(TaskDescription{
+				Name: "t", Cores: 3 + i%20, GPUs: i % 3,
+				Work: sleepWork("x", time.Duration(i%17+1)*11*time.Minute, 3, i%3),
+			}))
+		}
+		engine.Run()
+		var out []simclock.Time
+		for _, task := range tasks {
+			out = append(out, task.SetupAt, task.EndedAt)
+		}
+		return out
+	}
+	for _, tc := range []struct {
+		backfill bool
+		policy   string
+	}{
+		{false, "fifo"},
+		{true, "backfill"},
+	} {
+		legacy := defaultPD()
+		legacy.Backfill = tc.backfill
+		legacy.Cost.JitterFrac = 0.15
+		explicit := legacy
+		explicit.Policy = tc.policy
+		a, b := timeline(legacy), timeline(explicit)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("policy %q diverges from Backfill=%v at point %d: %v vs %v",
+					tc.policy, tc.backfill, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+// TestUnknownPolicyRejected closes the configuration loop: a bad policy
+// name fails at pilot submission, not mid-campaign.
+func TestUnknownPolicyRejected(t *testing.T) {
+	engine := simclock.New()
+	pm := NewPilotManager(engine, nil)
+	pd := defaultPD()
+	pd.Policy = "round-robin"
+	if _, err := pm.Submit(pd); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+}

@@ -6,6 +6,7 @@ import (
 
 	"impress/internal/cluster"
 	"impress/internal/costmodel"
+	"impress/internal/sched"
 	"impress/internal/simclock"
 	"impress/internal/trace"
 )
@@ -45,8 +46,13 @@ type PilotDescription struct {
 	Cost costmodel.Params
 	// Backfill lets the agent scheduler start later queued tasks when
 	// the queue head does not fit — the mechanism that lets IM-RP
-	// "offload newly created pipelines to idle resources".
+	// "offload newly created pipelines to idle resources". It is
+	// consulted only when Policy is empty.
 	Backfill bool
+	// Policy names the agent's scheduling policy (internal/sched): fifo,
+	// backfill, bestfit, worstfit, largest. Empty derives the classic
+	// behaviour from Backfill ("backfill" when set, "fifo" otherwise).
+	Policy string
 	// Walltime bounds the pilot lifetime from activation; zero means
 	// unbounded.
 	Walltime time.Duration
@@ -81,6 +87,14 @@ func (pm *PilotManager) Submit(pd PilotDescription) (*Pilot, error) {
 	if err := pd.Cost.Validate(); err != nil {
 		return nil, err
 	}
+	polName := pd.Policy
+	if polName == "" {
+		polName = sched.Default(pd.Backfill)
+	}
+	pol, err := sched.New(polName)
+	if err != nil {
+		return nil, err
+	}
 	clu, err := cluster.New(pd.Machine)
 	if err != nil {
 		return nil, err
@@ -92,7 +106,7 @@ func (pm *PilotManager) Submit(pd PilotDescription) (*Pilot, error) {
 		engine: pm.engine,
 		state:  PilotLaunching,
 	}
-	p.agent = newAgent(p, clu, pm.rec)
+	p.agent = newAgent(p, clu, pm.rec, pol)
 
 	boot := pd.Cost.BootstrapTime
 	if pm.rec != nil {
@@ -135,6 +149,9 @@ func (p *Pilot) ActiveAt() simclock.Time { return p.activeAt }
 
 // Description returns the pilot's submitted description.
 func (p *Pilot) Description() PilotDescription { return p.desc }
+
+// Policy returns the resolved name of the agent's scheduling policy.
+func (p *Pilot) Policy() string { return p.agent.policy.Name() }
 
 // Cluster exposes the pilot's resource ledger (read-mostly; used by
 // adaptive clients to inspect idle capacity during decision-making).

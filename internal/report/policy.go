@@ -1,0 +1,94 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+
+	"impress/internal/core"
+	"impress/internal/stats"
+)
+
+// PolicyCompare renders the scheduling-policy comparison: one row per
+// policy, aggregating every campaign that ran under it (typically a seed
+// sweep from the policy-compare scenario). The columns are the
+// scheduler's levers — makespan, queue wait, utilization — plus the
+// science outcome (trajectories, net pLDDT) so a policy that goes fast by
+// starving the protocol shows up immediately.
+func PolicyCompare(results []*core.Result) string {
+	groups := make(map[string][]*core.Result)
+	for _, r := range results {
+		if r == nil {
+			continue
+		}
+		groups[r.PolicyLabel()] = append(groups[r.PolicyLabel()], r)
+	}
+	names := make([]string, 0, len(groups))
+	for n := range groups {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	t := NewTable("Policy", "Campaigns", "Makespan (h)", "Queue wait", "Max wait",
+		"CPU %", "GPU %", "Traj", "ΔpLDDT")
+	for _, name := range names {
+		rs := groups[name]
+		collect := func(f func(*core.Result) float64) []float64 {
+			out := make([]float64, len(rs))
+			for i, r := range rs {
+				out[i] = f(r)
+			}
+			return out
+		}
+		var meanWait, maxWait time.Duration
+		for _, r := range rs {
+			m, x := r.QueueWait()
+			meanWait += m
+			if x > maxWait {
+				maxWait = x
+			}
+		}
+		meanWait /= time.Duration(len(rs))
+		t.AddRow(
+			name,
+			fmt.Sprintf("%d", len(rs)),
+			fmt.Sprintf("%.2f", stats.Median(collect(func(r *core.Result) float64 { return r.Makespan.Hours() }))),
+			fmtWait(meanWait),
+			fmtWait(maxWait),
+			fmt.Sprintf("%.1f", 100*stats.Median(collect(func(r *core.Result) float64 { return r.CPUUtilization }))),
+			fmt.Sprintf("%.1f", 100*stats.Median(collect(func(r *core.Result) float64 { return r.GPUUtilization }))),
+			fmt.Sprintf("%.1f", stats.Median(collect(func(r *core.Result) float64 { return float64(r.TrajectoryCount()) }))),
+			fmt.Sprintf("%+.2f", stats.Median(collect(func(r *core.Result) float64 { return r.NetDelta(core.PLDDTOf) }))),
+		)
+	}
+	var sb strings.Builder
+	sb.WriteString("Scheduling-policy comparison (medians over campaigns; waits averaged)\n")
+	sb.WriteString(t.String())
+	return sb.String()
+}
+
+// fmtWait renders a queue-wait duration at minute precision.
+func fmtWait(d time.Duration) string {
+	return fmt.Sprintf("%.1fm", d.Minutes())
+}
+
+// PolicyCompareCSV writes the per-campaign policy comparison rows.
+func PolicyCompareCSV(w io.Writer, results []*core.Result) error {
+	if _, err := fmt.Fprintln(w, "policy,approach,makespan_h,queue_wait_mean_m,queue_wait_max_m,cpu_util,gpu_util,trajectories,dplddt"); err != nil {
+		return err
+	}
+	for _, r := range results {
+		if r == nil {
+			continue
+		}
+		mean, max := r.QueueWait()
+		if _, err := fmt.Fprintf(w, "%s,%s,%.4f,%.4f,%.4f,%.4f,%.4f,%d,%.4f\n",
+			r.PolicyLabel(), r.Approach, r.Makespan.Hours(), mean.Minutes(), max.Minutes(),
+			r.CPUUtilization, r.GPUUtilization, r.TrajectoryCount(), r.NetDelta(core.PLDDTOf)); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -43,6 +43,11 @@ type TaskRecord struct {
 	Cores     int
 	GPUs      int
 	State     string
+	// Placed reports whether the task ever received an allocation (it
+	// reached exec setup). Tasks that failed fast or were cancelled while
+	// still queued have Placed false; timestamps alone cannot tell them
+	// apart from tasks placed at virtual time zero.
+	Placed bool
 }
 
 // Wait returns time from submission to the start of exec setup.
