@@ -366,3 +366,36 @@ func BenchmarkScreenScaling(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkFaultSweep runs a one-seed, single-rate resilience sweep —
+// the fault-free baseline plus every recovery policy at a 20% per-task
+// failure rate — on the campaign engine, reporting per-policy goodput.
+// CI runs it at -benchtime 1x as the fault subsystem's smoke test.
+func BenchmarkFaultSweep(b *testing.B) {
+	campaigns, err := impress.BuildScenario("fault-sweep", impress.ScenarioParams{
+		Seed:  42,
+		Seeds: 1,
+		Fault: impress.FaultSpec{TaskFailProb: 0.2},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var outs []impress.CampaignOutcome
+	for i := 0; i < b.N; i++ {
+		outs = impress.RunCampaigns(campaigns, 0)
+		for _, o := range outs {
+			if o.Err != nil {
+				b.Fatalf("campaign %s failed: %v", o.Name, o.Err)
+			}
+		}
+	}
+	goodput, faulty := 0.0, 0
+	for _, o := range outs {
+		if o.Result.Faults != nil {
+			goodput += o.Result.Goodput()
+			faulty++
+		}
+	}
+	b.ReportMetric(float64(len(outs)), "campaigns")
+	b.ReportMetric(100*goodput/float64(faulty), "goodput-%")
+}

@@ -13,6 +13,9 @@
 //	-screen N     Fig. 3 screen size (default 70, the paper's)
 //	-parallel N   run experiments concurrently (default 1; 0 = GOMAXPROCS)
 //	-policy P     scheduling-policy ablation (fifo, backfill, bestfit, worstfit, largest)
+//	-fault P      resilience ablation: per-task failure probability
+//	-mtbf D       resilience ablation: node crash MTBF (with -repair)
+//	-recovery R   fault-recovery policy (none, retry, backoff, elsewhere)
 //	-out DIR      also write <experiment>.txt and <experiment>.csv files
 package main
 
@@ -24,21 +27,29 @@ import (
 	"strings"
 
 	"impress"
+	"impress/internal/cliflags"
 )
 
 func main() {
-	seed := flag.Uint64("seed", 42, "campaign seed")
+	common := cliflags.Register(flag.CommandLine, cliflags.Options{
+		SeedDefault:     42,
+		ParallelDefault: 1,
+	})
 	screen := flag.Int("screen", 70, "Fig. 3 screen size")
-	parallel := flag.Int("parallel", 1, "experiments to run concurrently (0 = GOMAXPROCS)")
-	policy := flag.String("policy", "", "agent scheduling policy ablation: "+strings.Join(impress.SchedulingPolicies(), ", ")+" (empty = the paper's defaults)")
 	outDir := flag.String("out", "", "directory for .txt/.csv outputs (optional)")
 	flag.Parse()
 
-	if err := impress.ValidatePolicy(*policy); err != nil {
+	if err := common.Validate(); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	opts := impress.ExperimentOptions{Policy: *policy}
+	seed := &common.Seed
+	parallel := &common.Parallel
+	opts := impress.ExperimentOptions{
+		Policy:   common.Policy,
+		Fault:    common.Fault(),
+		Recovery: common.Recovery,
+	}
 
 	selected := flag.Args()
 	if len(selected) == 0 {

@@ -10,9 +10,11 @@
 //	impress-run -protocol imrp -cycles 6 -sequences 16 -max-concurrent 2
 //	impress-run -protocol imrp -pilots split
 //	impress-run -protocol imrp -policy bestfit
+//	impress-run -protocol imrp -fault 0.15 -recovery retry
 //	impress-run -scenario sweep -seeds 12 -parallel 4
 //	impress-run -scenario stress -seeds 4 -screen-size 16 -parallel 8
 //	impress-run -scenario policy-compare -seeds 4 -parallel 8
+//	impress-run -scenario fault-sweep -seeds 4 -parallel 8 -mtbf 12h -csv resilience.csv
 package main
 
 import (
@@ -20,22 +22,23 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
-	"strings"
 
 	"impress"
+	"impress/internal/cliflags"
 )
 
 func main() {
+	common := cliflags.Register(flag.CommandLine, cliflags.Options{
+		SeedDefault:     42,
+		ParallelDefault: 1,
+		WithPilots:      true,
+	})
 	protocol := flag.String("protocol", "imrp", "protocol: imrp (adaptive) or contv (control)")
 	scenario := flag.String("scenario", "", "run a registered scenario instead of a single campaign (pair, sweep, screen, stress); -list-scenarios shows all")
 	listScenarios := flag.Bool("list-scenarios", false, "list registered scenarios and exit")
-	parallel := flag.Int("parallel", 1, "campaign engine workers (0 = GOMAXPROCS)")
-	pilots := flag.String("pilots", "single", "pilot placement: single (one shared pilot) or split (CPU pilot + GPU pilot)")
-	policy := flag.String("policy", "", "agent scheduling policy: "+strings.Join(impress.SchedulingPolicies(), ", ")+" (empty = protocol default)")
 	targetsKind := flag.String("targets", "named", "workload: named (4 PDZ domains) or screen")
 	screenSize := flag.Int("screen-size", 70, "screen workload size (also the scenario Targets parameter)")
 	seeds := flag.Int("seeds", 8, "scenario sweep width (multi-seed scenarios)")
-	seed := flag.Uint64("seed", 42, "campaign seed")
 	cycles := flag.Int("cycles", 0, "override design cycles per pipeline (0 = protocol default)")
 	sequences := flag.Int("sequences", 0, "override MPNN sequences per cycle (0 = default)")
 	retries := flag.Int("retries", -1, "override Stage-6 alternate retries (-1 = default)")
@@ -57,19 +60,11 @@ func main() {
 		return
 	}
 
-	split := false
-	switch *pilots {
-	case "single":
-	case "split":
-		split = true
-	default:
-		fmt.Fprintf(os.Stderr, "unknown pilot placement %q (want single or split)\n", *pilots)
-		os.Exit(2)
-	}
-	if err := impress.ValidatePolicy(*policy); err != nil {
+	if err := common.Validate(); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
+	split := common.SplitPilots()
 
 	if *scenario != "" {
 		// Scenarios are self-contained campaign declarations: the
@@ -83,6 +78,9 @@ func main() {
 				"screen-size": true, "pilots": true, "parallel": true,
 				"policy": true, "csv": sc.ReportCSV != nil,
 			}
+			for _, name := range cliflags.FaultFlagNames() {
+				compat[name] = true
+			}
 			var ignored []string
 			flag.Visit(func(f *flag.Flag) {
 				if !compat[f.Name] {
@@ -95,12 +93,14 @@ func main() {
 			}
 		}
 		runScenario(*scenario, impress.ScenarioParams{
-			Seed:        *seed,
+			Seed:        common.Seed,
 			Seeds:       *seeds,
 			Targets:     *screenSize,
 			SplitPilots: split,
-			Policy:      *policy,
-		}, *parallel, *csvPath)
+			Policy:      common.Policy,
+			Fault:       common.Fault(),
+			Recovery:    common.Recovery,
+		}, common.Parallel, *csvPath)
 		return
 	}
 
@@ -111,9 +111,9 @@ func main() {
 	var cfg impress.Config
 	switch *protocol {
 	case "imrp":
-		cfg = impress.AdaptiveConfig(*seed)
+		cfg = impress.AdaptiveConfig(common.Seed)
 	case "contv":
-		cfg = impress.ControlConfig(*seed)
+		cfg = impress.ControlConfig(common.Seed)
 	default:
 		fmt.Fprintf(os.Stderr, "unknown protocol %q (want imrp or contv)\n", *protocol)
 		os.Exit(2)
@@ -126,9 +126,13 @@ func main() {
 		}
 		cfg.Pilots = ps
 	}
-	if *policy != "" {
-		cfg.Policy = *policy
+	if common.Policy != "" {
+		cfg.Policy = common.Policy
 	}
+	if fs := common.Fault(); fs.Enabled() {
+		cfg.Fault = fs
+	}
+	cfg.Recovery = common.Recovery
 	if *cycles > 0 {
 		cfg.Pipeline.Cycles = *cycles
 	}
@@ -154,9 +158,9 @@ func main() {
 	)
 	switch *targetsKind {
 	case "named":
-		targets, err = impress.NamedPDZTargets(*seed)
+		targets, err = impress.NamedPDZTargets(common.Seed)
 	case "screen":
-		targets, err = impress.PDZScreen(*seed, *screenSize)
+		targets, err = impress.PDZScreen(common.Seed, *screenSize)
 	default:
 		fmt.Fprintf(os.Stderr, "unknown workload %q (want named or screen)\n", *targetsKind)
 		os.Exit(2)
@@ -167,8 +171,8 @@ func main() {
 	}
 
 	c := impress.Campaign{
-		Name:    fmt.Sprintf("%s/seed%d", *protocol, *seed),
-		Seed:    *seed,
+		Name:    fmt.Sprintf("%s/seed%d", *protocol, common.Seed),
+		Seed:    common.Seed,
 		Targets: targets,
 		Config:  cfg,
 	}
@@ -182,6 +186,11 @@ func main() {
 	}
 	res := out.Result
 	fmt.Println(impress.Summary(res))
+	if f := res.Faults; f != nil {
+		fmt.Printf("faults: %d task, %d node-crash (%d crashes), %d walltime; %d resubmitted, %d terminal, %d pipelines lost; goodput %.1f%%\n",
+			f.TaskFaults, f.NodeCrashKills, f.NodeCrashes, f.WalltimeKills,
+			f.Resubmissions, f.TerminalFailures, f.KilledPipelines, 100*res.Goodput())
+	}
 	fmt.Println()
 	for it := 1; it <= res.Iterations(); it++ {
 		pl, ps := res.IterationSummary(it, impress.PLDDT)

@@ -5,21 +5,23 @@
 // Seeds run concurrently on the campaign engine's worker pool; campaigns
 // are hermetically seeded, so results are identical at any -parallel
 // setting. A failing seed is reported and skipped — completed rows are
-// kept and still summarized and written to CSV.
+// kept, still summarized, and still written to CSV — but the process
+// always exits non-zero when any seed failed.
 //
 //	impress-sweep -seeds 10
 //	impress-sweep -seeds 20 -parallel 8 -csv sweep.csv
 //	impress-sweep -seeds 10 -pilots split
 //	impress-sweep -seeds 10 -policy bestfit
+//	impress-sweep -seeds 10 -fault 0.1 -recovery backoff
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
-	"strings"
 
 	"impress"
+	"impress/internal/cliflags"
 	"impress/internal/stats"
 )
 
@@ -29,26 +31,32 @@ type row struct {
 }
 
 func main() {
+	os.Exit(run())
+}
+
+// run keeps the exit policy in one place: non-zero whenever any seed
+// failed to build or execute, even though completed rows are always
+// summarized and written.
+func run() int {
+	common := cliflags.Register(flag.CommandLine, cliflags.Options{
+		SeedName:    "first-seed",
+		SeedDefault: 100,
+		SeedUsage:   "first seed of the sweep",
+		WithPilots:  true,
+	})
 	nSeeds := flag.Int("seeds", 8, "number of seeds to sweep")
-	firstSeed := flag.Uint64("first-seed", 100, "first seed of the sweep")
-	parallel := flag.Int("parallel", 0, "campaign engine workers (0 = GOMAXPROCS)")
-	pilots := flag.String("pilots", "single", "pilot placement: single or split (CPU pilot + GPU pilot)")
-	policy := flag.String("policy", "", "agent scheduling policy: "+strings.Join(impress.SchedulingPolicies(), ", ")+" (empty = protocol default)")
 	csvPath := flag.String("csv", "", "write per-seed results as CSV")
 	flag.Parse()
 
-	split := false
-	switch *pilots {
-	case "single":
-	case "split":
-		split = true
-	default:
-		fmt.Fprintf(os.Stderr, "unknown pilot placement %q (want single or split)\n", *pilots)
-		os.Exit(2)
-	}
-	if err := impress.ValidatePolicy(*policy); err != nil {
+	if err := common.Validate(); err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		return 2
+	}
+	params := impress.ScenarioParams{
+		SplitPilots: common.SplitPilots(),
+		Policy:      common.Policy,
+		Fault:       common.Fault(),
+		Recovery:    common.Recovery,
 	}
 
 	// Build the sweep as campaign data: a CONT-V/IM-RP pair per seed.
@@ -56,18 +64,19 @@ func main() {
 	var buildErrs int
 	seeds := make([]uint64, 0, *nSeeds)
 	for i := 0; i < *nSeeds; i++ {
-		seed := *firstSeed + uint64(i)
-		pair, err := impress.BuildScenario("pair", impress.ScenarioParams{Seed: seed, SplitPilots: split, Policy: *policy})
+		p := params
+		p.Seed = common.Seed + uint64(i)
+		pair, err := impress.BuildScenario("pair", p)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "seed %d: %v\n", seed, err)
+			fmt.Fprintf(os.Stderr, "seed %d: %v\n", p.Seed, err)
 			buildErrs++
 			continue
 		}
-		seeds = append(seeds, seed)
+		seeds = append(seeds, p.Seed)
 		campaigns = append(campaigns, pair...)
 	}
 
-	outs := impress.RunCampaigns(campaigns, *parallel)
+	outs := impress.RunCampaigns(campaigns, common.Parallel)
 
 	// Collect per-seed rows, keeping every completed pair even when other
 	// seeds failed.
@@ -93,7 +102,7 @@ func main() {
 	}
 	if len(rows) == 0 {
 		fmt.Fprintln(os.Stderr, "no seeds completed")
-		os.Exit(1)
+		return 1
 	}
 
 	collect := func(f func(r row) float64) []float64 {
@@ -127,30 +136,38 @@ func main() {
 	describe("IM-RP sub-pipelines", collect(func(r row) float64 { return float64(r.adpt.SubPipelines) }))
 	describe("IM-RP trajectories", collect(func(r row) float64 { return float64(r.adpt.TrajectoryCount()) }))
 	fmt.Printf("  IM-RP beats CONT-V on Δ pLDDT in %d/%d seeds\n", wins, len(rows))
+	if params.Fault.Enabled() {
+		describe("IM-RP goodput", collect(func(r row) float64 { return r.adpt.Goodput() }))
+		describe("IM-RP killed pipelines", collect(func(r row) float64 { return float64(r.adpt.Faults.KilledPipelines) }))
+	}
 
 	if *csvPath != "" {
 		f, err := os.Create(*csvPath)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
-		defer f.Close()
-		fmt.Fprintln(f, "seed,approach,dplddt,dptm,dipae,cpu_util,gpu_util,trajectories,sub_pipelines,aggregate_h,makespan_h")
+		fmt.Fprintln(f, "seed,approach,dplddt,dptm,dipae,cpu_util,gpu_util,trajectories,sub_pipelines,aggregate_h,makespan_h,goodput")
 		for _, r := range rows {
 			for _, res := range []*impress.Result{r.ctrl, r.adpt} {
-				fmt.Fprintf(f, "%d,%s,%.4f,%.4f,%.4f,%.4f,%.4f,%d,%d,%.3f,%.3f\n",
+				fmt.Fprintf(f, "%d,%s,%.4f,%.4f,%.4f,%.4f,%.4f,%d,%d,%.3f,%.3f,%.4f\n",
 					r.seed, res.Approach,
 					res.NetDelta(impress.PLDDT), res.NetDelta(impress.PTM), res.NetDelta(impress.IPAE),
 					res.CPUUtilization, res.GPUUtilization,
 					res.TrajectoryCount(), res.SubPipelines,
-					res.AggregateTaskTime.Hours(), res.Makespan.Hours())
+					res.AggregateTaskTime.Hours(), res.Makespan.Hours(), res.Goodput())
 			}
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
 		}
 		fmt.Printf("\nwrote %s\n", *csvPath)
 	}
 
 	if failures > 0 {
 		fmt.Fprintf(os.Stderr, "\n%d seed(s) failed; %d completed rows kept\n", failures, len(rows))
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }

@@ -73,11 +73,24 @@ type ExperimentOptions struct {
 	// empty keeps each protocol's default (backfill for IM-RP, fifo for
 	// CONT-V).
 	Policy string
+	// Fault injects failure models into every campaign (a resilience
+	// ablation: regenerate Table I under a 10% task-fault rate); the
+	// zero value keeps the paper's fault-free runs.
+	Fault FaultSpec
+	// Recovery sets the fault-recovery policy of every campaign; empty
+	// keeps "none".
+	Recovery string
 }
 
 func (o ExperimentOptions) apply(cfg Config) Config {
 	if o.Policy != "" {
 		cfg.Policy = o.Policy
+	}
+	if o.Fault.Enabled() {
+		cfg.Fault = o.Fault
+	}
+	if o.Recovery != "" {
+		cfg.Recovery = o.Recovery
 	}
 	return cfg
 }

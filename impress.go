@@ -25,6 +25,7 @@ import (
 	"impress/internal/cluster"
 	"impress/internal/core"
 	"impress/internal/costmodel"
+	"impress/internal/fault"
 	"impress/internal/fold"
 	"impress/internal/ga"
 	"impress/internal/landscape"
@@ -82,6 +83,13 @@ type (
 	Scenario = campaign.Scenario
 	// ScenarioParams parameterizes scenario construction.
 	ScenarioParams = campaign.Params
+	// FaultSpec declares a campaign's failure models (per-task faults,
+	// node MTBF crashes, walltime expiry); the zero value injects
+	// nothing. Assign to Config.Fault or ScenarioParams.Fault.
+	FaultSpec = fault.Spec
+	// FaultStats is a campaign's fault-injection and recovery record
+	// (Result.Faults; nil without failure models).
+	FaultStats = core.FaultStats
 )
 
 // Resource classes for PilotSpec.Serves.
@@ -231,4 +239,23 @@ func PolicyCompare(results []*Result) string { return report.PolicyCompare(resul
 // PolicyCompareCSV writes one policy-comparison CSV row per result.
 func PolicyCompareCSV(w io.Writer, results []*Result) error {
 	return report.PolicyCompareCSV(w, results)
+}
+
+// RecoveryPolicies returns the registered fault-recovery policy names
+// (sorted): the values accepted by Config.Recovery, PilotSpec.Recovery,
+// and the cmds' -recovery flag.
+func RecoveryPolicies() []string { return fault.Names() }
+
+// ValidateRecovery checks a fault-recovery policy name; the empty string
+// is valid and means "none" (failures surface).
+func ValidateRecovery(name string) error { return fault.Validate(name) }
+
+// Resilience renders the fault-sweep comparison table over campaign
+// results grouped by (recovery policy, failure rate), against their
+// fault-free baselines — the report behind the fault-sweep scenario.
+func Resilience(results []*Result) string { return report.Resilience(results) }
+
+// ResilienceCSV writes one resilience CSV row per result.
+func ResilienceCSV(w io.Writer, results []*Result) error {
+	return report.ResilienceCSV(w, results)
 }

@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"impress/internal/core"
+	"impress/internal/fault"
 	"impress/internal/report"
 	"impress/internal/sched"
 	"impress/internal/workload"
@@ -30,6 +31,19 @@ type Params struct {
 	// policy-compare scenario rejects it at build time — racing all
 	// policies is its whole point.
 	Policy string
+	// Fault declares failure models injected into every campaign
+	// (internal/fault.Spec; the zero value injects nothing). The
+	// fault-sweep scenario uses its TaskFailProb — when non-zero — as a
+	// single-rate grid and carries the other models (NodeMTBF, Walltime)
+	// into every cell.
+	Fault fault.Spec
+	// Recovery sets the fault-recovery policy for every campaign
+	// (internal/fault name; empty keeps "none"). The fault-sweep
+	// scenario rejects it — racing all recovery policies is its point.
+	Recovery string
+	// FaultRates is the failure-rate grid for the fault-sweep scenario
+	// (default 0.05, 0.15, 0.30).
+	FaultRates []float64
 }
 
 func (p Params) withDefaults() Params {
@@ -118,8 +132,9 @@ func Build(name string, p Params) ([]Campaign, error) {
 	return s.Build(p)
 }
 
-// applyExecution switches a config to the split CPU/GPU pilot pair and/or
-// a non-default scheduling policy when the scenario params request them.
+// applyExecution switches a config to the split CPU/GPU pilot pair, a
+// non-default scheduling policy, and/or the fault/recovery configuration
+// when the scenario params request them.
 func applyExecution(cfg core.Config, p Params) (core.Config, error) {
 	if p.SplitPilots {
 		pilots, err := core.SplitPilots(cfg.Machine)
@@ -133,6 +148,18 @@ func applyExecution(cfg core.Config, p Params) (core.Config, error) {
 			return cfg, err
 		}
 		cfg.Policy = p.Policy
+	}
+	if p.Fault.Enabled() {
+		if err := p.Fault.Validate(); err != nil {
+			return cfg, err
+		}
+		cfg.Fault = p.Fault
+	}
+	if p.Recovery != "" {
+		if err := fault.Validate(p.Recovery); err != nil {
+			return cfg, err
+		}
+		cfg.Recovery = p.Recovery
 	}
 	return cfg, nil
 }
@@ -180,14 +207,16 @@ func screenAt(seed uint64, n int, p Params) (Campaign, error) {
 // policy at one seed, all over the identical named-PDZ workload — the
 // cluster-simulator experiment shape: the workload is the control
 // variable, the scheduler is the treatment.
-func policyCompareAt(seed uint64, split bool) ([]Campaign, error) {
+func policyCompareAt(seed uint64, p Params) ([]Campaign, error) {
 	targets, err := workload.NamedTargets(seed, workload.DefaultConfig())
 	if err != nil {
 		return nil, err
 	}
 	var all []Campaign
 	for _, pol := range sched.Names() {
-		cfg, err := applyExecution(core.AdaptiveConfig(seed), Params{SplitPilots: split, Policy: pol})
+		cell := p
+		cell.Policy = pol
+		cfg, err := applyExecution(core.AdaptiveConfig(seed), cell)
 		if err != nil {
 			return nil, err
 		}
@@ -197,6 +226,48 @@ func policyCompareAt(seed uint64, split bool) ([]Campaign, error) {
 			Targets: targets,
 			Config:  cfg,
 		})
+	}
+	return all, nil
+}
+
+// faultSweepAt builds one seed's slice of the resilience sweep: a
+// fault-free IM-RP baseline plus one campaign per (recovery policy,
+// failure rate) cell, all over the identical named-PDZ workload — the
+// workload is the control variable, the failure model and the recovery
+// policy are the treatments.
+func faultSweepAt(seed uint64, rates []float64, p Params) ([]Campaign, error) {
+	targets, err := workload.NamedTargets(seed, workload.DefaultConfig())
+	if err != nil {
+		return nil, err
+	}
+	base := p
+	base.Fault = fault.Spec{}
+	baseCfg, err := applyExecution(core.AdaptiveConfig(seed), base)
+	if err != nil {
+		return nil, err
+	}
+	all := []Campaign{{
+		Name:    fmt.Sprintf("fault/baseline/seed%d", seed),
+		Seed:    seed,
+		Targets: targets,
+		Config:  baseCfg,
+	}}
+	for _, rate := range rates {
+		for _, rec := range fault.Names() {
+			cell := p
+			cell.Fault.TaskFailProb = rate
+			cell.Recovery = rec
+			cfg, err := applyExecution(core.AdaptiveConfig(seed), cell)
+			if err != nil {
+				return nil, err
+			}
+			all = append(all, Campaign{
+				Name:    fmt.Sprintf("fault/%s/p%.2f/seed%d", rec, rate, seed),
+				Seed:    seed,
+				Targets: targets,
+				Config:  cfg,
+			})
+		}
 	}
 	return all, nil
 }
@@ -269,7 +340,7 @@ func init() {
 			}
 			var all []Campaign
 			for i := 0; i < p.Seeds; i++ {
-				cs, err := policyCompareAt(p.Seed+uint64(i), p.SplitPilots)
+				cs, err := policyCompareAt(p.Seed+uint64(i), p)
 				if err != nil {
 					return nil, err
 				}
@@ -279,5 +350,34 @@ func init() {
 		},
 		Report:    report.PolicyCompare,
 		ReportCSV: report.PolicyCompareCSV,
+	}))
+	must(Register(Scenario{
+		Name: "fault-sweep",
+		Description: "races every fault-recovery policy (none, retry, backoff, elsewhere) across a failure-rate grid " +
+			"and a Seeds-wide seed sweep, against fault-free baselines, and reports goodput / wasted work / makespan inflation",
+		Build: func(p Params) ([]Campaign, error) {
+			p = p.withDefaults()
+			if p.Recovery != "" {
+				return nil, fmt.Errorf("campaign: fault-sweep races every recovery policy; a fixed policy %q does not apply", p.Recovery)
+			}
+			rates := p.FaultRates
+			if p.Fault.TaskFailProb > 0 {
+				rates = []float64{p.Fault.TaskFailProb}
+			}
+			if len(rates) == 0 {
+				rates = []float64{0.05, 0.15, 0.30}
+			}
+			var all []Campaign
+			for i := 0; i < p.Seeds; i++ {
+				cs, err := faultSweepAt(p.Seed+uint64(i), rates, p)
+				if err != nil {
+					return nil, err
+				}
+				all = append(all, cs...)
+			}
+			return all, nil
+		},
+		Report:    report.Resilience,
+		ReportCSV: report.ResilienceCSV,
 	}))
 }

@@ -1,0 +1,120 @@
+// Package cliflags is the shared flag plumbing of the impress commands.
+//
+// impress-run, impress-sweep, and impress-experiments all expose the
+// same execution knobs — seed, engine parallelism, pilot placement,
+// scheduling policy, and the fault/recovery configuration — and before
+// this package each main declared its own copies, which drifted. Here
+// the common set is registered once, with per-command defaults, and
+// validated in one place.
+package cliflags
+
+import (
+	"flag"
+	"fmt"
+	"strings"
+	"time"
+
+	"impress/internal/fault"
+	"impress/internal/sched"
+)
+
+// Options sets the per-command differences when registering the common
+// flags.
+type Options struct {
+	// SeedName renames the seed flag (impress-sweep calls it
+	// "first-seed"); empty means "seed".
+	SeedName string
+	// SeedDefault is the seed flag's default (0 is taken literally, so
+	// commands wanting the classic 42 must say so).
+	SeedDefault uint64
+	// SeedUsage overrides the seed flag's usage text.
+	SeedUsage string
+	// ParallelDefault is the -parallel default (0 = GOMAXPROCS).
+	ParallelDefault int
+	// WithPilots also registers -pilots (single|split); commands whose
+	// campaigns fix their own placement leave it off.
+	WithPilots bool
+}
+
+// Common holds the parsed values of the shared flags.
+type Common struct {
+	// Seed is the campaign (or first sweep) seed.
+	Seed uint64
+	// Parallel is the campaign-engine worker count (0 = GOMAXPROCS).
+	Parallel int
+	// Pilots is the placement name ("single" or "split"); only set when
+	// registered via Options.WithPilots.
+	Pilots string
+	// Policy is the agent scheduling policy name ("" = default).
+	Policy string
+	// FaultRate is the per-task failure probability (0 = no task
+	// faults).
+	FaultRate float64
+	// MTBF enables the node-crash model (0 = off).
+	MTBF time.Duration
+	// Repair is the node repair window (used when MTBF is set).
+	Repair time.Duration
+	// Recovery is the fault-recovery policy name ("" = none).
+	Recovery string
+
+	withPilots bool
+}
+
+// Register declares the shared flags on fs and returns the value holder.
+func Register(fs *flag.FlagSet, o Options) *Common {
+	c := &Common{withPilots: o.WithPilots}
+	seedName := o.SeedName
+	if seedName == "" {
+		seedName = "seed"
+	}
+	seedUsage := o.SeedUsage
+	if seedUsage == "" {
+		seedUsage = "campaign seed"
+	}
+	fs.Uint64Var(&c.Seed, seedName, o.SeedDefault, seedUsage)
+	fs.IntVar(&c.Parallel, "parallel", o.ParallelDefault, "campaign engine workers (0 = GOMAXPROCS)")
+	if o.WithPilots {
+		fs.StringVar(&c.Pilots, "pilots", "single", "pilot placement: single (one shared pilot) or split (CPU pilot + GPU pilot)")
+	}
+	fs.StringVar(&c.Policy, "policy", "",
+		"agent scheduling policy: "+strings.Join(sched.Names(), ", ")+" (empty = protocol default)")
+	fs.Float64Var(&c.FaultRate, "fault", 0, "per-task failure probability injected into every pilot (0 = no task faults)")
+	fs.DurationVar(&c.MTBF, "mtbf", 0, "node mean-time-between-failures for the crash model (0 = no node crashes)")
+	fs.DurationVar(&c.Repair, "repair", fault.DefaultNodeRepair, "node repair window after a crash (with -mtbf)")
+	fs.StringVar(&c.Recovery, "recovery", "",
+		"fault-recovery policy: "+strings.Join(fault.Names(), ", ")+" (empty = none)")
+	return c
+}
+
+// Validate checks every shared value; commands call it right after
+// flag.Parse and print the error verbatim.
+func (c *Common) Validate() error {
+	if c.withPilots && c.Pilots != "single" && c.Pilots != "split" {
+		return fmt.Errorf("unknown pilot placement %q (want single or split)", c.Pilots)
+	}
+	if err := sched.Validate(c.Policy); err != nil {
+		return err
+	}
+	if err := fault.Validate(c.Recovery); err != nil {
+		return err
+	}
+	return c.Fault().Validate()
+}
+
+// SplitPilots reports whether -pilots selected the split placement.
+func (c *Common) SplitPilots() bool { return c.Pilots == "split" }
+
+// Fault assembles the failure-model spec the shared flags describe.
+func (c *Common) Fault() fault.Spec {
+	s := fault.Spec{TaskFailProb: c.FaultRate}
+	if c.MTBF > 0 {
+		s.NodeMTBF = c.MTBF
+		s.NodeRepair = c.Repair
+	}
+	return s
+}
+
+// FaultFlagNames lists the flag names this package registers for the
+// fault subsystem — commands that gate scenario-incompatible flags use
+// it to keep their allowlists in one place.
+func FaultFlagNames() []string { return []string{"fault", "mtbf", "repair", "recovery"} }

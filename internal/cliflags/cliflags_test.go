@@ -1,0 +1,74 @@
+package cliflags
+
+import (
+	"flag"
+	"testing"
+	"time"
+)
+
+func parse(t *testing.T, o Options, args ...string) *Common {
+	t.Helper()
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	c := Register(fs, o)
+	if err := fs.Parse(args); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestDefaultsAndRenaming(t *testing.T) {
+	c := parse(t, Options{SeedDefault: 42, ParallelDefault: 1, WithPilots: true})
+	if c.Seed != 42 || c.Parallel != 1 || c.Pilots != "single" || c.Recovery != "" || c.FaultRate != 0 {
+		t.Fatalf("defaults wrong: %+v", c)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Fault().Enabled() {
+		t.Fatal("default fault spec enabled")
+	}
+
+	c = parse(t, Options{SeedName: "first-seed", SeedDefault: 100}, "-first-seed", "7")
+	if c.Seed != 7 {
+		t.Fatalf("renamed seed flag not parsed: %+v", c)
+	}
+}
+
+func TestFaultFlags(t *testing.T) {
+	c := parse(t, Options{WithPilots: true},
+		"-fault", "0.2", "-mtbf", "6h", "-repair", "20m", "-recovery", "elsewhere", "-pilots", "split")
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !c.SplitPilots() {
+		t.Fatal("split placement not detected")
+	}
+	s := c.Fault()
+	if s.TaskFailProb != 0.2 || s.NodeMTBF != 6*time.Hour || s.NodeRepair != 20*time.Minute {
+		t.Fatalf("fault spec %+v", s)
+	}
+	// Without -mtbf the repair default must not enable the crash model.
+	c = parse(t, Options{}, "-fault", "0.1")
+	if s := c.Fault(); s.NodeMTBF != 0 || s.NodeRepair != 0 {
+		t.Fatalf("crash model leaked into spec: %+v", s)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	for _, args := range [][]string{
+		{"-pilots", "mesh"},
+		{"-policy", "roulette"},
+		{"-recovery", "hope"},
+		{"-fault", "1.5"},
+	} {
+		c := parse(t, Options{WithPilots: true}, args...)
+		if err := c.Validate(); err == nil {
+			t.Fatalf("args %v accepted", args)
+		}
+	}
+	// -pilots is only validated when registered.
+	c := parse(t, Options{})
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -10,7 +10,10 @@
 // MSA phase runs.
 package cluster
 
-import "fmt"
+import (
+	"fmt"
+	"slices"
+)
 
 // Spec describes a homogeneous partition of nodes.
 type Spec struct {
@@ -98,6 +101,11 @@ type Node struct {
 	freeCores int
 	freeGPUs  int
 	freeMemGB int
+	// down marks a crashed node (fault injection): its free capacity is
+	// withheld from allocation until repair. The free counters keep
+	// tracking outstanding allocations so the ledger stays exact across
+	// crash/repair cycles.
+	down bool
 }
 
 // Cluster is the allocation ledger for a Spec. It is not safe for
@@ -157,12 +165,24 @@ func (c *Cluster) Fits(r Request) bool {
 }
 
 // Allocate reserves resources on the first node that fits (first-fit
-// packing). It returns nil when nothing fits right now.
+// packing). It returns nil when nothing fits right now. Crashed (down)
+// nodes never receive allocations.
 func (c *Cluster) Allocate(r Request) *Alloc {
+	return c.AllocateExcluding(r, nil)
+}
+
+// AllocateExcluding is Allocate with a per-request node exclusion list —
+// the mechanism behind the "resubmit-elsewhere" recovery policy, which
+// retries a failed task away from the node that killed it. A nil or
+// empty list is exactly Allocate.
+func (c *Cluster) AllocateExcluding(r Request, avoid []int) *Alloc {
 	if !c.Fits(r) {
 		return nil
 	}
 	for _, n := range c.nodes {
+		if n.down || slices.Contains(avoid, n.ID) {
+			continue
+		}
 		if n.freeCores >= r.Cores && n.freeGPUs >= r.GPUs && n.freeMemGB >= r.MemGB {
 			n.freeCores -= r.Cores
 			n.freeGPUs -= r.GPUs
@@ -194,13 +214,53 @@ func (c *Cluster) Release(a *Alloc) {
 
 // NodeFree returns each node's free counters as requests, in node order —
 // the per-node ledger snapshot scheduling policies rank placements
-// against.
+// against. Crashed nodes report zero free capacity so no policy ranks a
+// placement onto hardware that cannot take it.
 func (c *Cluster) NodeFree() []Request {
 	out := make([]Request, len(c.nodes))
 	for i, n := range c.nodes {
+		if n.down {
+			continue
+		}
 		out[i] = Request{Cores: n.freeCores, GPUs: n.freeGPUs, MemGB: n.freeMemGB}
 	}
 	return out
+}
+
+// NodeCount returns the number of nodes in the cluster.
+func (c *Cluster) NodeCount() int { return len(c.nodes) }
+
+// SetNodeDown withdraws a node from allocation (node crash). Resources
+// already allocated on it stay accounted; the fault injector is
+// responsible for failing the resident tasks.
+func (c *Cluster) SetNodeDown(id int) {
+	c.node(id).down = true
+}
+
+// SetNodeUp returns a repaired node to allocation.
+func (c *Cluster) SetNodeUp(id int) {
+	c.node(id).down = false
+}
+
+// NodeIsDown reports whether a node is currently withdrawn.
+func (c *Cluster) NodeIsDown(id int) bool { return c.node(id).down }
+
+// DownNodes returns the IDs of currently crashed nodes, ascending.
+func (c *Cluster) DownNodes() []int {
+	var out []int
+	for _, n := range c.nodes {
+		if n.down {
+			out = append(out, n.ID)
+		}
+	}
+	return out
+}
+
+func (c *Cluster) node(id int) *Node {
+	if id < 0 || id >= len(c.nodes) {
+		panic(fmt.Sprintf("cluster: node %d outside [0,%d)", id, len(c.nodes)))
+	}
+	return c.nodes[id]
 }
 
 // FreeCores returns the total free cores across nodes.

@@ -183,3 +183,92 @@ func TestPropertyConservation(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestNodeDownWithholdsCapacity(t *testing.T) {
+	c, err := New(Spec{Name: "dual", Nodes: 2, CoresPerNode: 8, GPUsPerNode: 2, MemGBPerNode: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wide := Request{Cores: 8, GPUs: 2, MemGB: 32}
+	c.SetNodeDown(0)
+	if !c.NodeIsDown(0) || c.NodeIsDown(1) {
+		t.Fatal("down flags wrong")
+	}
+	if got := c.DownNodes(); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("DownNodes = %v", got)
+	}
+	// Free counters still report the full ledger; only placement is
+	// withheld.
+	if c.FreeCores() != 16 {
+		t.Fatalf("FreeCores = %d", c.FreeCores())
+	}
+	a1 := c.Allocate(wide)
+	if a1 == nil || a1.Node.ID != 1 {
+		t.Fatalf("allocation went to %+v, want node 1", a1)
+	}
+	if a := c.Allocate(Request{Cores: 1}); a != nil {
+		t.Fatalf("allocated on a down node: %+v", a)
+	}
+	// The policy snapshot shows zero free capacity on the down node.
+	free := c.NodeFree()
+	if free[0] != (Request{}) {
+		t.Fatalf("down node free snapshot = %+v", free[0])
+	}
+	c.SetNodeUp(0)
+	a2 := c.Allocate(Request{Cores: 1})
+	if a2 == nil || a2.Node.ID != 0 {
+		t.Fatalf("repaired node did not take the allocation: %+v", a2)
+	}
+	c.Release(a1)
+	c.Release(a2)
+	if c.FreeCores() != 16 || c.FreeGPUs() != 4 {
+		t.Fatal("ledger leaked across down/up cycle")
+	}
+}
+
+func TestReleaseToDownNodeKeepsLedgerExact(t *testing.T) {
+	c, err := New(Spec{Name: "solo", Nodes: 1, CoresPerNode: 8, GPUsPerNode: 0, MemGBPerNode: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := c.Allocate(Request{Cores: 6, MemGB: 8})
+	if a == nil {
+		t.Fatal("allocation failed")
+	}
+	c.SetNodeDown(0)
+	c.Release(a) // crash kills the resident task; its resources return
+	if c.FreeCores() != 8 || c.FreeMemGB() != 16 {
+		t.Fatal("release to a down node lost resources")
+	}
+	if got := c.Allocate(Request{Cores: 1}); got != nil {
+		t.Fatal("down node accepted work after release")
+	}
+	c.SetNodeUp(0)
+	if got := c.Allocate(Request{Cores: 8, MemGB: 16}); got == nil {
+		t.Fatal("full capacity not restored after repair")
+	}
+}
+
+func TestAllocateExcluding(t *testing.T) {
+	c, err := New(Spec{Name: "trio", Nodes: 3, CoresPerNode: 4, GPUsPerNode: 0, MemGBPerNode: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := Request{Cores: 4, MemGB: 8}
+	a := c.AllocateExcluding(r, []int{0, 1})
+	if a == nil || a.Node.ID != 2 {
+		t.Fatalf("exclusion ignored: %+v", a)
+	}
+	if got := c.AllocateExcluding(r, []int{0, 1}); got != nil {
+		t.Fatalf("allocated beyond capacity: %+v", got)
+	}
+	// Excluding every node never allocates, even with free capacity.
+	if got := c.AllocateExcluding(Request{Cores: 1}, []int{0, 1, 2}); got != nil {
+		t.Fatalf("allocated on an excluded node: %+v", got)
+	}
+	// Nil exclusion is exactly Allocate.
+	b := c.AllocateExcluding(Request{Cores: 1}, nil)
+	if b == nil || b.Node.ID != 0 {
+		t.Fatalf("nil exclusion diverged from Allocate: %+v", b)
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"impress/internal/cluster"
+	"impress/internal/fault"
 	"impress/internal/ga"
 	"impress/internal/pilot"
 	"impress/internal/pipeline"
@@ -106,6 +107,16 @@ type Config struct {
 	// largest). Empty derives the classic behaviour from Backfill.
 	// Individual PilotSpec entries may override it per pilot.
 	Policy string
+	// Fault declares the failure models injected into every pilot
+	// (internal/fault). The zero value is inert: the campaign is
+	// bit-identical to one run without the fault subsystem. With faults
+	// enabled, a pipeline whose task fails terminally is killed and
+	// counted instead of failing the campaign.
+	Fault fault.Spec
+	// Recovery names the fault-recovery policy for every pilot
+	// (internal/fault: none, retry, backoff, elsewhere). Empty means
+	// "none". Individual PilotSpec entries may override it per pilot.
+	Recovery string
 	// Seed is the campaign's root seed.
 	Seed uint64
 }
@@ -165,6 +176,9 @@ type Coordinator struct {
 	terminated    int
 	evaluations   int
 	failedTasks   int
+	retriedTasks  int
+	killed        map[string]bool
+	inFlight      map[string][]*pilot.Task
 	nextSubID     int
 	errs          []error
 }
@@ -184,8 +198,17 @@ func NewCoordinator(targets []*workload.Target, cfg Config) (*Coordinator, error
 	if err := sched.Validate(cfg.Policy); err != nil {
 		return nil, err
 	}
+	if err := cfg.Fault.Validate(); err != nil {
+		return nil, err
+	}
+	if err := fault.Validate(cfg.Recovery); err != nil {
+		return nil, err
+	}
 	for _, ps := range cfg.pilotSpecs() {
 		if err := sched.Validate(ps.Policy); err != nil {
+			return nil, fmt.Errorf("core: pilot %q: %w", ps.Name, err)
+		}
+		if err := fault.Validate(ps.Recovery); err != nil {
 			return nil, fmt.Errorf("core: pilot %q: %w", ps.Name, err)
 		}
 	}
@@ -211,6 +234,8 @@ func NewCoordinator(targets []*workload.Target, cfg Config) (*Coordinator, error
 		pool:         ga.NewPool(),
 		subPerTarget: make(map[string]int),
 		bestDesign:   make(map[string]*protein.Structure),
+		killed:       make(map[string]bool),
+		inFlight:     make(map[string][]*pilot.Task),
 	}, nil
 }
 
@@ -236,6 +261,8 @@ func (c *Coordinator) Run() (*Result, error) {
 			Backfill: c.cfg.Backfill,
 			Policy:   ps.policyFor(c.cfg),
 			Walltime: c.cfg.Walltime,
+			Fault:    c.cfg.Fault,
+			Recovery: ps.recoveryFor(c.cfg),
 			Seed:     xrand.Derive(c.cfg.Seed, ps.Name),
 		})
 		if err != nil {
@@ -245,6 +272,7 @@ func (c *Coordinator) Run() (*Result, error) {
 	}
 	c.tm = pilot.NewTaskManager(c.engine, c.pilots...)
 	c.tm.OnState(c.onTaskState)
+	c.tm.SetRerouter(c.rerouteResubmission)
 
 	// Construct the base pipelines — one per starting structure, as in
 	// the paper's implementation ("submitting a single protein structure
@@ -288,13 +316,33 @@ func (c *Coordinator) startWaiting() {
 
 // onTaskState is the completed-tasks communication channel (Fig. 1): it
 // routes every finished task back to its pipeline and feeds the outcome
-// through the decision-making step.
+// through the decision-making step. Under fault injection it is also the
+// recovery router: attempts with a planned resubmission are simply
+// awaited, while terminal failures kill their pipeline (a counted,
+// survivable outcome) instead of failing the whole campaign.
 func (c *Coordinator) onTaskState(t *pilot.Task, s pilot.TaskState) {
 	switch s {
 	case pilot.StateDone:
 	case pilot.StateFailed, pilot.StateCanceled:
-		if plID := t.Tag("pipeline"); plID != "" {
-			c.failedTasks++
+		plID := t.Tag("pipeline")
+		if plID == "" {
+			return
+		}
+		if t.WillRetry() {
+			// The recovery policy scheduled another attempt; the pipeline
+			// just keeps waiting for the stage result.
+			c.retriedTasks++
+			return
+		}
+		if c.killed[plID] {
+			// Cleanup cancellation of a killed pipeline's remaining work;
+			// the loss is already booked.
+			return
+		}
+		c.failedTasks++
+		if c.cfg.Fault.Enabled() {
+			c.killPipeline(plID, t, s)
+		} else {
 			c.errs = append(c.errs, fmt.Errorf("task %s (%s) ended %v: %w", t.ID, t.Description.Name, s, t.Err))
 		}
 		return
@@ -302,6 +350,11 @@ func (c *Coordinator) onTaskState(t *pilot.Task, s pilot.TaskState) {
 		return
 	}
 	plID := t.Tag("pipeline")
+	if c.killed[plID] {
+		// A straggler of a killed pipeline (e.g. the surviving half of a
+		// split fold) completed; its result has nowhere to go.
+		return
+	}
 	pl, ok := c.pipelines[plID]
 	if !ok {
 		c.errs = append(c.errs, fmt.Errorf("task %s references unknown pipeline %q", t.ID, plID))
@@ -323,8 +376,16 @@ func (c *Coordinator) onTaskState(t *pilot.Task, s pilot.TaskState) {
 func (c *Coordinator) apply(pl *pipeline.Pipeline, out pipeline.Outcome) {
 	for _, step := range out.Steps {
 		c.route(&step.Desc)
-		if _, err := c.tm.Submit(step.Desc); err != nil {
+		t, err := c.tm.Submit(step.Desc)
+		if err != nil {
 			c.errs = append(c.errs, err)
+			continue
+		}
+		if c.cfg.Fault.Enabled() {
+			// Remember the pipeline's submissions so killPipeline can
+			// cancel the survivors instead of letting them burn
+			// allocation on a result nobody will read.
+			c.inFlight[pl.ID] = append(c.inFlight[pl.ID], t)
 		}
 	}
 	if out.Cycle != nil {
@@ -357,6 +418,62 @@ func (c *Coordinator) apply(pl *pipeline.Pipeline, out pipeline.Outcome) {
 		c.publish(EventPipelineFinished, pl, nil, note)
 		c.active--
 		c.startWaiting()
+		c.maybeStopFaults()
+	}
+}
+
+// killPipeline retires a pipeline whose task failed terminally under
+// fault injection: the pipeline can never conclude (its stage result is
+// lost), so the campaign books the loss and moves on — the resilience
+// metrics the fault-sweep scenario measures are built from these counts.
+func (c *Coordinator) killPipeline(plID string, t *pilot.Task, s pilot.TaskState) {
+	pl, ok := c.pipelines[plID]
+	if !ok || c.killed[plID] || pl.Finished() {
+		return
+	}
+	c.killed[plID] = true
+	c.publish(EventPipelineKilled, pl, nil,
+		fmt.Sprintf("task %s (%s) ended %v after %d attempt(s): %v", t.ID, t.Description.Name, s, t.Attempt, t.Err))
+	// Abort the pipeline's other in-flight work (e.g. the surviving half
+	// of a split fold): its results have nowhere to go, so every further
+	// core-hour would be waste.
+	for _, sib := range c.inFlight[plID] {
+		c.tm.CancelChain(sib, "pipeline "+plID+" killed by fault")
+	}
+	delete(c.inFlight, plID)
+	c.active--
+	c.startWaiting()
+	c.maybeStopFaults()
+}
+
+// rerouteResubmission picks a surviving pilot for a resubmitted task,
+// honouring the campaign's resource-class routing (PilotSpec.Serves)
+// exactly as the original placement did.
+func (c *Coordinator) rerouteResubmission(td pilot.TaskDescription) (*pilot.Pilot, bool) {
+	class := ClassOf(td)
+	req := cluster.Request{Cores: td.Cores, GPUs: td.GPUs, MemGB: td.MemGB}
+	for i, ps := range c.specs {
+		p := c.pilots[i]
+		if p.State() == pilot.PilotDone || !ps.ServesClass(class) {
+			continue
+		}
+		if p.Cluster().Fits(req) {
+			return p, true
+		}
+	}
+	return nil, false
+}
+
+// maybeStopFaults retires every pilot's fault injector once no pipeline
+// is active or waiting. The injectors' crash chains are standing events;
+// left armed they would keep the discrete-event engine alive after the
+// campaign's real work has drained.
+func (c *Coordinator) maybeStopFaults() {
+	if c.active > 0 || len(c.waiting) > 0 {
+		return
+	}
+	for _, p := range c.pilots {
+		p.StopFaultInjection()
 	}
 }
 

@@ -25,6 +25,9 @@ const (
 	EventPipelineFinished
 	// EventCampaignDone fires once, after the last pipeline.
 	EventCampaignDone
+	// EventPipelineKilled fires when fault injection destroys a pipeline:
+	// one of its tasks failed terminally (recovery exhausted or absent).
+	EventPipelineKilled
 )
 
 func (k EventKind) String() string {
@@ -39,6 +42,8 @@ func (k EventKind) String() string {
 		return "pipeline-finished"
 	case EventCampaignDone:
 		return "campaign-done"
+	case EventPipelineKilled:
+		return "pipeline-killed"
 	default:
 		return fmt.Sprintf("EventKind(%d)", int(k))
 	}

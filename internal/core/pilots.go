@@ -53,6 +53,9 @@ type PilotSpec struct {
 	// Policy overrides the campaign's scheduling policy for this pilot
 	// (internal/sched name); empty inherits Config.Policy.
 	Policy string
+	// Recovery overrides the campaign's fault-recovery policy for this
+	// pilot (internal/fault name); empty inherits Config.Recovery.
+	Recovery string
 }
 
 // policyFor resolves the scheduling policy this pilot runs under: its own
@@ -63,6 +66,16 @@ func (ps PilotSpec) policyFor(cfg Config) string {
 		return ps.Policy
 	}
 	return cfg.Policy
+}
+
+// recoveryFor resolves the fault-recovery policy this pilot runs under,
+// mirroring policyFor: per-pilot override, else campaign-wide, else
+// empty (the pilot layer defaults to "none").
+func (ps PilotSpec) recoveryFor(cfg Config) string {
+	if ps.Recovery != "" {
+		return ps.Recovery
+	}
+	return cfg.Recovery
 }
 
 // ServesClass reports whether the spec accepts tasks of class c.

@@ -4,8 +4,10 @@ import (
 	"strings"
 	"time"
 
+	"impress/internal/fault"
 	"impress/internal/ga"
 	"impress/internal/landscape"
+	"impress/internal/pilot"
 	"impress/internal/pipeline"
 	"impress/internal/protein"
 	"impress/internal/stats"
@@ -17,6 +19,10 @@ import (
 type Result struct {
 	// Approach labels the protocol ("IM-RP" or "CONT-V").
 	Approach string
+	// Seed is the campaign's root seed (Config.Seed) — the key resilience
+	// reports use to pair fault-injected runs with their fault-free
+	// baselines.
+	Seed uint64
 	// Targets lists the campaign's target names in submission order.
 	Targets []string
 
@@ -62,6 +68,12 @@ type Result struct {
 	// Policies records each pilot's resolved scheduling policy, parallel
 	// to Pilots.
 	Policies []string
+	// Recoveries records each pilot's resolved fault-recovery policy,
+	// parallel to Pilots.
+	Recoveries []string
+	// Faults carries the fault-injection accounting; nil when the
+	// campaign ran without failure models.
+	Faults *FaultStats
 
 	// Starting maps target → native (generation 0) metrics.
 	Starting map[string]landscape.Metrics
@@ -74,6 +86,54 @@ type Result struct {
 	TaskRecords []trace.TaskRecord
 }
 
+// FaultStats is a campaign's fault-injection and recovery record — the
+// raw material of the resilience report.
+type FaultStats struct {
+	// Spec echoes the campaign's failure models (its TaskFailProb is the
+	// grid coordinate of a fault-sweep cell).
+	Spec fault.Spec
+	// Recovery summarizes the campaign's recovery policy set: the single
+	// name when every pilot agrees, else names joined with "+".
+	Recovery string
+	// TaskFaults, NodeCrashKills, WalltimeKills, and PayloadFaults count
+	// failed attempts by fault kind.
+	TaskFaults     int
+	NodeCrashKills int
+	WalltimeKills  int
+	PayloadFaults  int
+	// NodeCrashes counts node-crash events across all pilots.
+	NodeCrashes int
+	// Resubmissions counts attempts requeued by recovery policies.
+	Resubmissions int
+	// TerminalFailures counts attempts whose chain ended in failure.
+	TerminalFailures int
+	// RetriedTasks counts FAILED transitions the coordinator absorbed
+	// because a resubmission was planned.
+	RetriedTasks int
+	// KilledPipelines counts pipelines destroyed by terminal failures.
+	KilledPipelines int
+	// AttemptsHistogram maps attempts-needed -> logical tasks whose
+	// chain ended after exactly that many attempts.
+	AttemptsHistogram map[int]int
+	// DowntimeNodeSeconds is the total node downtime injected by crash
+	// repair windows, in node-seconds.
+	DowntimeNodeSeconds float64
+	// WastedCoreHours is allocation time consumed by attempts that did
+	// not complete (failed or cancelled after placement), in core-hours.
+	WastedCoreHours float64
+}
+
+// MaxAttempts returns the deepest attempt chain observed.
+func (f *FaultStats) MaxAttempts() int {
+	max := 0
+	for k := range f.AttemptsHistogram {
+		if k > max {
+			max = k
+		}
+	}
+	return max
+}
+
 func (c *Coordinator) buildResult() *Result {
 	approach := "CONT-V"
 	if c.cfg.Pipeline.Adaptive {
@@ -81,6 +141,7 @@ func (c *Coordinator) buildResult() *Result {
 	}
 	res := &Result{
 		Approach:          approach,
+		Seed:              c.cfg.Seed,
 		Trajectories:      c.trajectories,
 		Pool:              c.pool,
 		BasePipelines:     c.basePipelines,
@@ -106,6 +167,10 @@ func (c *Coordinator) buildResult() *Result {
 	for i, ps := range c.specs {
 		res.Pilots = append(res.Pilots, ps.Name)
 		res.Policies = append(res.Policies, c.pilots[i].Policy())
+		res.Recoveries = append(res.Recoveries, c.pilots[i].Recovery())
+	}
+	if c.cfg.Fault.Enabled() {
+		res.Faults = c.buildFaultStats(res)
 	}
 	for _, tg := range c.targets {
 		res.Targets = append(res.Targets, tg.Name)
@@ -117,9 +182,85 @@ func (c *Coordinator) buildResult() *Result {
 	return res
 }
 
+// buildFaultStats assembles the campaign's resilience record from the
+// task manager's recovery tallies, the pilots' injector activity, and
+// the per-attempt task records.
+func (c *Coordinator) buildFaultStats(res *Result) *FaultStats {
+	tl := c.tm.FaultTallies()
+	fs := &FaultStats{
+		Spec:              c.cfg.Fault,
+		Recovery:          labelOf(res.Recoveries),
+		TaskFaults:        tl.ByKind[fault.KindTask],
+		NodeCrashKills:    tl.ByKind[fault.KindNodeCrash],
+		WalltimeKills:     tl.ByKind[fault.KindWalltime],
+		PayloadFaults:     tl.ByKind[fault.KindPayload],
+		Resubmissions:     tl.Resubmitted,
+		TerminalFailures:  tl.Terminal,
+		RetriedTasks:      c.retriedTasks,
+		KilledPipelines:   len(c.killed),
+		AttemptsHistogram: tl.AttemptHist,
+	}
+	for _, p := range c.pilots {
+		crashes, downtime := p.FaultCounts()
+		fs.NodeCrashes += crashes
+		fs.DowntimeNodeSeconds += downtime.Seconds()
+	}
+	_, fs.WastedCoreHours = res.usefulWasted()
+	return fs
+}
+
+// labelOf joins a per-pilot name list into a single label: the common
+// name when all agree, else the names joined with "+".
+func labelOf(names []string) string {
+	if len(names) == 0 {
+		return ""
+	}
+	for _, n := range names[1:] {
+		if n != names[0] {
+			return strings.Join(names, "+")
+		}
+	}
+	return names[0]
+}
+
 // TrajectoryCount returns the number of concluded design cycles — the
 // paper's "Trajectories" column.
 func (r *Result) TrajectoryCount() int { return len(r.Trajectories) }
+
+// usefulWasted splits the campaign's consumed allocation time
+// (core-hours, setup through end, placed attempts only) into attempts
+// that completed successfully and everything else — the one
+// classification Goodput and FaultStats.WastedCoreHours both derive
+// from.
+func (r *Result) usefulWasted() (useful, wasted float64) {
+	for _, tr := range r.TaskRecords {
+		if !tr.Placed {
+			continue
+		}
+		ch := tr.EndedAt.Sub(tr.SetupAt).Hours() * float64(tr.Cores)
+		if tr.State == pilot.StateDone.String() {
+			useful += ch
+		} else {
+			wasted += ch
+		}
+	}
+	return useful, wasted
+}
+
+// Goodput returns the fraction of consumed allocation time spent on
+// attempts that completed successfully: the resilience report's headline
+// number. A campaign with nothing consumed reports 1.
+func (r *Result) Goodput() float64 {
+	useful, wasted := r.usefulWasted()
+	if useful+wasted == 0 {
+		return 1
+	}
+	return useful / (useful + wasted)
+}
+
+// RecoveryLabel summarizes the campaign's fault-recovery policy set,
+// mirroring PolicyLabel.
+func (r *Result) RecoveryLabel() string { return labelOf(r.Recoveries) }
 
 // MetricSeries extracts one metric from a metrics set.
 type MetricSeries func(landscape.Metrics) float64
@@ -172,18 +313,7 @@ func (r *Result) NetDelta(f MetricSeries) float64 {
 // PolicyLabel summarizes the campaign's scheduling policy set: the single
 // policy name when every pilot agrees (the common case), otherwise the
 // per-pilot names joined with "+".
-func (r *Result) PolicyLabel() string {
-	if len(r.Policies) == 0 {
-		return ""
-	}
-	label := r.Policies[0]
-	for _, p := range r.Policies[1:] {
-		if p != r.Policies[0] {
-			return strings.Join(r.Policies, "+")
-		}
-	}
-	return label
-}
+func (r *Result) PolicyLabel() string { return labelOf(r.Policies) }
 
 // QueueWait returns the mean and max task queue wait — submission to the
 // start of exec setup — over tasks that actually reached an allocation.

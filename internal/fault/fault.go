@@ -1,0 +1,206 @@
+// Package fault is the failure-model layer of the pilot runtime: it
+// declares *what goes wrong* on the simulated resource as data, and *how
+// the middleware recovers* as pluggable policies — mirroring the
+// policy-free-middleware argument that failure models and recovery
+// policies belong in configuration, not in code forks.
+//
+// The paper's campaigns ran 27.7–38.3 wall-clock hours on real HPC, where
+// task crashes, node faults, and walltime expiry are routine; the
+// IMPRESS/RADICAL-Pilot stack has to absorb them without losing the
+// campaign. This package reproduces that reality deterministically: every
+// failure is drawn from a seed-derived stream in virtual time, so a
+// fault-injected campaign replays bit-for-bit from its seed, and the
+// zero-fault configuration draws nothing at all — it is provably inert.
+//
+// Three failure models (Spec):
+//
+//   - per-task faults: each running attempt fails with a probability
+//     resolved by pipeline stage and resource class, at a deterministic
+//     fraction of its runtime;
+//   - node crashes: each node draws MTBF-distributed crash times; a crash
+//     kills every resident task and removes the node's capacity from the
+//     allocation ledger for a repair window;
+//   - walltime expiry: the pilot's allocation ends, failing all queued
+//     and in-flight work.
+//
+// Recovery is a Policy chosen per pilot, exactly like the agent's
+// scheduling policy (internal/sched): "none" surfaces every failure,
+// "retry" resubmits up to a fixed attempt budget, "backoff" retries with
+// sim-time exponential delays, and "elsewhere" retries while excluding
+// the node that failed.
+package fault
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"impress/internal/xrand"
+)
+
+// Kind classifies what terminated a failed attempt.
+type Kind int
+
+const (
+	// KindNone marks a task untouched by the fault subsystem.
+	KindNone Kind = iota
+	// KindTask is an injected per-task fault (the TaskFailProb model).
+	KindTask
+	// KindNodeCrash marks a task killed because its node crashed.
+	KindNodeCrash
+	// KindWalltime marks work failed by pilot walltime expiry.
+	KindWalltime
+	// KindPayload is a genuine payload error (Work returned an error or
+	// an invalid phase profile) routed through recovery.
+	KindPayload
+	// KindCount bounds Kind values for array-indexed tallies.
+	KindCount
+)
+
+var kindNames = [KindCount]string{"none", "task", "node-crash", "walltime", "payload"}
+
+func (k Kind) String() string {
+	if k >= 0 && k < KindCount {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Spec declares a pilot's failure models. The zero value disables every
+// model and is guaranteed inert: no random stream is consumed, no event
+// is scheduled, and runs are bit-identical to a build without the fault
+// subsystem.
+type Spec struct {
+	// TaskFailProb is the per-attempt probability that a running task is
+	// killed by an injected fault before completing. 0 disables the model.
+	TaskFailProb float64
+	// StageFailProb overrides TaskFailProb per pipeline stage, keyed by
+	// the stage fragment of the task name (e.g. "s4_fold"); a task whose
+	// name contains the key uses that probability instead.
+	StageFailProb map[string]float64
+	// GPUFailFactor scales the resolved probability for GPU-class tasks
+	// (GPUs are the fragile resource on real accelerators); 0 means 1.
+	GPUFailFactor float64
+	// NodeMTBF enables the node-crash model: each node draws
+	// exponentially distributed times between failures with this mean.
+	// 0 disables the model.
+	NodeMTBF time.Duration
+	// NodeRepair is how long a crashed node stays out of the ledger
+	// before its capacity returns; 0 means DefaultNodeRepair.
+	NodeRepair time.Duration
+	// Walltime bounds the pilot's lifetime from activation; on expiry all
+	// queued and in-flight work fails with KindWalltime (recoverable on
+	// another pilot, unlike the legacy cancellation walltime). 0 disables.
+	Walltime time.Duration
+}
+
+// DefaultNodeRepair is the repair window used when NodeRepair is zero.
+const DefaultNodeRepair = 30 * time.Minute
+
+// Enabled reports whether any failure model is active.
+func (s Spec) Enabled() bool {
+	return s.TaskFailProb > 0 || len(s.StageFailProb) > 0 || s.NodeMTBF > 0 || s.Walltime > 0
+}
+
+// Validate rejects specs that cannot be sampled.
+func (s Spec) Validate() error {
+	if s.TaskFailProb < 0 || s.TaskFailProb >= 1 {
+		return fmt.Errorf("fault: task failure probability %v outside [0, 1)", s.TaskFailProb)
+	}
+	keys := make([]string, 0, len(s.StageFailProb))
+	for k := range s.StageFailProb {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if p := s.StageFailProb[k]; p < 0 || p >= 1 {
+			return fmt.Errorf("fault: stage %q failure probability %v outside [0, 1)", k, p)
+		}
+	}
+	if s.GPUFailFactor < 0 {
+		return fmt.Errorf("fault: negative GPU failure factor %v", s.GPUFailFactor)
+	}
+	if s.NodeMTBF < 0 {
+		return fmt.Errorf("fault: negative node MTBF %v", s.NodeMTBF)
+	}
+	if s.NodeRepair < 0 {
+		return fmt.Errorf("fault: negative node repair window %v", s.NodeRepair)
+	}
+	if s.Walltime < 0 {
+		return fmt.Errorf("fault: negative walltime %v", s.Walltime)
+	}
+	return nil
+}
+
+// RepairWindow returns the effective repair interval.
+func (s Spec) RepairWindow() time.Duration {
+	if s.NodeRepair > 0 {
+		return s.NodeRepair
+	}
+	return DefaultNodeRepair
+}
+
+// TaskProb resolves the failure probability for one task: the stage
+// override when a StageFailProb key appears in the task name, otherwise
+// the base rate, scaled by GPUFailFactor for GPU-class tasks.
+func (s Spec) TaskProb(taskName string, gpu bool) float64 {
+	p := s.TaskFailProb
+	// Stage keys are matched as substrings of the task name because task
+	// names embed pipeline and cycle ("pl.0001:s4_fold:c2").
+	keys := make([]string, 0, len(s.StageFailProb))
+	for k := range s.StageFailProb {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if strings.Contains(taskName, k) {
+			p = s.StageFailProb[k]
+			break
+		}
+	}
+	if gpu && s.GPUFailFactor > 0 {
+		p *= s.GPUFailFactor
+	}
+	if p > 0.999 {
+		p = 0.999
+	}
+	return p
+}
+
+// TaskFault decides deterministically whether an attempt with the given
+// seed fails, and when. The decision is a pure function of (seed,
+// taskName, gpu, total): the executor calls it once per attempt, and the
+// same attempt always fails at the same instant. Returns ok=false when
+// the attempt survives.
+func (s Spec) TaskFault(seed uint64, taskName string, gpu bool, total time.Duration) (at time.Duration, ok bool) {
+	p := s.TaskProb(taskName, gpu)
+	if p <= 0 || total <= 0 {
+		return 0, false
+	}
+	rng := xrand.New(xrand.Derive(seed, "fault:task"))
+	if rng.Float64() >= p {
+		return 0, false
+	}
+	// Fail strictly inside the run: uniform over (0, total).
+	frac := rng.Float64()
+	at = time.Duration(frac * float64(total))
+	if at >= total {
+		at = total - 1
+	}
+	if at < 0 {
+		at = 0
+	}
+	return at, true
+}
+
+// CrashDelay draws the next time-to-crash for a node from its dedicated
+// RNG stream: exponentially distributed with mean mtbf, floored at one
+// virtual second so crash cascades cannot pile onto a single instant.
+func CrashDelay(rng *xrand.RNG, mtbf time.Duration) time.Duration {
+	d := time.Duration(rng.ExpFloat64() * float64(mtbf))
+	if d < time.Second {
+		d = time.Second
+	}
+	return d
+}

@@ -2,8 +2,10 @@ package pilot
 
 import (
 	"fmt"
+	"sort"
 
 	"impress/internal/cluster"
+	"impress/internal/fault"
 	"impress/internal/sched"
 	"impress/internal/simclock"
 	"impress/internal/trace"
@@ -106,7 +108,7 @@ func (a *agent) schedulePass() {
 				remaining = append(remaining, a.queue[i:]...)
 				break
 			}
-			alloc := a.cluster.Allocate(requestOf(t))
+			alloc := a.allocate(t)
 			if alloc == nil {
 				blocked = true
 				remaining = append(remaining, t)
@@ -136,7 +138,7 @@ func (a *agent) schedulePass() {
 			break
 		}
 		t := a.queue[idx]
-		alloc := a.cluster.Allocate(requestOf(t))
+		alloc := a.allocate(t)
 		if alloc == nil {
 			blocked = true
 			continue
@@ -157,6 +159,16 @@ func (a *agent) schedulePass() {
 
 func requestOf(t *Task) cluster.Request {
 	return cluster.Request{Cores: t.Description.Cores, GPUs: t.Description.GPUs, MemGB: t.Description.MemGB}
+}
+
+// allocate reserves resources for a task, honouring any node exclusions
+// its recovery history imposed (resubmit-elsewhere). The common no-fault
+// path is exactly the classic first-fit Allocate.
+func (a *agent) allocate(t *Task) *cluster.Alloc {
+	if len(t.avoidNodes) == 0 {
+		return a.cluster.Allocate(requestOf(t))
+	}
+	return a.cluster.AllocateExcluding(requestOf(t), t.avoidNodes)
 }
 
 // startSetup begins the sandbox preparation phase. Setup time grows with
@@ -199,11 +211,11 @@ func (a *agent) startRun(ex *execution) {
 	}
 	res, err := t.Description.Work.Run(ctx)
 	if err != nil {
-		a.finish(ex, StateFailed, err)
+		a.failWithFault(t, fault.KindPayload, err)
 		return
 	}
 	if verr := validatePhases(res.Phases, ex.alloc); verr != nil {
-		a.finish(ex, StateFailed, verr)
+		a.failWithFault(t, fault.KindPayload, verr)
 		return
 	}
 	t.Result = res
@@ -221,6 +233,20 @@ func (a *agent) startRun(ex *execution) {
 		a.finish(ex, StateDone, nil)
 	})
 	ex.events = append(ex.events, done)
+
+	// Fault injection: the per-task failure model decides — purely from
+	// the attempt's seed — whether this attempt dies mid-run. The fault
+	// event rides in ex.events, so completion and cancellation cancel it
+	// exactly like any phase event. With injection disabled no stream is
+	// consumed and no event exists.
+	if inj := a.pilot.injector; inj != nil {
+		if at, ok := inj.taskFault(t, offset); ok {
+			ev := engine.AfterNamed(at, t.ID+":fault", func() {
+				a.failWithFault(t, fault.KindTask, fmt.Errorf("pilot: injected fault killed %s", t.ID))
+			})
+			ex.events = append(ex.events, ev)
+		}
+	}
 }
 
 func validatePhases(phases []Phase, alloc *cluster.Alloc) error {
@@ -270,6 +296,10 @@ func (a *agent) finish(ex *execution, state TaskState, err error) {
 }
 
 func (a *agent) record(t *Task, state TaskState, placed bool) trace.TaskRecord {
+	faultName := ""
+	if state == StateFailed && t.FaultKind != fault.KindNone {
+		faultName = t.FaultKind.String()
+	}
 	return trace.TaskRecord{
 		ID:        t.ID,
 		Name:      t.Description.Name,
@@ -281,6 +311,81 @@ func (a *agent) record(t *Task, state TaskState, placed bool) trace.TaskRecord {
 		GPUs:      t.Description.GPUs,
 		State:     state.String(),
 		Placed:    placed,
+		Attempt:   t.Attempt,
+		Node:      t.Node(),
+		Fault:     faultName,
+	}
+}
+
+// failWithFault fails one attempt through the fault subsystem. The
+// recovery decision is staged *before* the FAILED transition so
+// observers (the coordinator, the trace) can tell a to-be-resubmitted
+// attempt from a terminal failure; the attempt then unwinds the ledger
+// and busy counters exactly as the cancel path does, and any planned
+// resubmission is scheduled last.
+func (a *agent) failWithFault(t *Task, kind fault.Kind, err error) {
+	if t.state.Final() {
+		return
+	}
+	t.FaultKind = kind
+	a.tm.planRecovery(t, kind)
+	switch t.state {
+	case StateSubmitted, StateScheduling:
+		for i, q := range a.queue {
+			if q == t {
+				a.queue = append(a.queue[:i], a.queue[i+1:]...)
+				break
+			}
+		}
+		t.EndedAt = a.pilot.engine.Now()
+		t.Err = err
+		if a.rec != nil {
+			a.rec.AddTask(a.record(t, StateFailed, false))
+		}
+		a.tm.transition(t, StateFailed)
+	case StateExecSetup, StateRunning:
+		ex := t.exec
+		if ex.inSetup {
+			a.activeSetups--
+			ex.inSetup = false
+		}
+		a.finish(ex, StateFailed, err)
+	}
+	a.tm.execRecovery(t)
+}
+
+// failNode kills every execution resident on a crashed node, in task-UID
+// order for determinism. The node must already be marked down so the
+// rescheduling cascade cannot place new work onto it.
+func (a *agent) failNode(nodeID int) {
+	var victims []*execution
+	for _, ex := range a.running {
+		if ex.alloc.Node.ID == nodeID {
+			victims = append(victims, ex)
+		}
+	}
+	sort.Slice(victims, func(i, j int) bool { return victims[i].task.UID < victims[j].task.UID })
+	for _, ex := range victims {
+		a.failWithFault(ex.task, fault.KindNodeCrash,
+			fmt.Errorf("pilot: node %d crashed under %s", nodeID, ex.task.ID))
+	}
+}
+
+// failAll fails everything on the pilot with the given fault kind — the
+// fault-model walltime expiry, whose victims (unlike legacy cancellation)
+// may be resubmitted on a surviving pilot.
+func (a *agent) failAll(kind fault.Kind, reason string) {
+	queued := append([]*Task(nil), a.queue...)
+	for _, t := range queued {
+		a.failWithFault(t, kind, fmt.Errorf("pilot: %s", reason))
+	}
+	var execs []*execution
+	for _, ex := range a.running {
+		execs = append(execs, ex)
+	}
+	sort.Slice(execs, func(i, j int) bool { return execs[i].task.UID < execs[j].task.UID })
+	for _, ex := range execs {
+		a.failWithFault(ex.task, kind, fmt.Errorf("pilot: %s", reason))
 	}
 }
 

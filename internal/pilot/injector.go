@@ -1,0 +1,137 @@
+package pilot
+
+import (
+	"fmt"
+	"time"
+
+	"impress/internal/fault"
+	"impress/internal/simclock"
+	"impress/internal/xrand"
+)
+
+// injector drives a pilot's failure models (internal/fault) on the
+// virtual timeline. It exists only when the pilot's fault spec enables a
+// model, so the zero-fault runtime carries no injector, consumes no
+// random stream, and schedules no event — the configuration the golden
+// traces prove bit-identical to the pre-fault runtime.
+//
+// Determinism: every stream derives from the pilot seed. Task faults are
+// pure functions of the attempt seed (no injector state); node crashes
+// draw from one dedicated RNG per node, advanced only by that node's
+// crash chain, so crash timelines are independent of workload and of
+// each other.
+type injector struct {
+	pilot *Pilot
+	spec  fault.Spec
+
+	nodeRNG    []*xrand.RNG
+	nodeEvents []*simclock.Event // pending crash or repair event per node
+	downSince  []simclock.Time   // crash timestamp per node, valid while down
+	wallEvent  *simclock.Event
+
+	crashes  int
+	downtime time.Duration // actual elapsed node downtime (booked at repair)
+	stopped  bool
+}
+
+func newInjector(p *Pilot, spec fault.Spec) *injector {
+	in := &injector{pilot: p, spec: spec}
+	if spec.NodeMTBF > 0 {
+		n := p.agent.cluster.NodeCount()
+		in.nodeRNG = make([]*xrand.RNG, n)
+		in.nodeEvents = make([]*simclock.Event, n)
+		in.downSince = make([]simclock.Time, n)
+		for i := 0; i < n; i++ {
+			in.nodeRNG[i] = xrand.New(xrand.Derive(p.desc.Seed, fmt.Sprintf("fault:node:%d", i)))
+		}
+	}
+	return in
+}
+
+// start arms the standing failure models at pilot activation: one crash
+// chain per node and the fault-model walltime. Per-task faults need no
+// arming — the executor consults the spec per attempt.
+func (in *injector) start() {
+	for i := range in.nodeRNG {
+		in.scheduleCrash(i)
+	}
+	if in.spec.Walltime > 0 {
+		in.wallEvent = in.pilot.engine.AfterNamed(in.spec.Walltime, in.pilot.ID+":fault-walltime", func() {
+			in.pilot.expire()
+		})
+	}
+}
+
+// stop retires the injector: all pending events are cancelled and any
+// node still in its repair window comes back up so queued work can
+// drain. Without this, the self-rescheduling crash chains would keep the
+// discrete-event engine alive forever.
+func (in *injector) stop() {
+	if in.stopped {
+		return
+	}
+	in.stopped = true
+	engine := in.pilot.engine
+	for i, ev := range in.nodeEvents {
+		engine.Cancel(ev)
+		in.nodeEvents[i] = nil
+	}
+	engine.Cancel(in.wallEvent)
+	clu := in.pilot.agent.cluster
+	repaired := false
+	for _, id := range clu.DownNodes() {
+		// Book only the downtime that actually elapsed: the repair
+		// window is cut short by the stop.
+		in.downtime += engine.Now().Sub(in.downSince[id])
+		clu.SetNodeUp(id)
+		repaired = true
+	}
+	if repaired && in.pilot.state == PilotActive {
+		in.pilot.agent.schedule()
+	}
+}
+
+// taskFault consults the per-task failure model for one attempt.
+func (in *injector) taskFault(t *Task, total time.Duration) (at time.Duration, ok bool) {
+	return in.spec.TaskFault(t.seed, t.Description.Name, t.Description.GPUs > 0, total)
+}
+
+// scheduleCrash arms node i's next crash.
+func (in *injector) scheduleCrash(i int) {
+	d := fault.CrashDelay(in.nodeRNG[i], in.spec.NodeMTBF)
+	in.nodeEvents[i] = in.pilot.engine.AfterNamed(d, fmt.Sprintf("%s:node%d:crash", in.pilot.ID, i), func() {
+		in.crash(i)
+	})
+}
+
+// crash takes node i down: its capacity leaves the ledger first (so the
+// kill cascade cannot re-place work onto it), every resident task fails
+// with KindNodeCrash, and the repair is scheduled.
+func (in *injector) crash(i int) {
+	if in.stopped || in.pilot.state != PilotActive {
+		return
+	}
+	in.crashes++
+	repair := in.spec.RepairWindow()
+	in.downSince[i] = in.pilot.engine.Now()
+	clu := in.pilot.agent.cluster
+	clu.SetNodeDown(i)
+	in.pilot.agent.failNode(i)
+	in.nodeEvents[i] = in.pilot.engine.AfterNamed(repair, fmt.Sprintf("%s:node%d:repair", in.pilot.ID, i), func() {
+		in.repair(i)
+	})
+}
+
+// repair brings node i back and re-arms its crash chain; freed capacity
+// is offered to the queue immediately.
+func (in *injector) repair(i int) {
+	if in.stopped {
+		return
+	}
+	in.downtime += in.pilot.engine.Now().Sub(in.downSince[i])
+	in.pilot.agent.cluster.SetNodeUp(i)
+	if in.pilot.state == PilotActive {
+		in.pilot.agent.schedule()
+	}
+	in.scheduleCrash(i)
+}

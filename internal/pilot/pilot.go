@@ -6,6 +6,7 @@ import (
 
 	"impress/internal/cluster"
 	"impress/internal/costmodel"
+	"impress/internal/fault"
 	"impress/internal/sched"
 	"impress/internal/simclock"
 	"impress/internal/trace"
@@ -54,8 +55,16 @@ type PilotDescription struct {
 	// behaviour from Backfill ("backfill" when set, "fifo" otherwise).
 	Policy string
 	// Walltime bounds the pilot lifetime from activation; zero means
-	// unbounded.
+	// unbounded. Expiry cancels remaining work (legacy behaviour). For
+	// the recoverable fault-model walltime, set Fault.Walltime instead.
 	Walltime time.Duration
+	// Fault declares the pilot's failure models (internal/fault). The
+	// zero value injects nothing and is bit-identical to a runtime
+	// without the fault subsystem.
+	Fault fault.Spec
+	// Recovery names the fault-recovery policy (internal/fault): none,
+	// retry, backoff, elsewhere. Empty means "none" — failures surface.
+	Recovery string
 	// Seed derives all task jitter streams for this pilot.
 	Seed uint64
 }
@@ -95,18 +104,33 @@ func (pm *PilotManager) Submit(pd PilotDescription) (*Pilot, error) {
 	if err != nil {
 		return nil, err
 	}
+	if err := pd.Fault.Validate(); err != nil {
+		return nil, err
+	}
+	recName := pd.Recovery
+	if recName == "" {
+		recName = fault.Default()
+	}
+	rec, err := fault.New(recName)
+	if err != nil {
+		return nil, err
+	}
 	clu, err := cluster.New(pd.Machine)
 	if err != nil {
 		return nil, err
 	}
 	pm.nextID++
 	p := &Pilot{
-		ID:     fmt.Sprintf("pilot.%04d", pm.nextID),
-		desc:   pd,
-		engine: pm.engine,
-		state:  PilotLaunching,
+		ID:       fmt.Sprintf("pilot.%04d", pm.nextID),
+		desc:     pd,
+		engine:   pm.engine,
+		state:    PilotLaunching,
+		recovery: rec,
 	}
 	p.agent = newAgent(p, clu, pm.rec, pol)
+	if pd.Fault.Enabled() {
+		p.injector = newInjector(p, pd.Fault)
+	}
 
 	boot := pd.Cost.BootstrapTime
 	if pm.rec != nil {
@@ -122,6 +146,9 @@ func (pm *PilotManager) Submit(pd PilotDescription) (*Pilot, error) {
 			p.wallEvent = pm.engine.AfterNamed(pd.Walltime, p.ID+":walltime", func() {
 				p.terminate("walltime expired")
 			})
+		}
+		if p.injector != nil {
+			p.injector.start()
 		}
 		p.agent.schedule()
 	})
@@ -139,6 +166,9 @@ type Pilot struct {
 	state     PilotState
 	activeAt  simclock.Time
 	wallEvent *simclock.Event
+
+	recovery fault.Policy
+	injector *injector
 }
 
 // State returns the pilot lifecycle state.
@@ -152,6 +182,30 @@ func (p *Pilot) Description() PilotDescription { return p.desc }
 
 // Policy returns the resolved name of the agent's scheduling policy.
 func (p *Pilot) Policy() string { return p.agent.policy.Name() }
+
+// Recovery returns the resolved name of the pilot's fault-recovery
+// policy ("none" when unset).
+func (p *Pilot) Recovery() string { return p.recovery.Name() }
+
+// FaultCounts reports the fault injector's activity: node crashes fired
+// and total node downtime injected. Zero without fault injection.
+func (p *Pilot) FaultCounts() (crashes int, downtime time.Duration) {
+	if p.injector == nil {
+		return 0, 0
+	}
+	return p.injector.crashes, p.injector.downtime
+}
+
+// StopFaultInjection retires the pilot's fault injector: pending crash,
+// repair, and walltime events are cancelled and any still-down nodes are
+// repaired so queued work can drain. The campaign coordinator calls this
+// once all pipelines have concluded — otherwise the injector's
+// self-rescheduling crash chain would keep the event loop alive forever.
+func (p *Pilot) StopFaultInjection() {
+	if p.injector != nil {
+		p.injector.stop()
+	}
+}
 
 // Cluster exposes the pilot's resource ledger (read-mostly; used by
 // adaptive clients to inspect idle capacity during decision-making).
@@ -167,7 +221,25 @@ func (p *Pilot) terminate(reason string) {
 	}
 	p.state = PilotDone
 	p.engine.Cancel(p.wallEvent)
+	if p.injector != nil {
+		p.injector.stop()
+	}
 	p.agent.terminateAll(reason)
+}
+
+// expire is the fault-model walltime: the pilot ends, but its victims
+// fail with fault.KindWalltime so recovery policies may resubmit them on
+// a surviving pilot (terminate's cancellations are always terminal).
+func (p *Pilot) expire() {
+	if p.state == PilotDone {
+		return
+	}
+	p.state = PilotDone
+	p.engine.Cancel(p.wallEvent)
+	if p.injector != nil {
+		p.injector.stop()
+	}
+	p.agent.failAll(fault.KindWalltime, "pilot walltime expired")
 }
 
 // TaskManager accepts task submissions and routes them to pilot agents,
@@ -183,6 +255,24 @@ type TaskManager struct {
 	nextUID   uint64
 	tasks     map[string]*Task
 	callbacks []func(*Task, TaskState)
+
+	// Fault-recovery tallies. They are pure accounting: recording them
+	// never changes scheduling behaviour, so they run unconditionally.
+	faultsByKind [fault.KindCount]int
+	resubmitted  int
+	terminal     int
+	attemptHist  map[int]int
+
+	// reroute, when set, picks the pilot for a resubmission whose
+	// original pilot is gone; the coordinator installs its
+	// resource-class-aware routing here. Without one, resubmission falls
+	// back to the first live pilot whose node shape fits.
+	reroute func(td TaskDescription) (*Pilot, bool)
+	// liveAttempt tracks each logical task's current attempt, and
+	// requeueEvents its pending resubmission, so CancelChain can abort a
+	// chain wherever it stands.
+	liveAttempt   map[string]*Task
+	requeueEvents map[string]*simclock.Event
 }
 
 // NewTaskManager creates a task manager bound to one or more pilots.
@@ -190,7 +280,14 @@ func NewTaskManager(engine *simclock.Engine, pilots ...*Pilot) *TaskManager {
 	if engine == nil || len(pilots) == 0 {
 		panic("pilot: task manager needs an engine and at least one pilot")
 	}
-	tm := &TaskManager{engine: engine, tasks: make(map[string]*Task), byID: make(map[string]*Pilot)}
+	tm := &TaskManager{
+		engine:        engine,
+		tasks:         make(map[string]*Task),
+		byID:          make(map[string]*Pilot),
+		attemptHist:   make(map[int]int),
+		liveAttempt:   make(map[string]*Task),
+		requeueEvents: make(map[string]*simclock.Event),
+	}
 	for _, p := range pilots {
 		tm.AddPilot(p)
 	}
@@ -260,12 +357,15 @@ func (tm *TaskManager) Submit(td TaskDescription) (*Task, error) {
 		UID:         tm.nextUID,
 		Description: td,
 		PilotID:     p.ID,
+		Attempt:     1,
 		state:       StateNew,
 		SubmittedAt: tm.engine.Now(),
 	}
+	t.Origin = t.ID
 	t.pilot = p
 	t.seed = deriveTaskSeed(p.desc.Seed, t.ID)
 	tm.tasks[t.ID] = t
+	tm.liveAttempt[t.Origin] = t
 	tm.transition(t, StateSubmitted)
 
 	if p.state == PilotDone {
@@ -313,6 +413,11 @@ func (tm *TaskManager) transition(t *Task, to TaskState) {
 		panic(fmt.Sprintf("pilot: illegal transition %v -> %v for %s", t.state, to, t.ID))
 	}
 	t.state = to
+	if to.Final() && !t.WillRetry() {
+		// The logical task's attempt chain ends here; record how many
+		// attempts it took (1 for every task in a fault-free campaign).
+		tm.attemptHist[t.Attempt]++
+	}
 	for _, cb := range tm.callbacks {
 		cb(t, to)
 	}
@@ -321,7 +426,185 @@ func (tm *TaskManager) transition(t *Task, to TaskState) {
 func (tm *TaskManager) fail(t *Task, err error) {
 	t.Err = err
 	t.EndedAt = tm.engine.Now()
+	if t.Attempt > 1 {
+		// A resubmission that could not land anywhere ends its chain.
+		tm.terminal++
+	}
 	tm.transition(t, StateFailed)
+}
+
+// planRecovery stages the recovery decision for a failing attempt. It
+// runs before the FAILED transition so callbacks observe WillRetry. The
+// decision comes from the recovery policy of the pilot the attempt
+// failed on — recovery is selected per pilot exactly like scheduling.
+func (tm *TaskManager) planRecovery(t *Task, kind fault.Kind) {
+	if kind > fault.KindNone && kind < fault.KindCount {
+		tm.faultsByKind[kind]++
+	}
+	d := t.pilot.recovery.Decide(fault.Attempt{Attempt: t.Attempt, Kind: kind, Node: t.Node()})
+	if !d.Retry {
+		return
+	}
+	plan := &requeuePlan{delay: d.Delay, exclude: -1}
+	if d.ExcludeNode {
+		if n := t.Node(); n >= 0 {
+			plan.exclude = n
+		}
+	}
+	t.requeue = plan
+}
+
+// execRecovery runs after a failed attempt's FAILED transition: it either
+// closes the books on a terminal failure or schedules the planned
+// resubmission on the virtual timeline (possibly after a backoff delay).
+func (tm *TaskManager) execRecovery(t *Task) {
+	if t.requeue == nil {
+		if t.FaultKind != fault.KindNone {
+			tm.terminal++
+		}
+		return
+	}
+	tm.resubmitted++
+	plan := t.requeue
+	tm.requeueEvents[t.Origin] = tm.engine.AfterNamed(plan.delay, t.ID+":requeue", func() {
+		delete(tm.requeueEvents, t.Origin)
+		tm.resubmit(t, plan)
+	})
+}
+
+// SetRerouter installs the routing hook resubmission consults when a
+// failed attempt's pilot is gone. The coordinator supplies its
+// resource-class-aware placement here so migrated work lands on a pilot
+// that actually serves it.
+func (tm *TaskManager) SetRerouter(fn func(td TaskDescription) (*Pilot, bool)) {
+	tm.reroute = fn
+}
+
+// CancelChain cancels a logical task wherever its attempt chain
+// currently stands: a pending resubmission is dropped and the live
+// attempt (queued or running) is cancelled. Terminal chains are
+// unaffected.
+func (tm *TaskManager) CancelChain(t *Task, reason string) {
+	if t == nil {
+		return
+	}
+	if ev, ok := tm.requeueEvents[t.Origin]; ok {
+		tm.engine.Cancel(ev)
+		delete(tm.requeueEvents, t.Origin)
+	}
+	if cur := tm.liveAttempt[t.Origin]; cur != nil && !cur.state.Final() {
+		cur.pilot.agent.cancel(cur, reason)
+	}
+}
+
+// resubmit submits the next attempt of a failed task. The attempt is a
+// fresh Task (new UID, new jitter seed) sharing the original's Origin and
+// description; node exclusions accumulate while the task stays on the
+// same pilot. When the original pilot is gone, the first surviving pilot
+// whose node shape fits takes over; with none left the attempt fails
+// fast and the chain ends.
+func (tm *TaskManager) resubmit(orig *Task, plan *requeuePlan) {
+	td := orig.Description
+	p := orig.pilot
+	avoid := append([]int(nil), orig.avoidNodes...)
+	if plan.exclude >= 0 {
+		avoid = append(avoid, plan.exclude)
+	}
+	if p.state == PilotDone {
+		if tm.reroute != nil {
+			np, ok := tm.reroute(td)
+			if !ok || np == nil || np.state == PilotDone {
+				np = nil
+			}
+			p = np
+		} else {
+			p = tm.alternativePilot(td, orig.pilot)
+		}
+		avoid = nil // node IDs are per-cluster; they do not transfer
+	}
+	tm.nextUID++
+	t := &Task{
+		ID:          fmt.Sprintf("task.%06d", tm.nextUID),
+		UID:         tm.nextUID,
+		Description: td,
+		Attempt:     orig.Attempt + 1,
+		Origin:      orig.Origin,
+		state:       StateNew,
+		SubmittedAt: tm.engine.Now(),
+	}
+	if p == nil {
+		// No pilot left to host the retry: submit against the dead
+		// original pilot so the failure surfaces through the normal
+		// fail-fast path, terminally.
+		p = orig.pilot
+	}
+	// Dropping an exclusion that covers the whole cluster beats starving
+	// the attempt in the queue forever (single-node machines make
+	// "elsewhere" degrade to plain retry).
+	if len(avoid) >= p.agent.cluster.NodeCount() {
+		avoid = nil
+	}
+	t.avoidNodes = avoid
+	t.pilot = p
+	t.PilotID = p.ID
+	t.seed = deriveTaskSeed(p.desc.Seed, t.ID)
+	tm.tasks[t.ID] = t
+	tm.liveAttempt[t.Origin] = t
+	tm.transition(t, StateSubmitted)
+
+	if p.state == PilotDone {
+		tm.fail(t, fmt.Errorf("pilot: no pilot available to resubmit %s (attempt %d)", t.Origin, t.Attempt))
+		return
+	}
+	req := cluster.Request{Cores: td.Cores, GPUs: td.GPUs, MemGB: td.MemGB}
+	if !p.agent.cluster.Fits(req) {
+		tm.fail(t, fmt.Errorf("pilot: task %s request %+v exceeds %s node capacity", t.ID, req, p.ID))
+		return
+	}
+	p.agent.enqueue(t)
+}
+
+// alternativePilot picks the first live pilot other than exclude whose
+// node shape could fit the request, or nil.
+func (tm *TaskManager) alternativePilot(td TaskDescription, exclude *Pilot) *Pilot {
+	req := cluster.Request{Cores: td.Cores, GPUs: td.GPUs, MemGB: td.MemGB}
+	for _, p := range tm.pilots {
+		if p == exclude || p.state == PilotDone {
+			continue
+		}
+		if p.agent.cluster.Fits(req) {
+			return p
+		}
+	}
+	return nil
+}
+
+// FaultTallies is the task manager's fault-recovery accounting.
+type FaultTallies struct {
+	// ByKind counts failed attempts per fault kind (indexed by
+	// fault.Kind).
+	ByKind [fault.KindCount]int
+	// Resubmitted counts attempts that were requeued by recovery.
+	Resubmitted int
+	// Terminal counts fault-killed attempts whose chain ended there.
+	Terminal int
+	// AttemptHist maps attempts-needed -> number of logical tasks whose
+	// chain ended after exactly that many attempts.
+	AttemptHist map[int]int
+}
+
+// FaultTallies returns a copy of the fault-recovery accounting.
+func (tm *TaskManager) FaultTallies() FaultTallies {
+	hist := make(map[int]int, len(tm.attemptHist))
+	for k, v := range tm.attemptHist {
+		hist[k] = v
+	}
+	return FaultTallies{
+		ByKind:      tm.faultsByKind,
+		Resubmitted: tm.resubmitted,
+		Terminal:    tm.terminal,
+		AttemptHist: hist,
+	}
 }
 
 func deriveTaskSeed(pilotSeed uint64, taskID string) uint64 {

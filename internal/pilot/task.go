@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"time"
 
+	"impress/internal/fault"
 	"impress/internal/simclock"
 )
 
@@ -179,13 +180,25 @@ func (td TaskDescription) validate() error {
 	return nil
 }
 
-// Task is a submitted task instance.
+// Task is a submitted task instance — one execution *attempt* of a
+// logical task. Under fault injection a failed attempt may be resubmitted
+// by the pilot's recovery policy; the resubmission is a fresh Task that
+// shares the original's Origin and carries the next Attempt number.
 type Task struct {
 	ID          string
 	Description TaskDescription
 	UID         uint64
 	// PilotID records the pilot the task was placed on.
 	PilotID string
+
+	// Attempt is the 1-based execution attempt (>1 for resubmissions).
+	Attempt int
+	// Origin is the logical task identity shared by every attempt: the
+	// first attempt's ID.
+	Origin string
+	// FaultKind records what killed this attempt (fault.KindNone while
+	// healthy).
+	FaultKind fault.Kind
 
 	state TaskState
 
@@ -199,9 +212,32 @@ type Task struct {
 	Result Result
 	Err    error
 
-	seed  uint64
-	pilot *Pilot
-	exec  *execution
+	seed       uint64
+	pilot      *Pilot
+	exec       *execution
+	avoidNodes []int
+	requeue    *requeuePlan
+}
+
+// requeuePlan is a recovery decision staged on a failing attempt before
+// its FAILED transition fires, so observers can distinguish "will be
+// resubmitted" from "terminally failed".
+type requeuePlan struct {
+	delay   time.Duration
+	exclude int // node to avoid on the next attempt, -1 for none
+}
+
+// WillRetry reports whether the recovery policy has scheduled a
+// resubmission for this failed attempt.
+func (t *Task) WillRetry() bool { return t.requeue != nil }
+
+// Node returns the ID of the node the attempt is (or was last) placed
+// on, or -1 if it never held an allocation.
+func (t *Task) Node() int {
+	if t.exec != nil && t.exec.alloc != nil {
+		return t.exec.alloc.Node.ID
+	}
+	return -1
 }
 
 // State returns the task's current lifecycle state.

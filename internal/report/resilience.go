@@ -1,0 +1,168 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"impress/internal/core"
+	"impress/internal/stats"
+)
+
+// resilienceKey identifies one cell of the fault-sweep grid: a recovery
+// policy racing at one failure rate.
+type resilienceKey struct {
+	recovery string
+	rate     float64
+}
+
+// Resilience renders the fault-sweep comparison: one row per (recovery
+// policy, failure rate) cell, aggregated over seeds, against the
+// fault-free baselines of the same seeds. The columns are the resilience
+// levers — goodput, wasted allocation, makespan inflation, pipeline
+// survival — plus the attempts histogram that shows how hard recovery
+// had to work.
+func Resilience(results []*core.Result) string {
+	baselines, groups, keys := groupResilience(results)
+
+	t := NewTable("Recovery", "Fail rate", "Runs", "Goodput %", "Makespan (h)", "Inflation ×",
+		"Killed PL", "Resub", "Term", "Wasted core-h", "Downtime node-h", "Attempts")
+	for _, k := range keys {
+		rs := groups[k]
+		collect := func(f func(*core.Result) float64) []float64 {
+			out := make([]float64, len(rs))
+			for i, r := range rs {
+				out[i] = f(r)
+			}
+			return out
+		}
+		var inflations []float64
+		for _, r := range rs {
+			if base, ok := baselines[r.Seed]; ok && base > 0 {
+				inflations = append(inflations, r.Makespan.Hours()/base)
+			}
+		}
+		inflation := "n/a"
+		if len(inflations) > 0 {
+			inflation = fmt.Sprintf("%.2f", stats.Median(inflations))
+		}
+		killed, resub, term := 0, 0, 0
+		hist := make(map[int]int)
+		var downtime float64
+		for _, r := range rs {
+			killed += r.Faults.KilledPipelines
+			resub += r.Faults.Resubmissions
+			term += r.Faults.TerminalFailures
+			downtime += r.Faults.DowntimeNodeSeconds
+			for a, n := range r.Faults.AttemptsHistogram {
+				hist[a] += n
+			}
+		}
+		t.AddRow(
+			k.recovery,
+			fmt.Sprintf("%.2f", k.rate),
+			fmt.Sprintf("%d", len(rs)),
+			fmt.Sprintf("%.1f", 100*stats.Median(collect((*core.Result).Goodput))),
+			fmt.Sprintf("%.2f", stats.Median(collect(func(r *core.Result) float64 { return r.Makespan.Hours() }))),
+			inflation,
+			fmt.Sprintf("%d", killed),
+			fmt.Sprintf("%d", resub),
+			fmt.Sprintf("%d", term),
+			fmt.Sprintf("%.1f", stats.Median(collect(func(r *core.Result) float64 { return r.Faults.WastedCoreHours }))),
+			fmt.Sprintf("%.2f", downtime/3600),
+			attemptsLabel(hist),
+		)
+	}
+
+	var sb strings.Builder
+	sb.WriteString("Resilience comparison (medians over seeds; counts summed)\n")
+	if len(baselines) == 0 {
+		sb.WriteString("(no fault-free baseline runs: makespan inflation unavailable)\n")
+	}
+	sb.WriteString(t.String())
+	return sb.String()
+}
+
+// groupResilience splits results into per-seed fault-free baselines and
+// fault-injected groups keyed by (recovery, rate), with keys sorted by
+// recovery name then rate.
+func groupResilience(results []*core.Result) (map[uint64]float64, map[resilienceKey][]*core.Result, []resilienceKey) {
+	baselines := make(map[uint64]float64)
+	groups := make(map[resilienceKey][]*core.Result)
+	for _, r := range results {
+		if r == nil {
+			continue
+		}
+		if r.Faults == nil {
+			baselines[r.Seed] = r.Makespan.Hours()
+			continue
+		}
+		k := resilienceKey{recovery: r.Faults.Recovery, rate: r.Faults.Spec.TaskFailProb}
+		groups[k] = append(groups[k], r)
+	}
+	keys := make([]resilienceKey, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].recovery != keys[j].recovery {
+			return keys[i].recovery < keys[j].recovery
+		}
+		return keys[i].rate < keys[j].rate
+	})
+	return baselines, groups, keys
+}
+
+// attemptsLabel renders an attempts histogram compactly: "1×37 2×5 3×1".
+func attemptsLabel(hist map[int]int) string {
+	if len(hist) == 0 {
+		return "-"
+	}
+	attempts := make([]int, 0, len(hist))
+	for a := range hist {
+		attempts = append(attempts, a)
+	}
+	sort.Ints(attempts)
+	parts := make([]string, 0, len(attempts))
+	for _, a := range attempts {
+		parts = append(parts, fmt.Sprintf("%d×%d", a, hist[a]))
+	}
+	return strings.Join(parts, " ")
+}
+
+// ResilienceCSV writes one row per fault-injected campaign (and one per
+// baseline, with empty fault columns) — the machine-readable companion
+// of Resilience.
+func ResilienceCSV(w io.Writer, results []*core.Result) error {
+	if _, err := fmt.Fprintln(w, "recovery,fail_rate,seed,approach,goodput,makespan_h,inflation,"+
+		"killed_pipelines,resubmissions,terminal_failures,task_faults,node_crashes,"+
+		"wasted_core_h,downtime_node_s,max_attempts"); err != nil {
+		return err
+	}
+	baselines, _, _ := groupResilience(results)
+	for _, r := range results {
+		if r == nil {
+			continue
+		}
+		if r.Faults == nil {
+			if _, err := fmt.Fprintf(w, "baseline,0,%d,%s,%.4f,%.4f,1,0,0,0,0,0,0,0,1\n",
+				r.Seed, r.Approach, r.Goodput(), r.Makespan.Hours()); err != nil {
+				return err
+			}
+			continue
+		}
+		inflation := ""
+		if base, ok := baselines[r.Seed]; ok && base > 0 {
+			inflation = fmt.Sprintf("%.4f", r.Makespan.Hours()/base)
+		}
+		f := r.Faults
+		if _, err := fmt.Fprintf(w, "%s,%.4f,%d,%s,%.4f,%.4f,%s,%d,%d,%d,%d,%d,%.4f,%.1f,%d\n",
+			f.Recovery, f.Spec.TaskFailProb, r.Seed, r.Approach, r.Goodput(), r.Makespan.Hours(),
+			inflation, f.KilledPipelines, f.Resubmissions, f.TerminalFailures, f.TaskFaults,
+			f.NodeCrashes, f.WastedCoreHours, f.DowntimeNodeSeconds, f.MaxAttempts()); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -48,6 +48,13 @@ type TaskRecord struct {
 	// still queued have Placed false; timestamps alone cannot tell them
 	// apart from tasks placed at virtual time zero.
 	Placed bool
+	// Attempt is the 1-based execution attempt (>1 for fault-recovery
+	// resubmissions; 0 in records written before the fault subsystem).
+	Attempt int
+	// Node is the node the attempt ran on, -1 when it was never placed.
+	Node int
+	// Fault names what killed a failed attempt ("" while healthy).
+	Fault string
 }
 
 // Wait returns time from submission to the start of exec setup.
