@@ -345,26 +345,58 @@ func BenchmarkPolicyCompare(b *testing.B) {
 	}
 }
 
+// benchScreenScaling is one screen-scaling cell, shared by
+// BenchmarkScreenScaling and the BENCH_<n>.json emitter.
+func benchScreenScaling(b *testing.B, n int) {
+	screen, err := impress.PDZScreen(42, n)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := impress.AdaptiveConfig(42)
+	var res *impress.Result
+	for i := 0; i < b.N; i++ {
+		res, err = impress.RunAdaptive(screen, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportCampaign(b, res)
+}
+
 // BenchmarkScreenScaling measures coordinator throughput as the workload
 // widens (trajectory counts grow superlinearly through sub-pipelines).
 func BenchmarkScreenScaling(b *testing.B) {
 	for _, n := range []int{8, 16, 32} {
-		b.Run(fmt.Sprintf("targets=%d", n), func(b *testing.B) {
-			screen, err := impress.PDZScreen(42, n)
-			if err != nil {
-				b.Fatal(err)
-			}
-			cfg := impress.AdaptiveConfig(42)
-			var res *impress.Result
-			for i := 0; i < b.N; i++ {
-				res, err = impress.RunAdaptive(screen, cfg)
-				if err != nil {
-					b.Fatal(err)
-				}
-			}
-			reportCampaign(b, res)
-		})
+		b.Run(fmt.Sprintf("targets=%d", n), func(b *testing.B) { benchScreenScaling(b, n) })
 	}
+}
+
+// benchMegaScreen is the mega-screen body, shared by BenchmarkMegaScreen
+// and the BENCH_<n>.json emitter.
+func benchMegaScreen(b *testing.B) {
+	campaigns, err := impress.BuildScenario("mega-screen", impress.ScenarioParams{Seed: 42})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var outs []impress.CampaignOutcome
+	for i := 0; i < b.N; i++ {
+		outs = impress.RunCampaigns(campaigns, 1)
+		for _, o := range outs {
+			if o.Err != nil {
+				b.Fatalf("campaign %s failed: %v", o.Name, o.Err)
+			}
+		}
+	}
+	reportCampaign(b, outs[0].Result)
+}
+
+// BenchmarkMegaScreen runs the mega-screen scenario — a 128-target
+// IM-RP screen on the split CPU/GPU pilot pair — end to end through the
+// campaign engine. It is the headroom demonstration for the
+// allocation-free simulation hot path: nearly double the paper's Fig. 3
+// workload, on the heterogeneous two-pilot placement, in one op.
+func BenchmarkMegaScreen(b *testing.B) {
+	benchMegaScreen(b)
 }
 
 // BenchmarkFaultSweep runs a one-seed, single-rate resilience sweep —

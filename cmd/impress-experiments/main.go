@@ -28,20 +28,57 @@ import (
 
 	"impress"
 	"impress/internal/cliflags"
+	"impress/internal/scenariorun"
 )
 
 func main() {
+	os.Exit(run())
+}
+
+// run returns the process exit code instead of calling os.Exit directly,
+// so the deferred -cpuprofile/-memprofile writers always execute.
+func run() int {
 	common := cliflags.Register(flag.CommandLine, cliflags.Options{
 		SeedDefault:     42,
 		ParallelDefault: 1,
 	})
 	screen := flag.Int("screen", 70, "Fig. 3 screen size")
 	outDir := flag.String("out", "", "directory for .txt/.csv outputs (optional)")
+	scenario := flag.String("scenario", "",
+		"run a registered campaign scenario (screen, stress, mega-screen, …) instead of the paper experiments")
 	flag.Parse()
 
 	if err := common.Validate(); err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		return 2
+	}
+	stopProfiles, err := common.StartProfiles()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	defer stopProfiles()
+
+	if *scenario != "" {
+		// Scenarios that declare a CSV report write it into -out, mirroring
+		// the per-experiment CSV convention.
+		csvPath := ""
+		if *outDir != "" {
+			if sc, ok := impress.LookupScenario(*scenario); ok && sc.ReportCSV != nil {
+				if err := os.MkdirAll(*outDir, 0o755); err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					return 1
+				}
+				csvPath = filepath.Join(*outDir, *scenario+".csv")
+			}
+		}
+		return scenariorun.Run(os.Stdout, os.Stderr, *scenario, impress.ScenarioParams{
+			Seed:     common.Seed,
+			Targets:  *screen,
+			Policy:   common.Policy,
+			Fault:    common.Fault(),
+			Recovery: common.Recovery,
+		}, common.Parallel, csvPath)
 	}
 	seed := &common.Seed
 	parallel := &common.Parallel
@@ -68,7 +105,7 @@ func main() {
 	for id := range want {
 		if id != "all" && !known[id] {
 			fmt.Fprintf(os.Stderr, "unknown experiment %q (known: table1 fig2 fig3 fig4 fig5 all)\n", id)
-			os.Exit(2)
+			return 2
 		}
 	}
 
@@ -107,8 +144,9 @@ func main() {
 		}
 	}
 	if failed {
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }
 
 func writeOutputs(dir string, out *impress.ExperimentOutput) error {

@@ -15,6 +15,7 @@
 //	impress-run -scenario stress -seeds 4 -screen-size 16 -parallel 8
 //	impress-run -scenario policy-compare -seeds 4 -parallel 8
 //	impress-run -scenario fault-sweep -seeds 4 -parallel 8 -mtbf 12h -csv resilience.csv
+//	impress-run -scenario mega-screen -cpuprofile cpu.prof -memprofile mem.prof
 package main
 
 import (
@@ -25,9 +26,17 @@ import (
 
 	"impress"
 	"impress/internal/cliflags"
+	"impress/internal/scenariorun"
 )
 
 func main() {
+	os.Exit(run())
+}
+
+// run returns the process exit code instead of calling os.Exit directly,
+// so deferred cleanup — notably the -cpuprofile/-memprofile writers —
+// always executes.
+func run() int {
 	common := cliflags.Register(flag.CommandLine, cliflags.Options{
 		SeedDefault:     42,
 		ParallelDefault: 1,
@@ -55,15 +64,21 @@ func main() {
 
 	if *listScenarios {
 		for _, s := range impress.Scenarios() {
-			fmt.Printf("%-10s %s\n", s.Name, s.Description)
+			fmt.Printf("%-14s %s\n", s.Name, s.Description)
 		}
-		return
+		return 0
 	}
 
 	if err := common.Validate(); err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		return 2
 	}
+	stopProfiles, err := common.StartProfiles()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	defer stopProfiles()
 	split := common.SplitPilots()
 
 	if *scenario != "" {
@@ -77,6 +92,7 @@ func main() {
 				"scenario": true, "seed": true, "seeds": true,
 				"screen-size": true, "pilots": true, "parallel": true,
 				"policy": true, "csv": sc.ReportCSV != nil,
+				"cpuprofile": true, "memprofile": true,
 			}
 			for _, name := range cliflags.FaultFlagNames() {
 				compat[name] = true
@@ -89,10 +105,10 @@ func main() {
 			})
 			if len(ignored) > 0 {
 				fmt.Fprintf(os.Stderr, "flags %v do not apply to -scenario %s runs\n", ignored, *scenario)
-				os.Exit(2)
+				return 2
 			}
 		}
-		runScenario(*scenario, impress.ScenarioParams{
+		return scenariorun.Run(os.Stdout, os.Stderr, *scenario, impress.ScenarioParams{
 			Seed:        common.Seed,
 			Seeds:       *seeds,
 			Targets:     *screenSize,
@@ -101,7 +117,6 @@ func main() {
 			Fault:       common.Fault(),
 			Recovery:    common.Recovery,
 		}, common.Parallel, *csvPath)
-		return
 	}
 
 	// The protocol config fully encodes the execution policy here
@@ -116,13 +131,13 @@ func main() {
 		cfg = impress.ControlConfig(common.Seed)
 	default:
 		fmt.Fprintf(os.Stderr, "unknown protocol %q (want imrp or contv)\n", *protocol)
-		os.Exit(2)
+		return 2
 	}
 	if split {
 		ps, err := impress.SplitPilots(cfg.Machine)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
 		cfg.Pilots = ps
 	}
@@ -152,10 +167,7 @@ func main() {
 		cfg.Pipeline.FinalCycleAdaptive = false
 	}
 
-	var (
-		targets []*impress.Target
-		err     error
-	)
+	var targets []*impress.Target
 	switch *targetsKind {
 	case "named":
 		targets, err = impress.NamedPDZTargets(common.Seed)
@@ -163,11 +175,11 @@ func main() {
 		targets, err = impress.PDZScreen(common.Seed, *screenSize)
 	default:
 		fmt.Fprintf(os.Stderr, "unknown workload %q (want named or screen)\n", *targetsKind)
-		os.Exit(2)
+		return 2
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		return 1
 	}
 
 	c := impress.Campaign{
@@ -182,7 +194,7 @@ func main() {
 	out := impress.RunCampaigns([]impress.Campaign{c}, 1)[0]
 	if out.Err != nil {
 		fmt.Fprintln(os.Stderr, out.Err)
-		os.Exit(1)
+		return 1
 	}
 	res := out.Result
 	fmt.Println(impress.Summary(res))
@@ -231,11 +243,11 @@ func main() {
 		f, err := os.Create(*jsonPath)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
 		if err := impress.WriteResultJSON(f, res, true); err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
 		f.Close()
 		fmt.Printf("\nwrote %s\n", *jsonPath)
@@ -243,18 +255,18 @@ func main() {
 	if *pdbDir != "" {
 		if err := os.MkdirAll(*pdbDir, 0o755); err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
 		for name, st := range res.FinalDesigns {
 			path := filepath.Join(*pdbDir, name+".pdb")
 			f, err := os.Create(path)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
+				return 1
 			}
 			if err := impress.WritePDB(f, st, nil); err != nil {
 				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
+				return 1
 			}
 			f.Close()
 			fmt.Printf("wrote %s\n", path)
@@ -264,62 +276,16 @@ func main() {
 		f, err := os.Create(*csvPath)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
 		defer f.Close()
 		out := &impress.ExperimentOutput{ID: "run", Results: map[string]*impress.Result{res.Approach: res}}
 		if err := out.WriteCSV(f); err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Printf("\nwrote %s\n", *csvPath)
 	}
+	return 0
 }
 
-// runScenario builds a registered scenario and executes every campaign
-// on the engine's worker pool, printing one summary per outcome plus the
-// scenario's own cross-campaign report when it declares one (e.g.
-// policy-compare's per-policy table, and its CSV when csvPath is set).
-func runScenario(name string, p impress.ScenarioParams, workers int, csvPath string) {
-	campaigns, err := impress.BuildScenario(name, p)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
-	}
-	sc, _ := impress.LookupScenario(name)
-	fmt.Printf("scenario %s: %d campaigns on %d workers\n\n",
-		name, len(campaigns), impress.NewCampaignEngine(workers).WorkersFor(len(campaigns)))
-	outs := impress.RunCampaigns(campaigns, workers)
-	failed := 0
-	var results []*impress.Result
-	for _, o := range outs {
-		if o.Err != nil {
-			failed++
-			fmt.Fprintf(os.Stderr, "%s failed: %v\n", o.Name, o.Err)
-			continue
-		}
-		results = append(results, o.Result)
-		fmt.Printf("%-20s %s\n\n", o.Name, impress.Summary(o.Result))
-	}
-	if sc.Report != nil && len(results) > 0 {
-		fmt.Println(sc.Report(results))
-	}
-	if csvPath != "" && sc.ReportCSV != nil && len(results) > 0 {
-		f, err := os.Create(csvPath)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		if err := sc.ReportCSV(f, results); err != nil {
-			f.Close()
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		f.Close()
-		fmt.Printf("wrote %s\n", csvPath)
-	}
-	if failed > 0 {
-		fmt.Fprintf(os.Stderr, "%d/%d campaigns failed\n", failed, len(outs))
-		os.Exit(1)
-	}
-}

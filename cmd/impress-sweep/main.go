@@ -22,6 +22,7 @@ import (
 
 	"impress"
 	"impress/internal/cliflags"
+	"impress/internal/scenariorun"
 	"impress/internal/stats"
 )
 
@@ -46,17 +47,32 @@ func run() int {
 	})
 	nSeeds := flag.Int("seeds", 8, "number of seeds to sweep")
 	csvPath := flag.String("csv", "", "write per-seed results as CSV")
+	scenario := flag.String("scenario", "",
+		"run a registered campaign scenario (screen, stress, mega-screen, …) instead of the pair sweep; statistics below apply to the pair sweep only")
 	flag.Parse()
 
 	if err := common.Validate(); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return 2
 	}
+	stopProfiles, err := common.StartProfiles()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	defer stopProfiles()
 	params := impress.ScenarioParams{
 		SplitPilots: common.SplitPilots(),
 		Policy:      common.Policy,
 		Fault:       common.Fault(),
 		Recovery:    common.Recovery,
+	}
+
+	if *scenario != "" {
+		p := params
+		p.Seed = common.Seed
+		p.Seeds = *nSeeds
+		return scenariorun.Run(os.Stdout, os.Stderr, *scenario, p, common.Parallel, *csvPath)
 	}
 
 	// Build the sweep as campaign data: a CONT-V/IM-RP pair per seed.

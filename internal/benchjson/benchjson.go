@@ -1,0 +1,120 @@
+// Package benchjson serializes Go benchmark results into the repository's
+// BENCH_<n>.json perf-trajectory artifacts.
+//
+// Every performance PR records its headline benchmarks in a BENCH_<n>.json
+// file (n = the PR number), so the repository accumulates a machine-readable
+// speed trajectory: the same benchmark names, run after run, with ns/op,
+// allocs/op, and the scientific side-metrics the benchmarks report. CI
+// regenerates the file at -benchtime 1x as a smoke check and uploads it as
+// an artifact; deliberate regenerations on a quiet machine are committed.
+package benchjson
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"runtime"
+	"sort"
+	"testing"
+)
+
+// Result is one benchmark's measured record.
+type Result struct {
+	// Name is the full benchmark name (e.g. "BenchmarkScreenScaling/targets=32").
+	Name string `json:"name"`
+	// Runs is the number of iterations the measurement averaged over (b.N).
+	Runs int `json:"runs"`
+	// NsPerOp is wall time per iteration in nanoseconds.
+	NsPerOp float64 `json:"ns_per_op"`
+	// AllocsPerOp and BytesPerOp are the allocator counters per iteration.
+	AllocsPerOp int64 `json:"allocs_per_op"`
+	BytesPerOp  int64 `json:"bytes_per_op"`
+	// Metrics carries every b.ReportMetric extra (cpu%, traj, makespan-h…),
+	// keyed by unit, sorted on output via MarshalJSON's map ordering.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// FromBenchmark converts a testing.Benchmark result. The benchmark must
+// have been run with allocation reporting (testing.Benchmark always
+// records MemAllocs/MemBytes).
+func FromBenchmark(name string, r testing.BenchmarkResult) Result {
+	res := Result{
+		Name:        name,
+		Runs:        r.N,
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+	}
+	if len(r.Extra) > 0 {
+		res.Metrics = make(map[string]float64, len(r.Extra))
+		for k, v := range r.Extra {
+			res.Metrics[k] = v
+		}
+	}
+	return res
+}
+
+// File is one BENCH_<n>.json document.
+type File struct {
+	// Schema versions the document layout.
+	Schema int `json:"schema"`
+	// PR is the pull-request number this trajectory point belongs to.
+	PR int `json:"pr"`
+	// GoVersion/GOOS/GOARCH describe the measuring toolchain and host.
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	// Note is free-form context (machine caveats, benchtime used).
+	Note string `json:"note,omitempty"`
+	// Results are this PR's measurements, sorted by name.
+	Results []Result `json:"results"`
+	// Baseline, when present, holds the same benchmarks measured on the
+	// commit before this PR, so the file records the delta it claims.
+	Baseline []Result `json:"baseline,omitempty"`
+}
+
+// NewFile returns a File stamped with the current toolchain and host.
+func NewFile(pr int, results []Result) File {
+	sort.Slice(results, func(i, j int) bool { return results[i].Name < results[j].Name })
+	return File{
+		Schema:    1,
+		PR:        pr,
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		Results:   results,
+	}
+}
+
+// Write serializes f as indented JSON.
+func Write(w io.Writer, f File) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(f)
+}
+
+// WriteFile writes f to path, creating or truncating it.
+func WriteFile(path string, f File) error {
+	out, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := Write(out, f); err != nil {
+		out.Close()
+		return err
+	}
+	return out.Close()
+}
+
+// ReadFile parses a BENCH_<n>.json document.
+func ReadFile(path string) (File, error) {
+	var f File
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return f, err
+	}
+	if err := json.Unmarshal(data, &f); err != nil {
+		return f, err
+	}
+	return f, nil
+}

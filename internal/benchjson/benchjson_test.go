@@ -1,0 +1,62 @@
+package benchjson
+
+import (
+	"bytes"
+	"encoding/json"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestFromBenchmark(t *testing.T) {
+	r := testing.BenchmarkResult{
+		N:         4,
+		T:         2 * time.Second,
+		MemAllocs: 400,
+		MemBytes:  4096,
+		Extra:     map[string]float64{"cpu%": 93.5},
+	}
+	res := FromBenchmark("BenchmarkX/case=1", r)
+	if res.Name != "BenchmarkX/case=1" || res.Runs != 4 {
+		t.Fatalf("identity fields wrong: %+v", res)
+	}
+	if res.NsPerOp != 5e8 {
+		t.Fatalf("NsPerOp = %v, want 5e8", res.NsPerOp)
+	}
+	if res.AllocsPerOp != 100 || res.BytesPerOp != 1024 {
+		t.Fatalf("allocator counters wrong: %+v", res)
+	}
+	if res.Metrics["cpu%"] != 93.5 {
+		t.Fatalf("extra metric lost: %+v", res.Metrics)
+	}
+}
+
+func TestWriteAndReadRoundTrip(t *testing.T) {
+	f := NewFile(4, []Result{
+		{Name: "B/z", Runs: 1, NsPerOp: 2},
+		{Name: "B/a", Runs: 1, NsPerOp: 1},
+	})
+	f.Baseline = []Result{{Name: "B/a", Runs: 1, NsPerOp: 3}}
+	f.Note = "test"
+
+	if f.Results[0].Name != "B/a" {
+		t.Fatal("NewFile did not sort results by name")
+	}
+	if f.Schema != 1 || f.PR != 4 || f.GoVersion == "" {
+		t.Fatalf("file header wrong: %+v", f)
+	}
+
+	path := filepath.Join(t.TempDir(), "BENCH_test.json")
+	if err := WriteFile(path, f); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := json.Marshal(f)
+	b, _ := json.Marshal(got)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("round trip diverged:\n%s\n%s", a, b)
+	}
+}

@@ -331,6 +331,26 @@ func init() {
 		},
 	}))
 	must(Register(Scenario{
+		Name: "mega-screen",
+		Description: "one IM-RP campaign over at least 128 PDB-mined complexes on the split CPU/GPU pilot pair — " +
+			"the perf-harness workload behind BenchmarkMegaScreen (smaller Targets values are raised to 128)",
+		Build: func(p Params) ([]Campaign, error) {
+			// The floor defines the scenario: "mega" means the simulator
+			// is driven well past the paper's 70-complex screen. Explicit
+			// larger Targets values pass through.
+			if p.Targets < 128 {
+				p.Targets = 128
+			}
+			p.SplitPilots = true
+			p = p.withDefaults()
+			c, err := screenAt(p.Seed, p.Targets, p)
+			if err != nil {
+				return nil, err
+			}
+			return []Campaign{c}, nil
+		},
+	}))
+	must(Register(Scenario{
 		Name:        "policy-compare",
 		Description: "races every scheduling policy (fifo, backfill, bestfit, worstfit, largest) as IM-RP campaigns over a Seeds-wide seed sweep of the four PDZ domains",
 		Build: func(p Params) ([]Campaign, error) {

@@ -11,6 +11,9 @@ package cliflags
 import (
 	"flag"
 	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -56,6 +59,12 @@ type Common struct {
 	Repair time.Duration
 	// Recovery is the fault-recovery policy name ("" = none).
 	Recovery string
+	// CPUProfile, when set, is the path a pprof CPU profile is written to
+	// for the whole command run.
+	CPUProfile string
+	// MemProfile, when set, is the path an allocation profile is written
+	// to when profiling stops.
+	MemProfile string
 
 	withPilots bool
 }
@@ -83,7 +92,51 @@ func Register(fs *flag.FlagSet, o Options) *Common {
 	fs.DurationVar(&c.Repair, "repair", fault.DefaultNodeRepair, "node repair window after a crash (with -mtbf)")
 	fs.StringVar(&c.Recovery, "recovery", "",
 		"fault-recovery policy: "+strings.Join(fault.Names(), ", ")+" (empty = none)")
+	fs.StringVar(&c.CPUProfile, "cpuprofile", "", "write a pprof CPU profile of the run to this path")
+	fs.StringVar(&c.MemProfile, "memprofile", "", "write a pprof allocation profile to this path at exit")
 	return c
+}
+
+// StartProfiles begins CPU profiling when -cpuprofile was given and
+// returns a stop function that finishes the CPU profile and writes the
+// -memprofile allocation snapshot. The stop function is idempotent and
+// safe to both defer and call explicitly before os.Exit; with neither
+// flag set it does nothing.
+func (c *Common) StartProfiles() (stop func(), err error) {
+	var cpuFile *os.File
+	if c.CPUProfile != "" {
+		cpuFile, err = os.Create(c.CPUProfile)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, err
+		}
+	}
+	done := false
+	return func() {
+		if done {
+			return
+		}
+		done = true
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if c.MemProfile != "" {
+			f, err := os.Create(c.MemProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "memprofile:", err)
+				return
+			}
+			runtime.GC() // materialize the live set before the snapshot
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fmt.Fprintln(os.Stderr, "memprofile:", err)
+			}
+			f.Close()
+		}
+	}, nil
 }
 
 // Validate checks every shared value; commands call it right after

@@ -2,6 +2,8 @@ package cliflags
 
 import (
 	"flag"
+	"os"
+	"path/filepath"
 	"testing"
 	"time"
 )
@@ -71,4 +73,55 @@ func TestValidateRejects(t *testing.T) {
 	if err := c.Validate(); err != nil {
 		t.Fatal(err)
 	}
+}
+
+func TestProfileFlagsAndLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.prof")
+	mem := filepath.Join(dir, "mem.prof")
+
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	c := Register(fs, Options{})
+	if err := fs.Parse([]string{"-cpuprofile", cpu, "-memprofile", mem}); err != nil {
+		t.Fatal(err)
+	}
+	if c.CPUProfile != cpu || c.MemProfile != mem {
+		t.Fatalf("profile paths not captured: %+v", c)
+	}
+
+	stop, err := c.StartProfiles()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Burn a little CPU so the profile has something to say.
+	x := 0
+	for i := 0; i < 1_000_000; i++ {
+		x += i * i
+	}
+	_ = x
+	stop()
+	stop() // idempotent
+
+	for _, p := range []string{cpu, mem} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile %s not written: %v", p, err)
+		}
+		if st.Size() == 0 {
+			t.Fatalf("profile %s is empty", p)
+		}
+	}
+}
+
+func TestStartProfilesNoFlagsIsNoop(t *testing.T) {
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	c := Register(fs, Options{})
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	stop, err := c.StartProfiles()
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop()
 }

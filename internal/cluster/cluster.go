@@ -114,6 +114,11 @@ type Node struct {
 type Cluster struct {
 	spec  Spec
 	nodes []*Node
+	// freed is the freed-capacity watermark: it advances whenever free
+	// capacity can have grown (an allocation released, a node repaired).
+	// The pilot agent compares it against the value latched by its last
+	// blocked scheduling pass to skip passes that provably place nothing.
+	freed uint64
 }
 
 // New builds a cluster with all resources free.
@@ -204,6 +209,7 @@ func (c *Cluster) Release(a *Alloc) {
 		panic("cluster: double release")
 	}
 	a.released = true
+	c.freed++
 	a.Node.freeCores += a.Cores
 	a.Node.freeGPUs += a.GPUs
 	a.Node.freeMemGB += a.MemGB
@@ -217,15 +223,28 @@ func (c *Cluster) Release(a *Alloc) {
 // against. Crashed nodes report zero free capacity so no policy ranks a
 // placement onto hardware that cannot take it.
 func (c *Cluster) NodeFree() []Request {
-	out := make([]Request, len(c.nodes))
-	for i, n := range c.nodes {
+	return c.NodeFreeInto(nil)
+}
+
+// NodeFreeInto is NodeFree filling a caller-provided buffer (reused from
+// length zero; grown only when too small), so per-pass ledger snapshots
+// allocate nothing in steady state.
+func (c *Cluster) NodeFreeInto(buf []Request) []Request {
+	buf = buf[:0]
+	for _, n := range c.nodes {
 		if n.down {
+			buf = append(buf, Request{})
 			continue
 		}
-		out[i] = Request{Cores: n.freeCores, GPUs: n.freeGPUs, MemGB: n.freeMemGB}
+		buf = append(buf, Request{Cores: n.freeCores, GPUs: n.freeGPUs, MemGB: n.freeMemGB})
 	}
-	return out
+	return buf
 }
+
+// FreedStamp returns the freed-capacity watermark. The stamp is opaque:
+// equality with an earlier reading means no free capacity was returned to
+// the ledger in between.
+func (c *Cluster) FreedStamp() uint64 { return c.freed }
 
 // NodeCount returns the number of nodes in the cluster.
 func (c *Cluster) NodeCount() int { return len(c.nodes) }
@@ -240,6 +259,7 @@ func (c *Cluster) SetNodeDown(id int) {
 // SetNodeUp returns a repaired node to allocation.
 func (c *Cluster) SetNodeUp(id int) {
 	c.node(id).down = false
+	c.freed++
 }
 
 // NodeIsDown reports whether a node is currently withdrawn.

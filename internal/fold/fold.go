@@ -130,6 +130,12 @@ func (p *Predictor) Predict(full protein.Sequence, isComplex bool) Prediction {
 	rng := xrand.New(xrand.Derive(p.seed^full.Hash(), "fold"))
 	std := p.noiseStd()
 
+	// The per-residue fit profile is a pure function of the sequence —
+	// computed once and shared across the NumModels models, which differ
+	// only in their observation-noise draws. The rng consumes exactly the
+	// same stream as before (fits never drew from it), so predictions are
+	// bit-identical to the per-model recomputation.
+	fits := p.residueFits(full)
 	models := make([]ModelOut, p.cfg.NumModels)
 	for m := range models {
 		zm := z + rng.NormFloat64()*std
@@ -137,7 +143,7 @@ func (p *Predictor) Predict(full protein.Sequence, isComplex bool) Prediction {
 		met := landscape.ClampMetrics(landscape.MetricsFromZ(zm, zim, isComplex))
 		models[m] = ModelOut{
 			Metrics:         met,
-			PerResiduePLDDT: p.perResiduePLDDT(full, met.PLDDT, rng),
+			PerResiduePLDDT: p.perResiduePLDDT(fits, met.PLDDT, rng),
 		}
 	}
 	sort.SliceStable(models, func(a, b int) bool {
@@ -155,13 +161,13 @@ func (p *Predictor) PredictStructure(st *protein.Structure) Prediction {
 	return p.Predict(st.FullSequence(), st.IsComplex())
 }
 
-// perResiduePLDDT spreads the global confidence across positions:
-// residues whose local conditional energy fits well score above the mean,
-// poorly fitting ones below — mimicking how AlphaFold's confidence dips
-// around problematic regions.
-func (p *Predictor) perResiduePLDDT(full protein.Sequence, mean float64, rng *xrand.RNG) []float64 {
+// residueFits scores how well each residue fits its local conditional
+// energy landscape, in [0,1]: 1 when the residue is the locally optimal
+// choice. This is the deterministic, kernel-heavy half of the
+// per-residue confidence model, shared by every model of one prediction.
+func (p *Predictor) residueFits(full protein.Sequence) []float64 {
 	n := p.truth.Len()
-	out := make([]float64, n)
+	fits := make([]float64, n)
 	cond := make([]float64, protein.NumAA)
 	for i := 0; i < n; i++ {
 		p.truth.ConditionalEnergies(full, i, cond)
@@ -175,12 +181,24 @@ func (p *Predictor) perResiduePLDDT(full protein.Sequence, mean float64, rng *xr
 				hi = e
 			}
 		}
-		// fit in [0,1]: 1 when the residue is the locally optimal choice.
 		fit := 0.5
 		if hi > lo {
 			fit = (hi - self) / (hi - lo)
 		}
-		v := mean + (fit-0.5)*14 + rng.NormFloat64()*2.5
+		fits[i] = fit
+	}
+	return fits
+}
+
+// perResiduePLDDT spreads the global confidence across positions:
+// residues whose local conditional energy fits well score above the mean,
+// poorly fitting ones below — mimicking how AlphaFold's confidence dips
+// around problematic regions.
+func (p *Predictor) perResiduePLDDT(fits []float64, mean float64, rng *xrand.RNG) []float64 {
+	n := len(fits)
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		v := mean + (fits[i]-0.5)*14 + rng.NormFloat64()*2.5
 		if v < 0 {
 			v = 0
 		}

@@ -23,6 +23,7 @@ package landscape
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"impress/internal/protein"
 	"impress/internal/xrand"
@@ -62,12 +63,19 @@ type Edge struct {
 	I, J       int
 	Interchain bool
 	W          [protein.NumAA][protein.NumAA]float64
+	// wt is W transposed (wt[b][a] = W[a][b]), built by buildAdjacency so
+	// the Gibbs kernel reads a contiguous row from whichever side of the
+	// edge it stands on instead of striding down a column.
+	wt [protein.NumAA][protein.NumAA]float64
 }
 
+// halfEdge is one directed view of an edge: rows is oriented so that
+// rows[other][a] is the coupling added to candidate residue a at this
+// position when the far position holds residue other — &W on the J side,
+// &wt on the I side. The kernel therefore always sums a contiguous row.
 type halfEdge struct {
-	other     int
-	edge      *Edge
-	transpose bool // true when this position is the edge's J side
+	other int
+	rows  *[protein.NumAA][protein.NumAA]float64
 }
 
 // Model is a target-specific Potts landscape. It is immutable after
@@ -92,6 +100,14 @@ type Model struct {
 
 	seed uint64
 	cfg  Config
+
+	// spare is a retired corrupted copy of this model awaiting reuse by
+	// the next Corrupt call (see Recycle). It deliberately holds a strong
+	// reference: a sync.Pool would be drained by exactly the GC pressure
+	// the slot exists to remove. Guarded by mu; everything else in the
+	// model stays immutable after construction.
+	mu    sync.Mutex
+	spare *Model
 }
 
 // New builds the landscape for a structure. The same (structure geometry,
@@ -109,10 +125,14 @@ func New(st *protein.Structure, seed uint64, cfg Config) *Model {
 		seed:   seed,
 		cfg:    cfg,
 	}
+	// NumAA is even, so the pairwise bulk draws below consume the exact
+	// deviate stream the per-cell NormFloat64 loop did.
 	rng := xrand.New(xrand.Derive(seed, "landscape:"+st.Name))
 	for i := range m.Fields {
-		for a := 0; a < protein.NumAA; a++ {
-			m.Fields[i][a] = rng.NormFloat64() * cfg.FieldStd
+		for a := 0; a < protein.NumAA; a += 2 {
+			w1, w2 := rng.NormPair()
+			m.Fields[i][a] = w1 * cfg.FieldStd
+			m.Fields[i][a+1] = w2 * cfg.FieldStd
 		}
 	}
 	contacts := st.Contacts(cfg.ContactCutoff)
@@ -125,8 +145,14 @@ func New(st *protein.Structure, seed uint64, cfg Config) *Model {
 			std = cfg.InterCouplingStd
 		}
 		for a := 0; a < protein.NumAA; a++ {
-			for b := 0; b < protein.NumAA; b++ {
-				e.W[a][b] = rng.NormFloat64() * std
+			for b := 0; b < protein.NumAA; b += 2 {
+				w1, w2 := rng.NormPair()
+				w1 *= std
+				w2 *= std
+				e.W[a][b] = w1
+				e.W[a][b+1] = w2
+				e.wt[b][a] = w1
+				e.wt[b+1][a] = w2
 			}
 		}
 	}
@@ -135,13 +161,35 @@ func New(st *protein.Structure, seed uint64, cfg Config) *Model {
 	return m
 }
 
+// buildAdjacency derives the per-position half-edge lists. The lists live
+// in one flat backing array (two counted passes instead of per-position
+// append growth), which cuts model construction from ~2·E·log(deg) small
+// allocations to three. Within each position, half-edges keep edge order
+// — the same order the old append loop produced — so the kernel's float
+// additions are bit-identical. Writers of Edge tables (New, CorruptInto)
+// maintain wt = Wᵀ as they fill W.
 func (m *Model) buildAdjacency() {
 	n := m.RecLen + m.PepLen
-	m.adj = make([][]halfEdge, n)
+	start := make([]int, n+1)
+	for k := range m.Edges {
+		start[m.Edges[k].I+1]++
+		start[m.Edges[k].J+1]++
+	}
+	for i := 0; i < n; i++ {
+		start[i+1] += start[i]
+	}
+	flat := make([]halfEdge, 2*len(m.Edges))
+	fill := make([]int, n)
 	for k := range m.Edges {
 		e := &m.Edges[k]
-		m.adj[e.I] = append(m.adj[e.I], halfEdge{other: e.J, edge: e})
-		m.adj[e.J] = append(m.adj[e.J], halfEdge{other: e.I, edge: e, transpose: true})
+		flat[start[e.I]+fill[e.I]] = halfEdge{other: e.J, rows: &e.wt}
+		fill[e.I]++
+		flat[start[e.J]+fill[e.J]] = halfEdge{other: e.I, rows: &e.W}
+		fill[e.J]++
+	}
+	m.adj = make([][]halfEdge, n)
+	for i := 0; i < n; i++ {
+		m.adj[i] = flat[start[i]:start[i+1]:start[i+1]]
 	}
 }
 
@@ -266,19 +314,14 @@ func (m *Model) ConditionalEnergies(full protein.Sequence, pos int, out []float6
 	if len(out) != protein.NumAA {
 		panic("landscape: ConditionalEnergies buffer size")
 	}
-	for a := 0; a < protein.NumAA; a++ {
-		out[a] = m.Fields[pos][a]
-	}
+	// Fixed-size array views eliminate per-iteration bounds checks in the
+	// kernel; every half-edge contributes one contiguous 20-float row.
+	o := (*[protein.NumAA]float64)(out)
+	*o = m.Fields[pos]
 	for _, he := range m.adj[pos] {
-		other := protein.Index(full[he.other])
-		if he.transpose {
-			for a := 0; a < protein.NumAA; a++ {
-				out[a] += he.edge.W[other][a]
-			}
-		} else {
-			for a := 0; a < protein.NumAA; a++ {
-				out[a] += he.edge.W[a][other]
-			}
+		row := &he.rows[protein.Index(full[he.other])]
+		for a := 0; a < protein.NumAA; a++ {
+			o[a] += row[a]
 		}
 	}
 }
@@ -293,17 +336,11 @@ func (m *Model) ZScores(total, inter float64) (z, zInter float64) {
 	return (m.EnergyMean - total) / m.EnergyStd, (m.InterMean - inter) / m.InterStd
 }
 
-// Zero-allocation scratch for samplers.
+// Zero-allocation scratch for samplers: fixed-size arrays a caller keeps
+// on its stack.
 type scratch struct {
-	cond    []float64
-	weights []float64
-}
-
-func newScratch() *scratch {
-	return &scratch{
-		cond:    make([]float64, protein.NumAA),
-		weights: make([]float64, protein.NumAA),
-	}
+	cond    [protein.NumAA]float64
+	weights [protein.NumAA]float64
 }
 
 // SampleOptions configures Gibbs sampling over the model.
@@ -336,21 +373,21 @@ func (m *Model) Sample(start protein.Sequence, opts SampleOptions) protein.Seque
 		panic("landscape: Fixed mask length mismatch")
 	}
 	seq := start.Clone()
-	rng := xrand.New(opts.Seed)
-	sc := newScratch()
+	rng := xrand.Seeded(opts.Seed)
+	var sc scratch
 	for sweep := 0; sweep < opts.Sweeps; sweep++ {
 		for pos := 0; pos < m.RecLen; pos++ {
 			if opts.Fixed != nil && opts.Fixed[pos] {
 				continue
 			}
-			m.gibbsStep(seq, pos, opts.Temperature, rng, sc)
+			m.gibbsStep(seq, pos, opts.Temperature, &rng, &sc)
 		}
 	}
 	return seq
 }
 
 func (m *Model) gibbsStep(seq protein.Sequence, pos int, temp float64, rng *xrand.RNG, sc *scratch) {
-	m.ConditionalEnergies(seq, pos, sc.cond)
+	m.ConditionalEnergies(seq, pos, sc.cond[:])
 	minE := sc.cond[0]
 	for _, e := range sc.cond[1:] {
 		if e < minE {
@@ -358,14 +395,14 @@ func (m *Model) gibbsStep(seq protein.Sequence, pos int, temp float64, rng *xran
 		}
 	}
 	var total float64
-	for a, e := range sc.cond {
+	for a, e := range &sc.cond {
 		w := math.Exp(-(e - minE) / temp)
 		sc.weights[a] = w
 		total += w
 	}
 	t := rng.Float64() * total
 	pick := protein.NumAA - 1
-	for a, w := range sc.weights {
+	for a, w := range &sc.weights {
 		t -= w
 		if t < 0 {
 			pick = a
@@ -384,10 +421,10 @@ func (m *Model) LogLikelihood(full protein.Sequence, temp float64) float64 {
 	if temp <= 0 {
 		panic("landscape: non-positive temperature")
 	}
-	sc := newScratch()
+	var sc scratch
 	var ll float64
 	for pos := 0; pos < m.RecLen; pos++ {
-		m.ConditionalEnergies(full, pos, sc.cond)
+		m.ConditionalEnergies(full, pos, sc.cond[:])
 		minE := sc.cond[0]
 		for _, e := range sc.cond[1:] {
 			if e < minE {
@@ -395,7 +432,7 @@ func (m *Model) LogLikelihood(full protein.Sequence, temp float64) float64 {
 			}
 		}
 		var z float64
-		for _, e := range sc.cond {
+		for _, e := range &sc.cond {
 			z += math.Exp(-(e - minE) / temp)
 		}
 		self := sc.cond[protein.Index(full[pos])]
@@ -413,13 +450,13 @@ func (m *Model) Anneal(start protein.Sequence, sweeps int, tHi, tLo float64, see
 		panic("landscape: non-positive sweeps")
 	}
 	seq := start.Clone()
-	rng := xrand.New(seed)
-	sc := newScratch()
+	rng := xrand.Seeded(seed)
+	var sc scratch
 	for sweep := 0; sweep < sweeps; sweep++ {
 		frac := float64(sweep) / float64(sweeps)
 		temp := tHi * math.Pow(tLo/tHi, frac)
 		for pos := 0; pos < m.RecLen; pos++ {
-			m.gibbsStep(seq, pos, temp, rng, sc)
+			m.gibbsStep(seq, pos, temp, &rng, &sc)
 		}
 	}
 	return seq
@@ -434,45 +471,98 @@ func (m *Model) Anneal(start protein.Sequence, sweeps int, tHi, tLo float64, see
 // Calibration statistics are copied (not recomputed): z-scores always
 // refer to the true landscape's scale.
 func (m *Model) Corrupt(level float64, seed uint64) *Model {
+	m.mu.Lock()
+	reuse := m.spare
+	m.spare = nil
+	m.mu.Unlock()
+	return m.CorruptInto(reuse, level, seed)
+}
+
+// Recycle offers a surrogate produced by Corrupt back to this truth model
+// for memory reuse by the next Corrupt call. The caller must own c
+// exclusively and stop using it afterwards; the next corruption rewrites
+// it in place. Recycling keeps design stages — which corrupt a multi-MB
+// model per call — off the allocator for the lifetime of a target.
+func (m *Model) Recycle(c *Model) {
+	if c == nil || c == m {
+		return
+	}
+	m.mu.Lock()
+	m.spare = c
+	m.mu.Unlock()
+}
+
+// CorruptInto is Corrupt recycling a previous surrogate's memory: when
+// reuse is a model of the same shape (same lengths and edge topology —
+// any earlier corruption of the same truth qualifies), its field table,
+// edge tables, and adjacency lists are overwritten in place instead of
+// allocated fresh. Every cell is rewritten from the truth model and the
+// seed's noise stream, so the result is bit-identical to Corrupt; only
+// the allocator traffic differs. A nil or mismatched reuse model falls
+// back to fresh allocation.
+func (m *Model) CorruptInto(reuse *Model, level float64, seed uint64) *Model {
 	if level < 0 {
 		panic("landscape: negative corruption level")
 	}
-	c := &Model{
-		Name:       m.Name,
-		RecLen:     m.RecLen,
-		PepLen:     m.PepLen,
-		Fields:     make([][protein.NumAA]float64, len(m.Fields)),
-		Edges:      make([]Edge, len(m.Edges)),
-		EnergyMean: m.EnergyMean,
-		EnergyStd:  m.EnergyStd,
-		InterMean:  m.InterMean,
-		InterStd:   m.InterStd,
-		EnergyOpt:  m.EnergyOpt,
-		InterOpt:   m.InterOpt,
-		seed:       seed,
-		cfg:        m.cfg,
-	}
-	rng := xrand.New(xrand.Derive(seed, "corrupt:"+m.Name))
-	fStd := m.cfg.FieldStd * level
-	for i := range m.Fields {
-		for a := 0; a < protein.NumAA; a++ {
-			c.Fields[i][a] = m.Fields[i][a] + rng.NormFloat64()*fStd
+	c := reuse
+	sameShape := c != nil &&
+		c.RecLen == m.RecLen && c.PepLen == m.PepLen &&
+		len(c.Fields) == len(m.Fields) && len(c.Edges) == len(m.Edges)
+	if !sameShape {
+		c = &Model{
+			Fields: make([][protein.NumAA]float64, len(m.Fields)),
+			Edges:  make([]Edge, len(m.Edges)),
 		}
 	}
+	c.Name = m.Name
+	c.RecLen, c.PepLen = m.RecLen, m.PepLen
+	c.EnergyMean, c.EnergyStd = m.EnergyMean, m.EnergyStd
+	c.InterMean, c.InterStd = m.InterMean, m.InterStd
+	c.EnergyOpt, c.InterOpt = m.EnergyOpt, m.InterOpt
+	c.seed, c.cfg = seed, m.cfg
+
+	// NumAA is even, so the pairwise bulk draws below consume the exact
+	// deviate stream the per-cell NormFloat64 loop did.
+	rng := xrand.Seeded(xrand.Derive(seed, "corrupt:"+m.Name))
+	fStd := m.cfg.FieldStd * level
+	for i := range m.Fields {
+		for a := 0; a < protein.NumAA; a += 2 {
+			n1, n2 := rng.NormPair()
+			c.Fields[i][a] = m.Fields[i][a] + n1*fStd
+			c.Fields[i][a+1] = m.Fields[i][a+1] + n2*fStd
+		}
+	}
+	sameTopology := sameShape
 	for k := range m.Edges {
 		src := &m.Edges[k]
 		dst := &c.Edges[k]
+		if dst.I != src.I || dst.J != src.J {
+			sameTopology = false
+		}
 		dst.I, dst.J, dst.Interchain = src.I, src.J, src.Interchain
 		std := m.cfg.CouplingStd * level
 		if src.Interchain {
 			std = m.cfg.InterCouplingStd * level
 		}
 		for a := 0; a < protein.NumAA; a++ {
-			for b := 0; b < protein.NumAA; b++ {
-				dst.W[a][b] = src.W[a][b] + rng.NormFloat64()*std
+			srcRow := &src.W[a]
+			dstRow := &dst.W[a]
+			for b := 0; b < protein.NumAA; b += 2 {
+				n1, n2 := rng.NormPair()
+				w1 := srcRow[b] + n1*std
+				w2 := srcRow[b+1] + n2*std
+				dstRow[b] = w1
+				dstRow[b+1] = w2
+				dst.wt[b][a] = w1
+				dst.wt[b+1][a] = w2
 			}
 		}
 	}
-	c.buildAdjacency()
+	// A reused model with unchanged topology keeps its adjacency lists:
+	// the half-edge row pointers aim into c.Edges, whose backing array was
+	// recycled, and the tables behind them were just rewritten.
+	if !sameTopology || c.adj == nil {
+		c.buildAdjacency()
+	}
 	return c
 }

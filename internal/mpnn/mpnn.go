@@ -106,7 +106,10 @@ type Design struct {
 }
 
 // Sampler generates designs for one target. It is safe for concurrent
-// use; all mutable state lives on the stack of each call.
+// use; all mutable state lives on the stack of each call. Surrogate
+// models are recycled through the truth landscape (landscape.Recycle),
+// so every pipeline and sub-pipeline of a target shares one reusable
+// corruption buffer instead of allocating multi-MB models per stage.
 type Sampler struct {
 	truth *landscape.Model
 	cfg   Config
@@ -143,22 +146,35 @@ func (s *Sampler) CorruptionFor(generation int) float64 {
 	return level
 }
 
+// maskScratch holds one worker's reusable redesign-mask buffers. Each
+// Design worker owns one, so mask construction — once two allocations per
+// candidate — allocates only on each worker's first candidate.
+type maskScratch struct {
+	mask       []bool
+	designable []int
+}
+
 // redesignMask selects which positions a candidate may redesign: a
 // random RedesignFraction subset of the designable receptor positions.
-// The returned mask marks everything else fixed.
-func (s *Sampler) redesignMask(alwaysFixed []bool, seed uint64) []bool {
-	mask := make([]bool, len(alwaysFixed))
+// The returned mask (sc.mask, rebuilt in place) marks everything else
+// fixed; it is only valid until the worker's next call.
+func (s *Sampler) redesignMask(alwaysFixed []bool, seed uint64, sc *maskScratch) []bool {
+	if cap(sc.mask) < len(alwaysFixed) {
+		sc.mask = make([]bool, len(alwaysFixed))
+	}
+	mask := sc.mask[:len(alwaysFixed)]
 	copy(mask, alwaysFixed)
 	if s.cfg.RedesignFraction >= 1 {
 		return mask
 	}
-	rng := xrand.New(xrand.Derive(seed, "redesign"))
-	var designable []int
+	rng := xrand.Seeded(xrand.Derive(seed, "redesign"))
+	designable := sc.designable[:0]
 	for pos := 0; pos < s.truth.RecLen; pos++ {
 		if !alwaysFixed[pos] {
 			designable = append(designable, pos)
 		}
 	}
+	sc.designable = designable
 	keep := int(float64(len(designable))*s.cfg.RedesignFraction + 0.5)
 	if keep < 1 {
 		keep = 1
@@ -182,8 +198,11 @@ func (s *Sampler) Design(st *protein.Structure, seed uint64) []Design {
 	level := s.CorruptionFor(st.Generation)
 	// The corrupted view is frozen per (target, generation, stage seed):
 	// every candidate within one Stage-1 call sees the same surrogate.
+	// The surrogate's memory is recycled through the sampler's pool — the
+	// corruption stream rewrites every cell, so reuse is bit-identical.
 	surrogateSeed := xrand.Derive(seed, fmt.Sprintf("surrogate:%s:gen%d", st.Name, st.Generation))
 	surrogate := s.truth.Corrupt(level, surrogateSeed)
+	defer s.truth.Recycle(surrogate)
 
 	alwaysFixed := make([]bool, s.truth.Len())
 	for _, p := range s.cfg.FixedPositions {
@@ -206,12 +225,13 @@ func (s *Sampler) Design(st *protein.Structure, seed uint64) []Design {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			var sc maskScratch
 			for i := range next {
 				candSeed := xrand.DeriveN(seed, uint64(i))
 				full := surrogate.Sample(start, landscape.SampleOptions{
 					Sweeps:      s.cfg.Sweeps,
 					Temperature: s.cfg.Temperature,
-					Fixed:       s.redesignMask(alwaysFixed, candSeed),
+					Fixed:       s.redesignMask(alwaysFixed, candSeed, &sc),
 					Seed:        candSeed,
 				})
 				designs[i] = Design{

@@ -33,6 +33,23 @@ type agent struct {
 
 	scheduling bool
 	rerun      bool
+
+	// Incremental-scheduling state: after a pass leaves tasks queued, the
+	// agent latches the cluster's freed-capacity watermark. Until capacity
+	// is released (or a new task arrives, which clears the latch), re-runs
+	// of the pass are provably no-ops and are skipped outright.
+	blocked      bool
+	blockedStamp uint64
+
+	// Scratch buffers reused across scheduling passes so the steady-state
+	// hot path allocates nothing. queueBuf is the spare backing the pass
+	// filters the queue into (swapped with queue each pass); the others
+	// serve the policy path's queue view and ledger snapshot.
+	queueBuf       []*Task
+	scratchItems   []sched.Task
+	scratchStarted []bool
+	scratchOffered []bool
+	scratchNodes   []cluster.Request
 }
 
 // execution tracks one placed task: its allocation, its pending timeline
@@ -41,7 +58,7 @@ type agent struct {
 type execution struct {
 	task      *Task
 	alloc     *cluster.Alloc
-	events    []*simclock.Event
+	events    []simclock.Event
 	busyCores int
 	busyGPUs  int
 	inSetup   bool
@@ -57,10 +74,13 @@ func newAgent(p *Pilot, clu *cluster.Cluster, rec *trace.Recorder, pol sched.Pol
 	}
 }
 
-// enqueue accepts a task from the TaskManager and tries to place it.
+// enqueue accepts a task from the TaskManager and tries to place it. A
+// new arrival invalidates the blocked-pass latch: the next pass must run
+// even if no capacity was freed, because this task was never offered.
 func (a *agent) enqueue(t *Task) {
 	a.tm.transition(t, StateScheduling)
 	a.queue = append(a.queue, t)
+	a.blocked = false
 	if a.pilot.state == PilotActive {
 		a.schedule()
 	}
@@ -97,15 +117,31 @@ func (a *agent) schedulePass() {
 	if a.pilot.state != PilotActive || len(a.queue) == 0 {
 		return
 	}
+	// Incremental skip: the last pass left this queue blocked, and since
+	// then no allocation was released and no node repaired (the cluster's
+	// freed-capacity watermark is unchanged) and nothing was enqueued
+	// (which clears the latch). Allocation outcomes are a pure function of
+	// the queue and the free ledger, so re-running the pass would place
+	// nothing — skip it.
+	if a.blocked && a.cluster.FreedStamp() == a.blockedStamp {
+		return
+	}
+	a.blocked = false
+
+	// The pass filters queue[:n] into queueBuf; transition callbacks may
+	// append new arrivals to queue mid-pass, which survive as queue[n:].
+	n := len(a.queue)
+	remaining := a.queueBuf[:0]
+
 	// Fast path for submission-order policies (fifo/backfill): no queue
 	// view, no ledger snapshot, no ordering — the legacy pass verbatim.
 	if sched.SubmissionOrder(a.policy) {
 		continueOnBlock := a.policy.ContinueOnBlock()
-		var remaining []*Task
 		blocked := false
-		for i, t := range a.queue {
+		for i := 0; i < n; i++ {
+			t := a.queue[i]
 			if blocked && !continueOnBlock {
-				remaining = append(remaining, a.queue[i:]...)
+				remaining = append(remaining, a.queue[i:n]...)
 				break
 			}
 			alloc := a.allocate(t)
@@ -116,22 +152,24 @@ func (a *agent) schedulePass() {
 			}
 			a.startSetup(t, alloc)
 		}
-		a.queue = remaining
+		a.finishPass(n, remaining)
 		return
 	}
 
-	items := make([]sched.Task, len(a.queue))
-	for i, t := range a.queue {
-		items[i] = sched.Task{UID: t.UID, Req: requestOf(t)}
+	items := a.scratchItems[:0]
+	for i := 0; i < n; i++ {
+		items = append(items, sched.Task{UID: a.queue[i].UID, Req: requestOf(a.queue[i])})
 	}
-	order := a.policy.Order(items, sched.Capacity{Nodes: a.cluster.NodeFree()})
+	a.scratchItems = items
+	a.scratchNodes = a.cluster.NodeFreeInto(a.scratchNodes)
+	order := a.policy.Order(items, sched.Capacity{Nodes: a.scratchNodes})
 
-	started := make([]bool, len(a.queue))
-	offered := make([]bool, len(a.queue))
+	started := resetBools(&a.scratchStarted, n)
+	offered := resetBools(&a.scratchOffered, n)
 	blocked := false
 	for _, idx := range order {
-		if idx < 0 || idx >= len(a.queue) || offered[idx] {
-			panic(fmt.Sprintf("pilot: policy %q returned invalid placement order %v for a queue of %d", a.policy.Name(), order, len(a.queue)))
+		if idx < 0 || idx >= n || offered[idx] {
+			panic(fmt.Sprintf("pilot: policy %q returned invalid placement order %v for a queue of %d", a.policy.Name(), order, n))
 		}
 		offered[idx] = true
 		if blocked && !a.policy.ContinueOnBlock() {
@@ -148,13 +186,44 @@ func (a *agent) schedulePass() {
 	}
 	// Unstarted tasks stay queued in submission order, whatever order the
 	// policy visited them in.
-	var remaining []*Task
-	for i, t := range a.queue {
+	for i := 0; i < n; i++ {
 		if !started[i] {
-			remaining = append(remaining, t)
+			remaining = append(remaining, a.queue[i])
 		}
 	}
+	a.finishPass(n, remaining)
+}
+
+// finishPass installs the filtered queue (plus any mid-pass arrivals) and
+// latches the blocked watermark when the pass ends with work still
+// waiting. Mid-pass arrivals suppress the latch — they were never offered
+// resources, so the next pass must run.
+func (a *agent) finishPass(n int, remaining []*Task) {
+	tail := a.queue[n:]
+	remaining = append(remaining, tail...)
+	a.queueBuf = a.queue[:0]
 	a.queue = remaining
+	if len(tail) == 0 && len(remaining) > 0 {
+		a.blocked = true
+		a.blockedStamp = a.cluster.FreedStamp()
+	}
+}
+
+// resetBools returns a zeroed length-n bool slice, reusing *buf's backing
+// when it is large enough.
+func resetBools(buf *[]bool, n int) []bool {
+	b := *buf
+	if cap(b) < n {
+		b = make([]bool, n)
+		*buf = b
+		return b
+	}
+	b = b[:n]
+	for i := range b {
+		b[i] = false
+	}
+	*buf = b
+	return b
 }
 
 func requestOf(t *Task) cluster.Request {
@@ -187,7 +256,7 @@ func (a *agent) startSetup(t *Task, alloc *cluster.Alloc) {
 	if a.rec != nil {
 		a.rec.AddPhase(trace.PhaseExecSetup, d)
 	}
-	ev := a.pilot.engine.AfterNamed(d, t.ID+":setup", func() {
+	ev := a.pilot.engine.AfterTagged(d, t.ID, ":setup", "", func() {
 		a.activeSetups--
 		ex.inSetup = false
 		a.startRun(ex)
@@ -223,13 +292,13 @@ func (a *agent) startRun(ex *execution) {
 	var offset simclock.Duration
 	for _, ph := range res.Phases {
 		ph := ph
-		ev := engine.AfterNamed(offset, t.ID+":phase:"+ph.Name, func() {
+		ev := engine.AfterTagged(offset, t.ID, ":phase:", ph.Name, func() {
 			a.setBusy(ex, ph.BusyCores, ph.BusyGPUs)
 		})
 		ex.events = append(ex.events, ev)
 		offset += ph.Duration
 	}
-	done := engine.AfterNamed(offset, t.ID+":done", func() {
+	done := engine.AfterTagged(offset, t.ID, ":done", "", func() {
 		a.finish(ex, StateDone, nil)
 	})
 	ex.events = append(ex.events, done)
@@ -241,7 +310,7 @@ func (a *agent) startRun(ex *execution) {
 	// consumed and no event exists.
 	if inj := a.pilot.injector; inj != nil {
 		if at, ok := inj.taskFault(t, offset); ok {
-			ev := engine.AfterNamed(at, t.ID+":fault", func() {
+			ev := engine.AfterTagged(at, t.ID, ":fault", "", func() {
 				a.failWithFault(t, fault.KindTask, fmt.Errorf("pilot: injected fault killed %s", t.ID))
 			})
 			ex.events = append(ex.events, ev)
@@ -425,14 +494,8 @@ func (a *agent) terminateAll(reason string) {
 	for _, ex := range a.running {
 		execs = append(execs, ex)
 	}
-	// Deterministic order: by task UID.
-	for i := 0; i < len(execs); i++ {
-		for j := i + 1; j < len(execs); j++ {
-			if execs[j].task.UID < execs[i].task.UID {
-				execs[i], execs[j] = execs[j], execs[i]
-			}
-		}
-	}
+	// Deterministic order: by task UID, matching failAll/failNode.
+	sort.Slice(execs, func(i, j int) bool { return execs[i].task.UID < execs[j].task.UID })
 	for _, ex := range execs {
 		a.cancel(ex.task, reason)
 	}

@@ -25,9 +25,9 @@ type injector struct {
 	spec  fault.Spec
 
 	nodeRNG    []*xrand.RNG
-	nodeEvents []*simclock.Event // pending crash or repair event per node
-	downSince  []simclock.Time   // crash timestamp per node, valid while down
-	wallEvent  *simclock.Event
+	nodeEvents []simclock.Event // pending crash or repair event per node
+	downSince  []simclock.Time  // crash timestamp per node, valid while down
+	wallEvent  simclock.Event
 
 	crashes  int
 	downtime time.Duration // actual elapsed node downtime (booked at repair)
@@ -39,7 +39,7 @@ func newInjector(p *Pilot, spec fault.Spec) *injector {
 	if spec.NodeMTBF > 0 {
 		n := p.agent.cluster.NodeCount()
 		in.nodeRNG = make([]*xrand.RNG, n)
-		in.nodeEvents = make([]*simclock.Event, n)
+		in.nodeEvents = make([]simclock.Event, n)
 		in.downSince = make([]simclock.Time, n)
 		for i := 0; i < n; i++ {
 			in.nodeRNG[i] = xrand.New(xrand.Derive(p.desc.Seed, fmt.Sprintf("fault:node:%d", i)))
@@ -74,7 +74,7 @@ func (in *injector) stop() {
 	engine := in.pilot.engine
 	for i, ev := range in.nodeEvents {
 		engine.Cancel(ev)
-		in.nodeEvents[i] = nil
+		in.nodeEvents[i] = simclock.Event{}
 	}
 	engine.Cancel(in.wallEvent)
 	clu := in.pilot.agent.cluster

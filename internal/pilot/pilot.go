@@ -165,7 +165,7 @@ type Pilot struct {
 
 	state     PilotState
 	activeAt  simclock.Time
-	wallEvent *simclock.Event
+	wallEvent simclock.Event
 
 	recovery fault.Policy
 	injector *injector
@@ -272,7 +272,7 @@ type TaskManager struct {
 	// requeueEvents its pending resubmission, so CancelChain can abort a
 	// chain wherever it stands.
 	liveAttempt   map[string]*Task
-	requeueEvents map[string]*simclock.Event
+	requeueEvents map[string]simclock.Event
 }
 
 // NewTaskManager creates a task manager bound to one or more pilots.
@@ -286,7 +286,7 @@ func NewTaskManager(engine *simclock.Engine, pilots ...*Pilot) *TaskManager {
 		byID:          make(map[string]*Pilot),
 		attemptHist:   make(map[int]int),
 		liveAttempt:   make(map[string]*Task),
-		requeueEvents: make(map[string]*simclock.Event),
+		requeueEvents: make(map[string]simclock.Event),
 	}
 	for _, p := range pilots {
 		tm.AddPilot(p)
@@ -466,7 +466,7 @@ func (tm *TaskManager) execRecovery(t *Task) {
 	}
 	tm.resubmitted++
 	plan := t.requeue
-	tm.requeueEvents[t.Origin] = tm.engine.AfterNamed(plan.delay, t.ID+":requeue", func() {
+	tm.requeueEvents[t.Origin] = tm.engine.AfterTagged(plan.delay, t.ID, ":requeue", "", func() {
 		delete(tm.requeueEvents, t.Origin)
 		tm.resubmit(t, plan)
 	})

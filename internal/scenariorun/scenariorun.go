@@ -1,0 +1,70 @@
+// Package scenariorun executes a registered campaign scenario on the
+// campaign engine and renders the standard CLI output — one summary per
+// campaign, the scenario's cross-campaign report, and its CSV companion.
+//
+// All three impress commands expose the scenario registry through this
+// package, so a workload registered once in internal/campaign (pair,
+// sweep, screen, stress, policy-compare, fault-sweep, mega-screen…) is
+// reachable from every binary without each main reimplementing the
+// build/run/report loop.
+package scenariorun
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"impress/internal/campaign"
+	"impress/internal/core"
+	"impress/internal/report"
+)
+
+// Run builds the named scenario with p, executes it on workers engine
+// workers, and writes human-readable output to stdout and failures to
+// stderr. When csvPath is non-empty and the scenario declares a CSV
+// report, it is written there. The return value is the process exit code:
+// 0 on full success, 1 when any campaign failed, 2 on a build error.
+func Run(stdout, stderr io.Writer, name string, p campaign.Params, workers int, csvPath string) int {
+	campaigns, err := campaign.Build(name, p)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	sc, _ := campaign.Lookup(name)
+	fmt.Fprintf(stdout, "scenario %s: %d campaigns on %d workers\n\n",
+		name, len(campaigns), campaign.NewEngine(workers).WorkersFor(len(campaigns)))
+	outs := campaign.Run(campaigns, workers)
+	failed := 0
+	var results []*core.Result
+	for _, o := range outs {
+		if o.Err != nil {
+			failed++
+			fmt.Fprintf(stderr, "%s failed: %v\n", o.Name, o.Err)
+			continue
+		}
+		results = append(results, o.Result)
+		fmt.Fprintf(stdout, "%-20s %s\n\n", o.Name, report.Summary(o.Result))
+	}
+	if sc.Report != nil && len(results) > 0 {
+		fmt.Fprintln(stdout, sc.Report(results))
+	}
+	if csvPath != "" && sc.ReportCSV != nil && len(results) > 0 {
+		f, err := os.Create(csvPath)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		if err := sc.ReportCSV(f, results); err != nil {
+			f.Close()
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		f.Close()
+		fmt.Fprintf(stdout, "wrote %s\n", csvPath)
+	}
+	if failed > 0 {
+		fmt.Fprintf(stderr, "%d/%d campaigns failed\n", failed, len(outs))
+		return 1
+	}
+	return 0
+}

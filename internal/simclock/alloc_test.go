@@ -1,0 +1,89 @@
+package simclock
+
+import (
+	"testing"
+	"time"
+)
+
+// TestSteadyStateSchedulingAllocationFree guards the engine's event pool:
+// once warm, scheduling and firing events — named or not — must not touch
+// the allocator. This is the regression fence for the simulation hot
+// path; any future change that re-introduces per-event garbage (a name
+// string, a fresh Event struct, a closure in the engine) fails here.
+func TestSteadyStateSchedulingAllocationFree(t *testing.T) {
+	e := New()
+	fn := func() {}
+	// Warm the pool and the heap's backing array.
+	for i := 0; i < 64; i++ {
+		e.AfterTagged(time.Second, "task.000001", ":phase:", "msa", fn)
+	}
+	e.Run()
+
+	if avg := testing.AllocsPerRun(1000, func() {
+		e.AfterTagged(time.Millisecond, "task.000001", ":phase:", "msa", fn)
+		e.Step()
+	}); avg != 0 {
+		t.Fatalf("steady-state AfterTagged+Step allocates %.1f objects per event, want 0", avg)
+	}
+
+	if avg := testing.AllocsPerRun(1000, func() {
+		e.After(time.Millisecond, fn)
+		e.Step()
+	}); avg != 0 {
+		t.Fatalf("steady-state After+Step allocates %.1f objects per event, want 0", avg)
+	}
+
+	if avg := testing.AllocsPerRun(1000, func() {
+		ev := e.After(time.Millisecond, fn)
+		e.Cancel(ev)
+	}); avg != 0 {
+		t.Fatalf("steady-state After+Cancel allocates %.1f objects per event, want 0", avg)
+	}
+}
+
+// TestPoolReuseInvalidatesStaleHandles proves the safety property that
+// makes pooling legal: a handle kept past its event's firing goes inert,
+// and cancelling it cannot disturb the unrelated event that recycled the
+// struct.
+func TestPoolReuseInvalidatesStaleHandles(t *testing.T) {
+	e := New()
+	stale := e.After(time.Second, func() {})
+	e.Run()
+	if stale.Pending() {
+		t.Fatal("fired event still pending through its handle")
+	}
+	if stale.Name() != "" || stale.When() != 0 {
+		t.Fatal("stale handle leaks recycled event state")
+	}
+
+	// The recycled struct now carries an innocent pending event; the
+	// stale handle must not be able to cancel it.
+	fired := false
+	fresh := e.AfterNamed(time.Second, "innocent", func() { fired = true })
+	e.Cancel(stale)
+	if !fresh.Pending() {
+		t.Fatal("cancelling a stale handle killed the event that reused its struct")
+	}
+	e.Run()
+	if !fired {
+		t.Fatal("innocent event did not fire")
+	}
+}
+
+// TestLazyNameAssembly pins the deferred-name contract: parts given to
+// AfterTagged come back concatenated while the event is pending.
+func TestLazyNameAssembly(t *testing.T) {
+	e := New()
+	ev := e.AfterTagged(time.Second, "task.000042", ":phase:", "inference", func() {})
+	if got := ev.Name(); got != "task.000042:phase:inference" {
+		t.Fatalf("Name() = %q", got)
+	}
+	if got := ev.When(); got != Time(time.Second) {
+		t.Fatalf("When() = %v", got)
+	}
+	named := e.AfterNamed(time.Second, "plain", func() {})
+	if got := named.Name(); got != "plain" {
+		t.Fatalf("Name() = %q", got)
+	}
+	e.Run()
+}

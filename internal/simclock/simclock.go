@@ -9,6 +9,12 @@
 // run. Events that share a timestamp fire in submission (FIFO) order, which
 // makes the whole middleware stack — scheduler, executor, coordinator —
 // bit-for-bit reproducible.
+//
+// The engine's scheduling hot path is allocation-free in steady state:
+// fired and cancelled event structs return to a free list and are reused by
+// later schedules, and debug names are stored as up-to-three string parts
+// that are only concatenated when Name is actually called (debug paths),
+// never when an event is scheduled.
 package simclock
 
 import (
@@ -43,27 +49,60 @@ func (t Time) String() string { return time.Duration(t).String() }
 // FromHours converts floating-point hours to a Time offset.
 func FromHours(h float64) Time { return Time(h * float64(time.Hour)) }
 
-// Event is a scheduled callback. Events are created via Engine.At/After and
-// may be cancelled until they fire.
-type Event struct {
+// event is the pooled scheduling record. Callers never see it directly:
+// they hold Event handles, which pair the struct pointer with the
+// generation it was scheduled under, so a handle kept past its event's
+// firing (or cancellation, or the struct's reuse for a later event) is
+// detectably stale and every operation on it is a safe no-op.
+type event struct {
 	when  Time
 	seq   uint64
-	index int // heap index, -1 once popped or cancelled
+	index int    // heap index, -1 once popped or cancelled
+	gen   uint64 // bumped on every retire; live handles must match
 	fn    func()
-	name  string
+	// Debug name parts, concatenated lazily by Event.Name. Hot call sites
+	// pass pre-existing strings (task ID, a constant kind, a phase name)
+	// so scheduling never builds a name string.
+	name0, name1, name2 string
 }
 
-// When returns the virtual time at which the event is scheduled.
-func (e *Event) When() Time { return e.when }
+// Event is a handle to a scheduled callback, created via Engine.At/After
+// and their named variants. The zero value is a null handle: not pending,
+// and cancelling it is a no-op. Handles stay valid (as inert stale
+// handles) after their event fires or is cancelled, so teardown paths can
+// cancel unconditionally.
+type Event struct {
+	e   *event
+	gen uint64
+}
 
-// Name returns the optional debug label attached at scheduling time.
-func (e *Event) Name() string { return e.name }
+// live reports whether the handle still refers to its queued event.
+func (ev Event) live() bool { return ev.e != nil && ev.e.gen == ev.gen && ev.e.index >= 0 }
+
+// When returns the virtual time at which the event is scheduled, or zero
+// when the handle is stale (fired, cancelled, or null).
+func (ev Event) When() Time {
+	if !ev.live() {
+		return 0
+	}
+	return ev.e.when
+}
+
+// Name returns the debug label attached at scheduling time, or "" when
+// the handle is stale. The label is assembled on demand — scheduling only
+// stores its parts.
+func (ev Event) Name() string {
+	if !ev.live() {
+		return ""
+	}
+	return ev.e.name0 + ev.e.name1 + ev.e.name2
+}
 
 // Pending reports whether the event is still queued (not fired, not
 // cancelled).
-func (e *Event) Pending() bool { return e.index >= 0 }
+func (ev Event) Pending() bool { return ev.live() }
 
-type eventHeap []*Event
+type eventHeap []*event
 
 func (h eventHeap) Len() int { return len(h) }
 func (h eventHeap) Less(i, j int) bool {
@@ -78,7 +117,7 @@ func (h eventHeap) Swap(i, j int) {
 	h[j].index = j
 }
 func (h *eventHeap) Push(x any) {
-	e := x.(*Event)
+	e := x.(*event)
 	e.index = len(*h)
 	*h = append(*h, e)
 }
@@ -100,6 +139,7 @@ type Engine struct {
 	events eventHeap
 	seq    uint64
 	fired  uint64
+	free   []*event // retired event structs awaiting reuse
 }
 
 // New returns an engine positioned at virtual time zero.
@@ -116,60 +156,97 @@ func (e *Engine) Fired() uint64 { return e.fired }
 // Pending returns the number of events currently queued.
 func (e *Engine) Pending() int { return len(e.events) }
 
-// At schedules fn to run at absolute virtual time t. Scheduling in the past
-// panics: it would silently reorder causality, which in a DES is always a
-// bug in the caller.
-func (e *Engine) At(t Time, fn func()) *Event {
-	return e.AtNamed(t, "", fn)
-}
-
-// AtNamed is At with a debug label attached to the event.
-func (e *Engine) AtNamed(t Time, name string, fn func()) *Event {
+// alloc takes an event struct from the free list (or the heap allocator
+// when the list is empty) and schedules it.
+func (e *Engine) alloc(t Time, name0, name1, name2 string, fn func()) Event {
 	if fn == nil {
 		panic("simclock: nil event function")
 	}
 	if t < e.now {
-		panic(fmt.Sprintf("simclock: scheduling event %q at %v before now %v", name, t, e.now))
+		panic(fmt.Sprintf("simclock: scheduling event %q at %v before now %v", name0+name1+name2, t, e.now))
 	}
-	ev := &Event{when: t, seq: e.seq, fn: fn, name: name}
+	var ev *event
+	if n := len(e.free); n > 0 {
+		ev = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+	} else {
+		ev = &event{}
+	}
+	ev.when = t
+	ev.seq = e.seq
+	ev.fn = fn
+	ev.name0, ev.name1, ev.name2 = name0, name1, name2
 	e.seq++
 	heap.Push(&e.events, ev)
-	return ev
+	return Event{e: ev, gen: ev.gen}
+}
+
+// retire returns a popped or removed event struct to the free list,
+// invalidating every outstanding handle to it.
+func (e *Engine) retire(ev *event) {
+	ev.gen++
+	ev.fn = nil
+	ev.name0, ev.name1, ev.name2 = "", "", ""
+	e.free = append(e.free, ev)
+}
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the past
+// panics: it would silently reorder causality, which in a DES is always a
+// bug in the caller.
+func (e *Engine) At(t Time, fn func()) Event {
+	return e.alloc(t, "", "", "", fn)
+}
+
+// AtNamed is At with a debug label attached to the event.
+func (e *Engine) AtNamed(t Time, name string, fn func()) Event {
+	return e.alloc(t, name, "", "", fn)
 }
 
 // After schedules fn to run d after the current virtual time. Negative d
 // panics.
-func (e *Engine) After(d time.Duration, fn func()) *Event {
+func (e *Engine) After(d time.Duration, fn func()) Event {
 	if d < 0 {
 		panic(fmt.Sprintf("simclock: negative delay %v", d))
 	}
-	return e.At(e.now.Add(d), fn)
+	return e.alloc(e.now.Add(d), "", "", "", fn)
 }
 
 // AfterNamed is After with a debug label.
-func (e *Engine) AfterNamed(d time.Duration, name string, fn func()) *Event {
+func (e *Engine) AfterNamed(d time.Duration, name string, fn func()) Event {
 	if d < 0 {
 		panic(fmt.Sprintf("simclock: negative delay %v", d))
 	}
-	return e.AtNamed(e.now.Add(d), name, fn)
+	return e.alloc(e.now.Add(d), name, "", "", fn)
+}
+
+// AfterTagged is After with a debug label given as three pre-existing
+// parts (typically a task ID, a constant kind like ":phase:", and an
+// optional detail). The parts are stored as-is and only concatenated if
+// Name is called, so hot scheduling paths build no strings.
+func (e *Engine) AfterTagged(d time.Duration, id, kind, detail string, fn func()) Event {
+	if d < 0 {
+		panic(fmt.Sprintf("simclock: negative delay %v", d))
+	}
+	return e.alloc(e.now.Add(d), id, kind, detail, fn)
 }
 
 // Defer schedules fn at the current time, after all events already queued
 // for this instant. It is the DES analogue of "run this as soon as the
 // current cascade settles".
-func (e *Engine) Defer(fn func()) *Event {
+func (e *Engine) Defer(fn func()) Event {
 	return e.At(e.now, fn)
 }
 
-// Cancel removes a pending event. Cancelling an already-fired or
-// already-cancelled event is a no-op, so callers can cancel
-// unconditionally on teardown paths.
-func (e *Engine) Cancel(ev *Event) {
-	if ev == nil || ev.index < 0 {
+// Cancel removes a pending event. Cancelling a stale handle — already
+// fired, already cancelled, or the zero Event — is a no-op, so callers can
+// cancel unconditionally on teardown paths.
+func (e *Engine) Cancel(ev Event) {
+	if !ev.live() {
 		return
 	}
-	heap.Remove(&e.events, ev.index)
-	ev.fn = nil
+	heap.Remove(&e.events, ev.e.index)
+	e.retire(ev.e)
 }
 
 // Step fires the earliest pending event, advancing the clock to its
@@ -178,10 +255,10 @@ func (e *Engine) Step() bool {
 	if len(e.events) == 0 {
 		return false
 	}
-	ev := heap.Pop(&e.events).(*Event)
+	ev := heap.Pop(&e.events).(*event)
 	e.now = ev.when
 	fn := ev.fn
-	ev.fn = nil
+	e.retire(ev)
 	e.fired++
 	fn()
 	return true
@@ -224,7 +301,7 @@ type Ticker struct {
 	engine   *Engine
 	interval time.Duration
 	fn       func(Time)
-	ev       *Event
+	ev       Event
 	stopped  bool
 }
 

@@ -81,6 +81,13 @@ type Recorder struct {
 	phases map[string]time.Duration
 	tasks  []TaskRecord
 
+	// sortedTasks caches the submission-sorted view Tasks returns; it is
+	// invalidated (nilled) by AddTask and rebuilt at most once per burst
+	// of reads. aggRun accumulates running-phase time incrementally so
+	// AggregateTaskTime is O(1).
+	sortedTasks []TaskRecord
+	aggRun      time.Duration
+
 	start  simclock.Time
 	end    simclock.Time
 	closed bool
@@ -92,12 +99,17 @@ func NewRecorder(totalCores, totalGPUs int, start simclock.Time) *Recorder {
 	if totalCores <= 0 || totalGPUs < 0 {
 		panic("trace: invalid capacity")
 	}
+	// Capacity hints: a busy campaign emits thousands of series points
+	// and hundreds of task records; starting with room for a burst keeps
+	// early growth off the reallocation staircase.
+	const seriesHint, taskHint = 256, 64
 	return &Recorder{
 		totalCores: totalCores,
 		totalGPUs:  totalGPUs,
-		cpuSeries:  []Point{{T: start, Value: 0}},
-		gpuSeries:  []Point{{T: start, Value: 0}},
+		cpuSeries:  append(make([]Point, 0, seriesHint), Point{T: start, Value: 0}),
+		gpuSeries:  append(make([]Point, 0, seriesHint), Point{T: start, Value: 0}),
 		phases:     make(map[string]time.Duration),
+		tasks:      make([]TaskRecord, 0, taskHint),
 		start:      start,
 		end:        start,
 	}
@@ -159,6 +171,8 @@ func (r *Recorder) AddPhase(name string, d time.Duration) {
 // AddTask appends a completed task's timeline record.
 func (r *Recorder) AddTask(rec TaskRecord) {
 	r.tasks = append(r.tasks, rec)
+	r.sortedTasks = nil
+	r.aggRun += rec.Run()
 	if rec.EndedAt > r.end {
 		r.end = rec.EndedAt
 	}
@@ -254,43 +268,48 @@ func (r *Recorder) Phases() map[string]time.Duration {
 	return out
 }
 
-// Tasks returns the task records sorted by submission time.
+// Tasks returns the task records sorted by submission time. The returned
+// slice is a cached snapshot shared between calls until the next AddTask;
+// callers must treat it as read-only. Every cache rebuild sorts a fresh
+// copy, so snapshots handed out earlier are never mutated.
 func (r *Recorder) Tasks() []TaskRecord {
-	out := append([]TaskRecord(nil), r.tasks...)
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Submitted != out[j].Submitted {
-			return out[i].Submitted < out[j].Submitted
-		}
-		return out[i].ID < out[j].ID
-	})
-	return out
+	if r.sortedTasks == nil && len(r.tasks) > 0 {
+		out := append([]TaskRecord(nil), r.tasks...)
+		sort.Slice(out, func(i, j int) bool {
+			if out[i].Submitted != out[j].Submitted {
+				return out[i].Submitted < out[j].Submitted
+			}
+			return out[i].ID < out[j].ID
+		})
+		r.sortedTasks = out
+	}
+	return r.sortedTasks
 }
 
 // AggregateTaskTime returns the sum of all tasks' running-phase durations —
 // the quantity the paper reports as "Time (h)": "the total time taken by
-// all tasks to finish the execution on the compute resources".
+// all tasks to finish the execution on the compute resources". The sum is
+// maintained incrementally by AddTask.
 func (r *Recorder) AggregateTaskTime() time.Duration {
-	var total time.Duration
-	for _, t := range r.tasks {
-		total += t.Run()
-	}
-	return total
+	return r.aggRun
 }
 
 // Sample returns the series value at time t (the step function's value).
+// Series timestamps are monotone (appendPoint enforces it), so the step
+// holding t is found by binary search in O(log n).
 func Sample(series []Point, t simclock.Time) int {
-	v := 0
-	for _, p := range series {
-		if p.T > t {
-			break
-		}
-		v = p.Value
+	// First point strictly after t; the step in effect is the one before.
+	i := sort.Search(len(series), func(i int) bool { return series[i].T > t })
+	if i == 0 {
+		return 0
 	}
-	return v
+	return series[i-1].Value
 }
 
 // Resample converts a step series into n equally spaced samples over
-// [start, end] — the form the figure renderers consume.
+// [start, end] — the form the figure renderers consume. Sample times are
+// nondecreasing, so one cursor walks the series exactly once: O(points +
+// samples) instead of a fresh scan per sample.
 func Resample(series []Point, start, end simclock.Time, n int) []float64 {
 	if n <= 0 {
 		panic("trace: non-positive sample count")
@@ -299,9 +318,16 @@ func Resample(series []Point, start, end simclock.Time, n int) []float64 {
 	if end <= start {
 		return out
 	}
+	denom := float64(n - 1 + boolToInt(n == 1))
+	span := float64(end - start)
+	j, v := 0, 0
 	for i := 0; i < n; i++ {
-		t := start + simclock.Time(float64(end-start)*float64(i)/float64(n-1+boolToInt(n == 1)))
-		out[i] = float64(Sample(series, t))
+		t := start + simclock.Time(span*float64(i)/denom)
+		for j < len(series) && series[j].T <= t {
+			v = series[j].Value
+			j++
+		}
+		out[i] = float64(v)
 	}
 	return out
 }
