@@ -431,3 +431,42 @@ func BenchmarkFaultSweep(b *testing.B) {
 	b.ReportMetric(float64(len(outs)), "campaigns")
 	b.ReportMetric(100*goodput/float64(faulty), "goodput-%")
 }
+
+// BenchmarkElasticScreen races the steering policies against the frozen
+// split on the 4-node split placement — the perf harness behind the
+// elastic-screen scenario. The reported speedup is the frozen split's
+// makespan over the best steered makespan.
+func BenchmarkElasticScreen(b *testing.B) {
+	campaigns, err := impress.BuildScenario("elastic-screen", impress.ScenarioParams{
+		Seed:    42,
+		Seeds:   1,
+		Targets: 12,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var outs []impress.CampaignOutcome
+	for i := 0; i < b.N; i++ {
+		outs = impress.RunCampaigns(campaigns, 0)
+		for _, o := range outs {
+			if o.Err != nil {
+				b.Fatalf("campaign %s failed: %v", o.Name, o.Err)
+			}
+		}
+	}
+	frozen, best, transfers := 0.0, 0.0, 0
+	for _, o := range outs {
+		h := o.Result.Makespan.Hours()
+		if o.Result.SteerLabel() == "none" {
+			frozen = h
+		} else if best == 0 || h < best {
+			best = h
+		}
+		transfers += o.Result.NodeTransfers
+	}
+	b.ReportMetric(float64(len(outs)), "campaigns")
+	b.ReportMetric(float64(transfers), "transfers")
+	if best > 0 {
+		b.ReportMetric(frozen/best, "best-speedup")
+	}
+}

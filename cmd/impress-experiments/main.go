@@ -16,12 +16,14 @@
 //	-fault P      resilience ablation: per-task failure probability
 //	-mtbf D       resilience ablation: node crash MTBF (with -repair)
 //	-recovery R   fault-recovery policy (none, retry, backoff, elsewhere)
+//	-steer S      elastic steering policy for -scenario runs (none, greedy, hysteresis)
 //	-out DIR      also write <experiment>.txt and <experiment>.csv files
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -78,7 +80,15 @@ func run() int {
 			Policy:   common.Policy,
 			Fault:    common.Fault(),
 			Recovery: common.Recovery,
+			Steer:    common.Steer,
 		}, common.Parallel, csvPath)
+	}
+	if impress.SteerEnabled(common.Steer) {
+		// The paper experiments run the single-pilot Amarel node; there is
+		// nothing to steer between. Reject rather than silently drop (an
+		// explicit "none" is the default and passes through).
+		fmt.Fprintln(os.Stderr, "-steer applies only to -scenario runs (the paper experiments are single-pilot)")
+		return 2
 	}
 	seed := &common.Seed
 	parallel := &common.Parallel
@@ -153,13 +163,11 @@ func writeOutputs(dir string, out *impress.ExperimentOutput) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
-	if err := os.WriteFile(filepath.Join(dir, out.ID+".txt"), []byte(out.Text), 0o644); err != nil {
+	if err := impress.WriteArtifact(filepath.Join(dir, out.ID+".txt"), func(w io.Writer) error {
+		_, err := io.WriteString(w, out.Text)
+		return err
+	}); err != nil {
 		return err
 	}
-	f, err := os.Create(filepath.Join(dir, out.ID+".csv"))
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	return out.WriteCSV(f)
+	return impress.WriteArtifact(filepath.Join(dir, out.ID+".csv"), out.WriteCSV)
 }

@@ -11,6 +11,8 @@
 //	impress-run -protocol imrp -pilots split
 //	impress-run -protocol imrp -policy bestfit
 //	impress-run -protocol imrp -fault 0.15 -recovery retry
+//	impress-run -protocol imrp -pilots split -nodes 4 -steer greedy
+//	impress-run -scenario elastic-screen -seeds 4 -parallel 8 -csv elastic.csv
 //	impress-run -scenario sweep -seeds 12 -parallel 4
 //	impress-run -scenario stress -seeds 4 -screen-size 16 -parallel 8
 //	impress-run -scenario policy-compare -seeds 4 -parallel 8
@@ -21,8 +23,8 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
-	"path/filepath"
 
 	"impress"
 	"impress/internal/cliflags"
@@ -90,8 +92,8 @@ func run() int {
 		if known {
 			compat := map[string]bool{
 				"scenario": true, "seed": true, "seeds": true,
-				"screen-size": true, "pilots": true, "parallel": true,
-				"policy": true, "csv": sc.ReportCSV != nil,
+				"screen-size": true, "pilots": true, "nodes": true, "parallel": true,
+				"policy": true, "steer": true, "csv": sc.ReportCSV != nil,
 				"cpuprofile": true, "memprofile": true,
 			}
 			for _, name := range cliflags.FaultFlagNames() {
@@ -113,9 +115,11 @@ func run() int {
 			Seeds:       *seeds,
 			Targets:     *screenSize,
 			SplitPilots: split,
+			Nodes:       common.Nodes,
 			Policy:      common.Policy,
 			Fault:       common.Fault(),
 			Recovery:    common.Recovery,
+			Steer:       common.Steer,
 		}, common.Parallel, *csvPath)
 	}
 
@@ -133,6 +137,9 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "unknown protocol %q (want imrp or contv)\n", *protocol)
 		return 2
 	}
+	if common.Nodes > 1 {
+		cfg.Machine = impress.AmarelCluster(common.Nodes)
+	}
 	if split {
 		ps, err := impress.SplitPilots(cfg.Machine)
 		if err != nil {
@@ -148,6 +155,7 @@ func run() int {
 		cfg.Fault = fs
 	}
 	cfg.Recovery = common.Recovery
+	cfg.Steer = common.Steer
 	if *cycles > 0 {
 		cfg.Pipeline.Cycles = *cycles
 	}
@@ -203,6 +211,9 @@ func run() int {
 			f.TaskFaults, f.NodeCrashKills, f.NodeCrashes, f.WalltimeKills,
 			f.Resubmissions, f.TerminalFailures, f.KilledPipelines, 100*res.Goodput())
 	}
+	if res.SteerLabel() != "none" {
+		fmt.Printf("steering: %s moved %d node(s) between pilots\n", res.SteerLabel(), res.NodeTransfers)
+	}
 	fmt.Println()
 	for it := 1; it <= res.Iterations(); it++ {
 		pl, ps := res.IterationSummary(it, impress.PLDDT)
@@ -240,47 +251,33 @@ func run() int {
 		fmt.Print(impress.Gantt(res, *gantt))
 	}
 	if *jsonPath != "" {
-		f, err := os.Create(*jsonPath)
+		err := impress.WriteArtifact(*jsonPath, func(w io.Writer) error {
+			return impress.WriteResultJSON(w, res, true)
+		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			return 1
 		}
-		if err := impress.WriteResultJSON(f, res, true); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			return 1
-		}
-		f.Close()
 		fmt.Printf("\nwrote %s\n", *jsonPath)
 	}
 	if *pdbDir != "" {
-		if err := os.MkdirAll(*pdbDir, 0o755); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			return 1
-		}
-		for name, st := range res.FinalDesigns {
-			path := filepath.Join(*pdbDir, name+".pdb")
-			f, err := os.Create(path)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				return 1
-			}
-			if err := impress.WritePDB(f, st, nil); err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				return 1
-			}
-			f.Close()
+		// WriteDesignPDBs emits targets in sorted name order, so the files
+		// and these log lines are deterministic run to run.
+		paths, err := impress.WriteDesignPDBs(*pdbDir, res)
+		for _, path := range paths {
 			fmt.Printf("wrote %s\n", path)
 		}
-	}
-	if *csvPath != "" {
-		f, err := os.Create(*csvPath)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			return 1
 		}
-		defer f.Close()
-		out := &impress.ExperimentOutput{ID: "run", Results: map[string]*impress.Result{res.Approach: res}}
-		if err := out.WriteCSV(f); err != nil {
+	}
+	if *csvPath != "" {
+		err := impress.WriteArtifact(*csvPath, func(w io.Writer) error {
+			out := &impress.ExperimentOutput{ID: "run", Results: map[string]*impress.Result{res.Approach: res}}
+			return out.WriteCSV(w)
+		})
+		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			return 1
 		}

@@ -11,6 +11,7 @@
 //	impress-sweep -seeds 10
 //	impress-sweep -seeds 20 -parallel 8 -csv sweep.csv
 //	impress-sweep -seeds 10 -pilots split
+//	impress-sweep -seeds 10 -pilots split -nodes 4 -steer greedy
 //	impress-sweep -seeds 10 -policy bestfit
 //	impress-sweep -seeds 10 -fault 0.1 -recovery backoff
 package main
@@ -18,6 +19,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"impress"
@@ -63,9 +65,11 @@ func run() int {
 	defer stopProfiles()
 	params := impress.ScenarioParams{
 		SplitPilots: common.SplitPilots(),
+		Nodes:       common.Nodes,
 		Policy:      common.Policy,
 		Fault:       common.Fault(),
 		Recovery:    common.Recovery,
+		Steer:       common.Steer,
 	}
 
 	if *scenario != "" {
@@ -158,23 +162,25 @@ func run() int {
 	}
 
 	if *csvPath != "" {
-		f, err := os.Create(*csvPath)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			return 1
-		}
-		fmt.Fprintln(f, "seed,approach,dplddt,dptm,dipae,cpu_util,gpu_util,trajectories,sub_pipelines,aggregate_h,makespan_h,goodput")
-		for _, r := range rows {
-			for _, res := range []*impress.Result{r.ctrl, r.adpt} {
-				fmt.Fprintf(f, "%d,%s,%.4f,%.4f,%.4f,%.4f,%.4f,%d,%d,%.3f,%.3f,%.4f\n",
-					r.seed, res.Approach,
-					res.NetDelta(impress.PLDDT), res.NetDelta(impress.PTM), res.NetDelta(impress.IPAE),
-					res.CPUUtilization, res.GPUUtilization,
-					res.TrajectoryCount(), res.SubPipelines,
-					res.AggregateTaskTime.Hours(), res.Makespan.Hours(), res.Goodput())
+		err := impress.WriteArtifact(*csvPath, func(w io.Writer) error {
+			if _, err := fmt.Fprintln(w, "seed,approach,dplddt,dptm,dipae,cpu_util,gpu_util,trajectories,sub_pipelines,aggregate_h,makespan_h,goodput"); err != nil {
+				return err
 			}
-		}
-		if err := f.Close(); err != nil {
+			for _, r := range rows {
+				for _, res := range []*impress.Result{r.ctrl, r.adpt} {
+					if _, err := fmt.Fprintf(w, "%d,%s,%.4f,%.4f,%.4f,%.4f,%.4f,%d,%d,%.3f,%.3f,%.4f\n",
+						r.seed, res.Approach,
+						res.NetDelta(impress.PLDDT), res.NetDelta(impress.PTM), res.NetDelta(impress.IPAE),
+						res.CPUUtilization, res.GPUUtilization,
+						res.TrajectoryCount(), res.SubPipelines,
+						res.AggregateTaskTime.Hours(), res.Makespan.Hours(), res.Goodput()); err != nil {
+						return err
+					}
+				}
+			}
+			return nil
+		})
+		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			return 1
 		}

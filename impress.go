@@ -33,6 +33,7 @@ import (
 	"impress/internal/pipeline"
 	"impress/internal/report"
 	"impress/internal/sched"
+	"impress/internal/steer"
 	"impress/internal/workload"
 )
 
@@ -126,6 +127,11 @@ var (
 // Amarel returns the paper's evaluation resource: one node with 28 CPU
 // cores, 4 GPUs, and 128 GB of memory.
 func Amarel() MachineSpec { return cluster.AmarelNode() }
+
+// AmarelCluster returns n Amarel nodes as one partition — the multi-node
+// machine elastic steering campaigns run on (split it with SplitPilots
+// and set Config.Steer).
+func AmarelCluster(n int) MachineSpec { return cluster.AmarelCluster(n) }
 
 // DefaultWorkloadConfig returns the standard target-synthesis settings.
 func DefaultWorkloadConfig() WorkloadConfig { return workload.DefaultConfig() }
@@ -249,6 +255,29 @@ func RecoveryPolicies() []string { return fault.Names() }
 // ValidateRecovery checks a fault-recovery policy name; the empty string
 // is valid and means "none" (failures surface).
 func ValidateRecovery(name string) error { return fault.Validate(name) }
+
+// SteeringPolicies returns the registered elastic-steering policy names
+// (sorted): the values accepted by Config.Steer, PilotSpec.Steer,
+// ScenarioParams.Steer, and the cmds' -steer flag.
+func SteeringPolicies() []string { return steer.Names() }
+
+// ValidateSteer checks an elastic-steering policy name; the empty string
+// is valid and means "none" (pilot partitions stay frozen).
+func ValidateSteer(name string) error { return steer.Validate(name) }
+
+// SteerEnabled reports whether a steering-policy name actually steers —
+// false for "" and "none", the frozen defaults.
+func SteerEnabled(name string) bool { return steer.Enabled(name) }
+
+// Elastic renders the steering comparison table over campaign results
+// grouped by their steering policy, against the frozen split — the
+// report behind the elastic-screen scenario.
+func Elastic(results []*Result) string { return report.Elastic(results) }
+
+// ElasticCSV writes one steering-comparison CSV row per result.
+func ElasticCSV(w io.Writer, results []*Result) error {
+	return report.ElasticCSV(w, results)
+}
 
 // Resilience renders the fault-sweep comparison table over campaign
 // results grouped by (recovery policy, failure rate), against their

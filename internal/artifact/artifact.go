@@ -1,0 +1,38 @@
+// Package artifact is the one write-and-close path for every file the
+// impress commands and libraries emit (CSV reports, JSON results, PDB
+// models, bench trajectories).
+//
+// Before it existed, each call site open-coded os.Create / write /
+// Close and most of them leaked the handle on write errors and dropped
+// the Close error everywhere — and on a full disk (ENOSPC) the write
+// often "succeeds" into the page cache and the loss only surfaces at
+// Close, so dropping that error silently truncates artifacts while the
+// command prints "wrote …" and exits 0.
+package artifact
+
+import (
+	"fmt"
+	"io"
+	"os"
+)
+
+// WriteFile creates (or truncates) path, streams the artifact through
+// write, and closes the file, propagating both the write error and the
+// close error — whichever comes first wins, and the handle is closed on
+// every path. Callers print the returned error and exit non-zero; a
+// requested artifact is never silently lost.
+func WriteFile(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	werr := write(f)
+	cerr := f.Close()
+	if werr != nil {
+		return fmt.Errorf("writing %s: %w", path, werr)
+	}
+	if cerr != nil {
+		return fmt.Errorf("closing %s: %w", path, cerr)
+	}
+	return nil
+}

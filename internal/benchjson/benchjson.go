@@ -16,6 +16,8 @@ import (
 	"runtime"
 	"sort"
 	"testing"
+
+	"impress/internal/artifact"
 )
 
 // Result is one benchmark's measured record.
@@ -93,17 +95,12 @@ func Write(w io.Writer, f File) error {
 	return enc.Encode(f)
 }
 
-// WriteFile writes f to path, creating or truncating it.
+// WriteFile writes f to path, creating or truncating it, through the
+// shared loss-proof artifact path (write and close errors both surface).
 func WriteFile(path string, f File) error {
-	out, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if err := Write(out, f); err != nil {
-		out.Close()
-		return err
-	}
-	return out.Close()
+	return artifact.WriteFile(path, func(w io.Writer) error {
+		return Write(w, f)
+	})
 }
 
 // ReadFile parses a BENCH_<n>.json document.

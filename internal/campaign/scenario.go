@@ -6,10 +6,12 @@ import (
 	"sort"
 	"sync"
 
+	"impress/internal/cluster"
 	"impress/internal/core"
 	"impress/internal/fault"
 	"impress/internal/report"
 	"impress/internal/sched"
+	"impress/internal/steer"
 	"impress/internal/workload"
 )
 
@@ -26,6 +28,11 @@ type Params struct {
 	// SplitPilots places every campaign on the heterogeneous CPU/GPU
 	// pilot pair instead of the single shared pilot.
 	SplitPilots bool
+	// Nodes scales every campaign's machine to that many Amarel nodes
+	// (0 or 1 keeps each scenario's own machine — the paper's single
+	// node, or elastic-screen's 4). Steering needs >= 2 so partitions
+	// have something to transfer.
+	Nodes int
 	// Policy sets the agent scheduling policy for every campaign
 	// (internal/sched name; empty keeps each protocol's default). The
 	// policy-compare scenario rejects it at build time — racing all
@@ -44,6 +51,12 @@ type Params struct {
 	// FaultRates is the failure-rate grid for the fault-sweep scenario
 	// (default 0.05, 0.15, 0.30).
 	FaultRates []float64
+	// Steer sets the elastic-steering policy for every campaign
+	// (internal/steer name; empty keeps partitions frozen). Steering
+	// needs a multi-pilot placement, so it is normally combined with
+	// SplitPilots. The elastic-screen scenario rejects it at build time —
+	// racing every steering policy is its whole point.
+	Steer string
 }
 
 func (p Params) withDefaults() Params {
@@ -136,6 +149,10 @@ func Build(name string, p Params) ([]Campaign, error) {
 // non-default scheduling policy, and/or the fault/recovery configuration
 // when the scenario params request them.
 func applyExecution(cfg core.Config, p Params) (core.Config, error) {
+	if p.Nodes > 1 {
+		// Scale the machine before any split derives partitions from it.
+		cfg.Machine = cluster.AmarelCluster(p.Nodes)
+	}
 	if p.SplitPilots {
 		pilots, err := core.SplitPilots(cfg.Machine)
 		if err != nil {
@@ -160,6 +177,12 @@ func applyExecution(cfg core.Config, p Params) (core.Config, error) {
 			return cfg, err
 		}
 		cfg.Recovery = p.Recovery
+	}
+	if p.Steer != "" {
+		if err := steer.Validate(p.Steer); err != nil {
+			return cfg, err
+		}
+		cfg.Steer = p.Steer
 	}
 	return cfg, nil
 }
@@ -272,6 +295,44 @@ func faultSweepAt(seed uint64, rates []float64, p Params) ([]Campaign, error) {
 	return all, nil
 }
 
+// elasticNodes is the elastic-screen machine size: four Amarel nodes,
+// split into a 4-node CPU partition and a 4-node GPU partition, so the
+// steering layer has room to move nodes (a single-node split leaves
+// nothing transferable once each pilot keeps its floor of one).
+const elasticNodes = 4
+
+// elasticScreenAt builds one seed's slice of the steering race: one
+// IM-RP screen campaign per registered steering policy — including
+// "none", the frozen split every other cell is measured against — all
+// over the identical workload on the identical split-pilot machine. The
+// workload is the control variable, the steering policy is the
+// treatment.
+func elasticScreenAt(seed uint64, n int, p Params) ([]Campaign, error) {
+	targets, err := workload.MinedScreen(seed, n, workload.DefaultConfig())
+	if err != nil {
+		return nil, err
+	}
+	var all []Campaign
+	for _, st := range steer.Names() {
+		cell := p
+		cell.SplitPilots = true
+		cell.Steer = st
+		cfg := core.AdaptiveConfig(seed)
+		cfg.Machine = cluster.AmarelCluster(elasticNodes)
+		cfg, err := applyExecution(cfg, cell)
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, Campaign{
+			Name:    fmt.Sprintf("elastic/%s/seed%d", st, seed),
+			Seed:    seed,
+			Targets: targets,
+			Config:  cfg,
+		})
+	}
+	return all, nil
+}
+
 func init() {
 	must := func(err error) {
 		if err != nil {
@@ -370,6 +431,41 @@ func init() {
 		},
 		Report:    report.PolicyCompare,
 		ReportCSV: report.PolicyCompareCSV,
+	}))
+	must(Register(Scenario{
+		Name: "elastic-screen",
+		Description: "races every elastic steering policy (none, greedy, hysteresis) as IM-RP screen campaigns on a " +
+			"4-node split CPU/GPU placement over a Seeds-wide seed grid, against the frozen split, " +
+			"and reports makespan speedup / utilization / node-transfer counts",
+		Build: func(p Params) ([]Campaign, error) {
+			// An explicit "none" is the frozen default (and a cell of the
+			// race anyway); only an actual steering policy is a conflict.
+			if steer.Enabled(p.Steer) {
+				return nil, fmt.Errorf("campaign: elastic-screen races every steering policy; a fixed policy %q does not apply", p.Steer)
+			}
+			// Steering defaults trade grid width for per-cell cost: the
+			// screen is a quarter of the paper's 70 complexes and the seed
+			// grid half the usual sweep, because every seed runs once per
+			// steering policy on a 4× machine. Explicit values pass through.
+			if p.Targets <= 0 {
+				p.Targets = 18
+			}
+			if p.Seeds <= 0 {
+				p.Seeds = 4
+			}
+			p = p.withDefaults()
+			var all []Campaign
+			for i := 0; i < p.Seeds; i++ {
+				cs, err := elasticScreenAt(p.Seed+uint64(i), p.Targets, p)
+				if err != nil {
+					return nil, err
+				}
+				all = append(all, cs...)
+			}
+			return all, nil
+		},
+		Report:    report.Elastic,
+		ReportCSV: report.ElasticCSV,
 	}))
 	must(Register(Scenario{
 		Name: "fault-sweep",

@@ -19,6 +19,7 @@ import (
 
 	"impress/internal/fault"
 	"impress/internal/sched"
+	"impress/internal/steer"
 )
 
 // Options sets the per-command differences when registering the common
@@ -48,6 +49,11 @@ type Common struct {
 	// Pilots is the placement name ("single" or "split"); only set when
 	// registered via Options.WithPilots.
 	Pilots string
+	// Nodes is the machine size in Amarel nodes (default 1, the paper's
+	// evaluation resource); only registered via Options.WithPilots.
+	// Steering needs N >= 2 — on a single node the split partitions hold
+	// one node each and the last-node floor vetoes every transfer.
+	Nodes int
 	// Policy is the agent scheduling policy name ("" = default).
 	Policy string
 	// FaultRate is the per-task failure probability (0 = no task
@@ -59,6 +65,9 @@ type Common struct {
 	Repair time.Duration
 	// Recovery is the fault-recovery policy name ("" = none).
 	Recovery string
+	// Steer is the elastic-steering policy name ("" = none: pilot
+	// partitions stay frozen).
+	Steer string
 	// CPUProfile, when set, is the path a pprof CPU profile is written to
 	// for the whole command run.
 	CPUProfile string
@@ -84,6 +93,7 @@ func Register(fs *flag.FlagSet, o Options) *Common {
 	fs.IntVar(&c.Parallel, "parallel", o.ParallelDefault, "campaign engine workers (0 = GOMAXPROCS)")
 	if o.WithPilots {
 		fs.StringVar(&c.Pilots, "pilots", "single", "pilot placement: single (one shared pilot) or split (CPU pilot + GPU pilot)")
+		fs.IntVar(&c.Nodes, "nodes", 1, "machine size in Amarel nodes (use >= 2 with -steer so nodes can actually move)")
 	}
 	fs.StringVar(&c.Policy, "policy", "",
 		"agent scheduling policy: "+strings.Join(sched.Names(), ", ")+" (empty = protocol default)")
@@ -92,6 +102,8 @@ func Register(fs *flag.FlagSet, o Options) *Common {
 	fs.DurationVar(&c.Repair, "repair", fault.DefaultNodeRepair, "node repair window after a crash (with -mtbf)")
 	fs.StringVar(&c.Recovery, "recovery", "",
 		"fault-recovery policy: "+strings.Join(fault.Names(), ", ")+" (empty = none)")
+	fs.StringVar(&c.Steer, "steer", "",
+		"elastic steering policy for multi-pilot campaigns: "+strings.Join(steer.Names(), ", ")+" (empty = none: partitions stay frozen)")
 	fs.StringVar(&c.CPUProfile, "cpuprofile", "", "write a pprof CPU profile of the run to this path")
 	fs.StringVar(&c.MemProfile, "memprofile", "", "write a pprof allocation profile to this path at exit")
 	return c
@@ -150,6 +162,20 @@ func (c *Common) Validate() error {
 	}
 	if err := fault.Validate(c.Recovery); err != nil {
 		return err
+	}
+	if err := steer.Validate(c.Steer); err != nil {
+		return err
+	}
+	if c.withPilots {
+		if c.Nodes < 1 {
+			return fmt.Errorf("-nodes %d: machine needs at least one node", c.Nodes)
+		}
+		if steer.Enabled(c.Steer) && !c.SplitPilots() {
+			return fmt.Errorf("-steer %s needs a multi-pilot placement (-pilots split)", c.Steer)
+		}
+		if steer.Enabled(c.Steer) && c.Nodes < 2 {
+			return fmt.Errorf("-steer %s needs a multi-node machine (-nodes >= 2); on one node each split partition holds a single node and the last-node floor vetoes every transfer", c.Steer)
+		}
 	}
 	return c.Fault().Validate()
 }

@@ -38,9 +38,13 @@ func TestDefaultsAndRenaming(t *testing.T) {
 
 func TestFaultFlags(t *testing.T) {
 	c := parse(t, Options{WithPilots: true},
-		"-fault", "0.2", "-mtbf", "6h", "-repair", "20m", "-recovery", "elsewhere", "-pilots", "split")
+		"-fault", "0.2", "-mtbf", "6h", "-repair", "20m", "-recovery", "elsewhere",
+		"-pilots", "split", "-nodes", "4", "-steer", "hysteresis")
 	if err := c.Validate(); err != nil {
 		t.Fatal(err)
+	}
+	if c.Steer != "hysteresis" || c.Nodes != 4 {
+		t.Fatalf("steer/nodes flags not parsed: %+v", c)
 	}
 	if !c.SplitPilots() {
 		t.Fatal("split placement not detected")
@@ -61,6 +65,11 @@ func TestValidateRejects(t *testing.T) {
 		{"-pilots", "mesh"},
 		{"-policy", "roulette"},
 		{"-recovery", "hope"},
+		{"-steer", "warp"},
+		{"-steer", "greedy"},                                    // valid name, but single-pilot placement
+		{"-steer", "greedy", "-pilots", "split"},                // split, but a single node: nothing can move
+		{"-steer", "greedy", "-pilots", "split", "-nodes", "1"}, // explicit single node
+		{"-nodes", "0"},
 		{"-fault", "1.5"},
 	} {
 		c := parse(t, Options{WithPilots: true}, args...)

@@ -30,6 +30,16 @@ func AmarelNode() Spec {
 	return Spec{Name: "amarel", Nodes: 1, CoresPerNode: 28, GPUsPerNode: 4, MemGBPerNode: 128}
 }
 
+// AmarelCluster returns n Amarel nodes as one partition — the multi-node
+// resource the elastic steering scenarios run on (a single node split
+// into two single-node partitions leaves nothing transferable).
+func AmarelCluster(n int) Spec {
+	s := AmarelNode()
+	s.Name = fmt.Sprintf("amarel%d", n)
+	s.Nodes = n
+	return s
+}
+
 // SplitCPUGPU carves a spec into two partitions, ParaFold-style: a GPU
 // partition holding every GPU plus gpuCores host cores and gpuMemGB
 // memory per node, and a CPU partition holding the remainder with no
@@ -95,9 +105,20 @@ func (s Spec) Validate() error {
 	return nil
 }
 
-// Node is one compute node's free-resource counters.
+// NodeCapacity is the resource shape of one node — the unit the elastic
+// steering layer moves between pilots. A node transferred from a CPU
+// partition to a GPU pilot keeps its own shape, so clusters become
+// heterogeneous as soon as a campaign steers.
+type NodeCapacity struct {
+	Cores int
+	GPUs  int
+	MemGB int
+}
+
+// Node is one compute node's capacity and free-resource counters.
 type Node struct {
 	ID        int
+	cap       NodeCapacity
 	freeCores int
 	freeGPUs  int
 	freeMemGB int
@@ -106,6 +127,18 @@ type Node struct {
 	// tracking outstanding allocations so the ledger stays exact across
 	// crash/repair cycles.
 	down bool
+	// removed marks a node transferred out of this cluster by the elastic
+	// steering layer. The slot stays behind as a tombstone so node IDs
+	// held elsewhere (avoid lists, injector crash chains) stay stable;
+	// removed nodes never receive allocations and report zero capacity.
+	removed bool
+}
+
+// idle reports whether the node is up, still part of the cluster, and
+// holds no in-flight allocations — the transferability condition.
+func (n *Node) idle() bool {
+	return !n.down && !n.removed &&
+		n.freeCores == n.cap.Cores && n.freeGPUs == n.cap.GPUs && n.freeMemGB == n.cap.MemGB
 }
 
 // Cluster is the allocation ledger for a Spec. It is not safe for
@@ -127,12 +160,14 @@ func New(spec Spec) (*Cluster, error) {
 		return nil, err
 	}
 	c := &Cluster{spec: spec}
+	nc := NodeCapacity{Cores: spec.CoresPerNode, GPUs: spec.GPUsPerNode, MemGB: spec.MemGBPerNode}
 	for i := 0; i < spec.Nodes; i++ {
 		c.nodes = append(c.nodes, &Node{
 			ID:        i,
-			freeCores: spec.CoresPerNode,
-			freeGPUs:  spec.GPUsPerNode,
-			freeMemGB: spec.MemGBPerNode,
+			cap:       nc,
+			freeCores: nc.Cores,
+			freeGPUs:  nc.GPUs,
+			freeMemGB: nc.MemGB,
 		})
 	}
 	return c, nil
@@ -159,8 +194,12 @@ type Request struct {
 }
 
 // Fits reports whether the request could ever be satisfied by an empty
-// node — used by the scheduler to fail impossible tasks instead of
-// wedging the queue.
+// node of the cluster's *nominal* spec — used by the scheduler to fail
+// impossible tasks instead of wedging the queue. The check deliberately
+// ignores elastic node transfers: a pilot whose nodes are currently
+// loaned out still accepts tasks that fit its home shape (they queue
+// until steering brings capacity back), and capacity borrowed from a
+// differently shaped partition never widens what the pilot promises.
 func (c *Cluster) Fits(r Request) bool {
 	return r.Cores <= c.spec.CoresPerNode &&
 		r.GPUs <= c.spec.GPUsPerNode &&
@@ -185,7 +224,7 @@ func (c *Cluster) AllocateExcluding(r Request, avoid []int) *Alloc {
 		return nil
 	}
 	for _, n := range c.nodes {
-		if n.down || slices.Contains(avoid, n.ID) {
+		if n.down || n.removed || slices.Contains(avoid, n.ID) {
 			continue
 		}
 		if n.freeCores >= r.Cores && n.freeGPUs >= r.GPUs && n.freeMemGB >= r.MemGB {
@@ -213,7 +252,7 @@ func (c *Cluster) Release(a *Alloc) {
 	a.Node.freeCores += a.Cores
 	a.Node.freeGPUs += a.GPUs
 	a.Node.freeMemGB += a.MemGB
-	if a.Node.freeCores > c.spec.CoresPerNode || a.Node.freeGPUs > c.spec.GPUsPerNode || a.Node.freeMemGB > c.spec.MemGBPerNode {
+	if a.Node.freeCores > a.Node.cap.Cores || a.Node.freeGPUs > a.Node.cap.GPUs || a.Node.freeMemGB > a.Node.cap.MemGB {
 		panic("cluster: release exceeds node capacity")
 	}
 }
@@ -228,11 +267,13 @@ func (c *Cluster) NodeFree() []Request {
 
 // NodeFreeInto is NodeFree filling a caller-provided buffer (reused from
 // length zero; grown only when too small), so per-pass ledger snapshots
-// allocate nothing in steady state.
+// allocate nothing in steady state. Removed (transferred-away) nodes
+// report zero free capacity, exactly like down nodes, so node indices
+// stay aligned with IDs.
 func (c *Cluster) NodeFreeInto(buf []Request) []Request {
 	buf = buf[:0]
 	for _, n := range c.nodes {
-		if n.down {
+		if n.down || n.removed {
 			buf = append(buf, Request{})
 			continue
 		}
@@ -251,9 +292,14 @@ func (c *Cluster) NodeCount() int { return len(c.nodes) }
 
 // SetNodeDown withdraws a node from allocation (node crash). Resources
 // already allocated on it stay accounted; the fault injector is
-// responsible for failing the resident tasks.
+// responsible for failing the resident tasks. Crashing a node that was
+// transferred away panics: the hardware belongs to another pilot now.
 func (c *Cluster) SetNodeDown(id int) {
-	c.node(id).down = true
+	n := c.node(id)
+	if n.removed {
+		panic(fmt.Sprintf("cluster: node %d crashed after transfer out", id))
+	}
+	n.down = true
 }
 
 // SetNodeUp returns a repaired node to allocation.
@@ -264,6 +310,132 @@ func (c *Cluster) SetNodeUp(id int) {
 
 // NodeIsDown reports whether a node is currently withdrawn.
 func (c *Cluster) NodeIsDown(id int) bool { return c.node(id).down }
+
+// NodeIsRemoved reports whether a node was transferred out of this
+// cluster by the steering layer.
+func (c *Cluster) NodeIsRemoved(id int) bool { return c.node(id).removed }
+
+// NodeCap returns a node's capacity shape (the zero value once removed).
+func (c *Cluster) NodeCap(id int) NodeCapacity {
+	n := c.node(id)
+	if n.removed {
+		return NodeCapacity{}
+	}
+	return n.cap
+}
+
+// ActiveNodeCount returns the number of nodes currently part of the
+// cluster (not transferred away). Down nodes count: they come back.
+func (c *Cluster) ActiveNodeCount() int {
+	t := 0
+	for _, n := range c.nodes {
+		if !n.removed {
+			t++
+		}
+	}
+	return t
+}
+
+// UpNodeCount returns the number of operational nodes: part of the
+// cluster and not crashed. This is the floor the steering layer guards —
+// donating a pilot's last *up* node would leave it with zero schedulable
+// capacity for a whole repair window, even though a down node still
+// "belongs" to it.
+func (c *Cluster) UpNodeCount() int {
+	t := 0
+	for _, n := range c.nodes {
+		if !n.removed && !n.down {
+			t++
+		}
+	}
+	return t
+}
+
+// TransferableNodes returns the IDs of nodes eligible for an elastic
+// transfer out, ascending: up, still part of the cluster, and holding no
+// in-flight allocations.
+func (c *Cluster) TransferableNodes() []int {
+	var out []int
+	for _, n := range c.nodes {
+		if n.idle() {
+			out = append(out, n.ID)
+		}
+	}
+	return out
+}
+
+// RemoveNode transfers a node out of the cluster, returning its capacity
+// so the receiving cluster can AddNode it. The operation respects down
+// nodes and in-flight allocations: a crashed node or one with anything
+// allocated on it is refused, so removal never strands an Alloc and
+// never needs an unwind. The slot stays behind as an inert tombstone so
+// the remaining node IDs are untouched.
+func (c *Cluster) RemoveNode(id int) (NodeCapacity, error) {
+	n := c.node(id)
+	if n.removed {
+		return NodeCapacity{}, fmt.Errorf("cluster: node %d already transferred out", id)
+	}
+	if n.down {
+		return NodeCapacity{}, fmt.Errorf("cluster: node %d is down; cannot transfer a crashed node", id)
+	}
+	if !n.idle() {
+		return NodeCapacity{}, fmt.Errorf("cluster: node %d has in-flight allocations", id)
+	}
+	nc := n.cap
+	n.removed = true
+	n.cap = NodeCapacity{}
+	n.freeCores, n.freeGPUs, n.freeMemGB = 0, 0, 0
+	return nc, nil
+}
+
+// AddNode extends the cluster with a fully free node of the given
+// capacity (an elastic transfer in) and returns its ID. The freed
+// watermark advances — new capacity must wake blocked scheduling passes
+// exactly as a release or repair does.
+func (c *Cluster) AddNode(nc NodeCapacity) int {
+	if nc.Cores < 0 || nc.GPUs < 0 || nc.MemGB < 0 || (nc.Cores == 0 && nc.GPUs == 0) {
+		panic(fmt.Sprintf("cluster: adding degenerate node %+v", nc))
+	}
+	n := &Node{
+		ID:        len(c.nodes),
+		cap:       nc,
+		freeCores: nc.Cores,
+		freeGPUs:  nc.GPUs,
+		freeMemGB: nc.MemGB,
+	}
+	c.nodes = append(c.nodes, n)
+	c.freed++
+	return n.ID
+}
+
+// CapCores returns the cluster's current total core capacity across
+// active (non-removed) nodes — Spec().TotalCores() until steering moves
+// a node.
+func (c *Cluster) CapCores() int {
+	t := 0
+	for _, n := range c.nodes {
+		t += n.cap.Cores
+	}
+	return t
+}
+
+// CapGPUs returns the current total GPU capacity across active nodes.
+func (c *Cluster) CapGPUs() int {
+	t := 0
+	for _, n := range c.nodes {
+		t += n.cap.GPUs
+	}
+	return t
+}
+
+// CapMemGB returns the current total memory capacity across active nodes.
+func (c *Cluster) CapMemGB() int {
+	t := 0
+	for _, n := range c.nodes {
+		t += n.cap.MemGB
+	}
+	return t
+}
 
 // DownNodes returns the IDs of currently crashed nodes, ascending.
 func (c *Cluster) DownNodes() []int {
@@ -311,7 +483,7 @@ func (c *Cluster) FreeMemGB() int {
 }
 
 // AllocatedCores returns currently reserved cores.
-func (c *Cluster) AllocatedCores() int { return c.spec.TotalCores() - c.FreeCores() }
+func (c *Cluster) AllocatedCores() int { return c.CapCores() - c.FreeCores() }
 
 // AllocatedGPUs returns currently reserved GPUs.
-func (c *Cluster) AllocatedGPUs() int { return c.spec.TotalGPUs() - c.FreeGPUs() }
+func (c *Cluster) AllocatedGPUs() int { return c.CapGPUs() - c.FreeGPUs() }

@@ -272,3 +272,119 @@ func TestAllocateExcluding(t *testing.T) {
 		t.Fatalf("nil exclusion diverged from Allocate: %+v", b)
 	}
 }
+
+func TestNodeTransfer(t *testing.T) {
+	cpu, gpu := AmarelSplit()
+	cpu.Nodes, gpu.Nodes = 2, 2
+	src, _ := New(gpu)
+	dst, _ := New(cpu)
+
+	ids := src.TransferableNodes()
+	if len(ids) != 2 {
+		t.Fatalf("fresh 2-node cluster has %v transferable nodes", ids)
+	}
+	nc, err := src.RemoveNode(ids[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nc != (NodeCapacity{Cores: gpu.CoresPerNode, GPUs: gpu.GPUsPerNode, MemGB: gpu.MemGBPerNode}) {
+		t.Fatalf("transferred capacity %+v", nc)
+	}
+	if src.ActiveNodeCount() != 1 || src.CapCores() != gpu.CoresPerNode || src.CapGPUs() != gpu.GPUsPerNode {
+		t.Fatalf("source after transfer: %d nodes, %d cores, %d gpus",
+			src.ActiveNodeCount(), src.CapCores(), src.CapGPUs())
+	}
+	before := dst.FreedStamp()
+	id := dst.AddNode(nc)
+	if dst.FreedStamp() == before {
+		t.Fatal("AddNode did not advance the freed watermark")
+	}
+	if dst.ActiveNodeCount() != 3 || dst.CapGPUs() != gpu.GPUsPerNode {
+		t.Fatalf("destination after transfer: %d nodes, %d gpus", dst.ActiveNodeCount(), dst.CapGPUs())
+	}
+	// The borrowed node serves the receiver's own task shapes out of its
+	// transferred capacity (its GPUs ride along idle on a CPU partition —
+	// Fits stays pinned to the nominal spec).
+	a := dst.AllocateExcluding(Request{Cores: 2, MemGB: 4}, []int{0, 1})
+	if a == nil || a.Node.ID != id {
+		t.Fatalf("allocation on borrowed node failed: %+v", a)
+	}
+	if got := dst.NodeFree()[id]; got != (Request{Cores: nc.Cores - 2, GPUs: nc.GPUs, MemGB: nc.MemGB - 4}) {
+		t.Fatalf("borrowed node free counters %+v", got)
+	}
+	if dst.Fits(Request{Cores: 1, GPUs: 1}) {
+		t.Fatal("borrowed GPUs widened the nominal Fits envelope")
+	}
+	dst.Release(a)
+
+	// The tombstone is inert: no allocation lands on it, it is not
+	// transferable again, and its free/capacity views read zero.
+	if _, err := src.RemoveNode(ids[0]); err == nil {
+		t.Fatal("removed node transferred twice")
+	}
+	if src.NodeFree()[ids[0]] != (Request{}) {
+		t.Fatal("removed node reports free capacity")
+	}
+	for i := 0; i < 8; i++ {
+		if a := src.Allocate(Request{Cores: 1}); a != nil && a.Node.ID == ids[0] {
+			t.Fatal("allocation landed on a removed node")
+		}
+	}
+	if !src.NodeIsRemoved(ids[0]) || src.NodeIsRemoved(ids[1]) {
+		t.Fatal("NodeIsRemoved wrong")
+	}
+}
+
+func TestRemoveNodeRespectsDownAndBusy(t *testing.T) {
+	c, _ := New(AmarelCluster(2))
+	a := c.Allocate(Request{Cores: 1})
+	if a == nil {
+		t.Fatal("allocation failed")
+	}
+	if _, err := c.RemoveNode(a.Node.ID); err == nil {
+		t.Fatal("removed a node with an in-flight allocation")
+	}
+	other := 1 - a.Node.ID
+	c.SetNodeDown(other)
+	if _, err := c.RemoveNode(other); err == nil {
+		t.Fatal("removed a down node")
+	}
+	if got := c.TransferableNodes(); len(got) != 0 {
+		t.Fatalf("busy+down cluster reports transferable nodes %v", got)
+	}
+	c.SetNodeUp(other)
+	c.Release(a)
+	if got := c.TransferableNodes(); len(got) != 2 {
+		t.Fatalf("recovered cluster reports %v", got)
+	}
+}
+
+func TestTransferConservesCapacity(t *testing.T) {
+	cpu, gpu := AmarelSplit()
+	cpu.Nodes, gpu.Nodes = 3, 3
+	a, _ := New(cpu)
+	b, _ := New(gpu)
+	totCores := a.CapCores() + b.CapCores()
+	totGPUs := a.CapGPUs() + b.CapGPUs()
+	totMem := a.CapMemGB() + b.CapMemGB()
+	move := func(src, dst *Cluster) {
+		ids := src.TransferableNodes()
+		if len(ids) == 0 {
+			t.Fatal("nothing transferable")
+		}
+		nc, err := src.RemoveNode(ids[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		dst.AddNode(nc)
+	}
+	move(b, a)
+	move(b, a)
+	move(a, b) // send a borrowed GPU node home
+	if a.CapCores()+b.CapCores() != totCores ||
+		a.CapGPUs()+b.CapGPUs() != totGPUs ||
+		a.CapMemGB()+b.CapMemGB() != totMem {
+		t.Fatalf("transfers did not conserve capacity: %d/%d cores, %d/%d gpus",
+			a.CapCores()+b.CapCores(), totCores, a.CapGPUs()+b.CapGPUs(), totGPUs)
+	}
+}

@@ -26,6 +26,7 @@ import (
 	"impress/internal/protein"
 	"impress/internal/sched"
 	"impress/internal/simclock"
+	"impress/internal/steer"
 	"impress/internal/trace"
 	"impress/internal/workload"
 	"impress/internal/xrand"
@@ -117,6 +118,14 @@ type Config struct {
 	// (internal/fault: none, retry, backoff, elsewhere). Empty means
 	// "none". Individual PilotSpec entries may override it per pilot.
 	Recovery string
+	// Steer names the campaign's elastic-steering policy
+	// (internal/steer: none, greedy, hysteresis). Empty means "none":
+	// pilot partitions stay frozen at campaign start, bit-identical to
+	// the pre-steering runtime. With steering on, a controller watches
+	// per-pilot queue pressure and transfers idle nodes between pilots
+	// mid-campaign; individual PilotSpec entries may opt single pilots
+	// out (Steer "none" freezes that pilot's partition).
+	Steer string
 	// Seed is the campaign's root seed.
 	Seed uint64
 }
@@ -156,11 +165,12 @@ type Coordinator struct {
 	cfg     Config
 	targets []*workload.Target
 
-	engine *simclock.Engine
-	rec    *trace.Recorder
-	specs  []PilotSpec
-	pilots []*pilot.Pilot
-	tm     *pilot.TaskManager
+	engine  *simclock.Engine
+	rec     *trace.Recorder
+	specs   []PilotSpec
+	pilots  []*pilot.Pilot
+	tm      *pilot.TaskManager
+	steerer *steer.Controller
 
 	pipelines    map[string]*pipeline.Pipeline
 	waiting      []*pipeline.Pipeline
@@ -204,6 +214,9 @@ func NewCoordinator(targets []*workload.Target, cfg Config) (*Coordinator, error
 	if err := fault.Validate(cfg.Recovery); err != nil {
 		return nil, err
 	}
+	if err := steer.Validate(cfg.Steer); err != nil {
+		return nil, err
+	}
 	for _, ps := range cfg.pilotSpecs() {
 		if err := sched.Validate(ps.Policy); err != nil {
 			return nil, fmt.Errorf("core: pilot %q: %w", ps.Name, err)
@@ -211,6 +224,12 @@ func NewCoordinator(targets []*workload.Target, cfg Config) (*Coordinator, error
 		if err := fault.Validate(ps.Recovery); err != nil {
 			return nil, fmt.Errorf("core: pilot %q: %w", ps.Name, err)
 		}
+		if err := steer.Validate(ps.Steer); err != nil {
+			return nil, fmt.Errorf("core: pilot %q: %w", ps.Name, err)
+		}
+	}
+	if steer.Enabled(cfg.Steer) && len(cfg.pilotSpecs()) < 2 {
+		return nil, fmt.Errorf("core: steering policy %q needs a multi-pilot campaign (nothing to transfer between)", cfg.Steer)
 	}
 	if cfg.Sub.Enabled {
 		if cfg.Sub.Cycles <= 0 || cfg.Sub.Quantile < 0 || cfg.Sub.Quantile > 1 || cfg.Sub.TempFactor <= 0 {
@@ -263,6 +282,7 @@ func (c *Coordinator) Run() (*Result, error) {
 			Walltime: c.cfg.Walltime,
 			Fault:    c.cfg.Fault,
 			Recovery: ps.recoveryFor(c.cfg),
+			Steer:    ps.steerFor(c.cfg),
 			Seed:     xrand.Derive(c.cfg.Seed, ps.Name),
 		})
 		if err != nil {
@@ -273,6 +293,7 @@ func (c *Coordinator) Run() (*Result, error) {
 	c.tm = pilot.NewTaskManager(c.engine, c.pilots...)
 	c.tm.OnState(c.onTaskState)
 	c.tm.SetRerouter(c.rerouteResubmission)
+	c.startSteering()
 
 	// Construct the base pipelines — one per starting structure, as in
 	// the paper's implementation ("submitting a single protein structure
@@ -418,7 +439,7 @@ func (c *Coordinator) apply(pl *pipeline.Pipeline, out pipeline.Outcome) {
 		c.publish(EventPipelineFinished, pl, nil, note)
 		c.active--
 		c.startWaiting()
-		c.maybeStopFaults()
+		c.quiesce()
 	}
 }
 
@@ -443,7 +464,7 @@ func (c *Coordinator) killPipeline(plID string, t *pilot.Task, s pilot.TaskState
 	delete(c.inFlight, plID)
 	c.active--
 	c.startWaiting()
-	c.maybeStopFaults()
+	c.quiesce()
 }
 
 // rerouteResubmission picks a surviving pilot for a resubmitted task,
@@ -464,16 +485,51 @@ func (c *Coordinator) rerouteResubmission(td pilot.TaskDescription) (*pilot.Pilo
 	return nil, false
 }
 
-// maybeStopFaults retires every pilot's fault injector once no pipeline
-// is active or waiting. The injectors' crash chains are standing events;
-// left armed they would keep the discrete-event engine alive after the
-// campaign's real work has drained.
-func (c *Coordinator) maybeStopFaults() {
+// startSteering arms the elastic steering controller when the campaign
+// configures a steering policy over multiple pilots. With steering off
+// (the default) no controller exists, no ticker is scheduled, and the
+// campaign is bit-identical to the pre-steering runtime.
+func (c *Coordinator) startSteering() {
+	if !steer.Enabled(c.cfg.Steer) || len(c.pilots) < 2 {
+		return
+	}
+	pol, err := steer.New(c.cfg.Steer)
+	if err != nil {
+		// Config.Steer was validated in NewCoordinator.
+		panic(err)
+	}
+	elastics := make([]steer.Elastic, len(c.pilots))
+	frozen := make([]bool, len(c.pilots))
+	for i, p := range c.pilots {
+		elastics[i] = p
+		frozen[i] = !steer.Enabled(p.Steer())
+	}
+	c.steerer = steer.NewController(c.engine, elastics, frozen, pol, steer.DefaultPeriod, c.onNodeTransfer)
+	c.steerer.Start()
+}
+
+// onNodeTransfer publishes one applied node transfer on the event
+// stream — the steering analogue of the pipeline lifecycle events.
+func (c *Coordinator) onNodeTransfer(mv steer.Move) {
+	c.publish(EventNodeTransferred, nil, nil,
+		fmt.Sprintf("%s -> %s (%dc/%dg/%dGB)",
+			c.specs[mv.From].Name, c.specs[mv.To].Name, mv.Node.Cores, mv.Node.GPUs, mv.Node.MemGB))
+}
+
+// quiesce retires the campaign's standing runtime machinery — every
+// pilot's fault injector and the steering controller — once no pipeline
+// is active or waiting. Crash chains and steering tickers are standing
+// events; left armed they would keep the discrete-event engine alive
+// after the campaign's real work has drained.
+func (c *Coordinator) quiesce() {
 	if c.active > 0 || len(c.waiting) > 0 {
 		return
 	}
 	for _, p := range c.pilots {
 		p.StopFaultInjection()
+	}
+	if c.steerer != nil {
+		c.steerer.Stop()
 	}
 }
 

@@ -28,6 +28,10 @@ const (
 	// EventPipelineKilled fires when fault injection destroys a pipeline:
 	// one of its tasks failed terminally (recovery exhausted or absent).
 	EventPipelineKilled
+	// EventNodeTransferred fires when the elastic steering controller
+	// moves a node between pilots; the note names the donor, the
+	// receiver, and the transferred capacity.
+	EventNodeTransferred
 )
 
 func (k EventKind) String() string {
@@ -44,6 +48,8 @@ func (k EventKind) String() string {
 		return "campaign-done"
 	case EventPipelineKilled:
 		return "pipeline-killed"
+	case EventNodeTransferred:
+		return "node-transferred"
 	default:
 		return fmt.Sprintf("EventKind(%d)", int(k))
 	}

@@ -56,6 +56,11 @@ type PilotSpec struct {
 	// Recovery overrides the campaign's fault-recovery policy for this
 	// pilot (internal/fault name); empty inherits Config.Recovery.
 	Recovery string
+	// Steer overrides the campaign's elastic-steering participation for
+	// this pilot (internal/steer name); empty inherits Config.Steer. A
+	// pilot resolved to "none" is frozen: it neither donates nor
+	// receives nodes while the rest of the campaign steers.
+	Steer string
 }
 
 // policyFor resolves the scheduling policy this pilot runs under: its own
@@ -76,6 +81,16 @@ func (ps PilotSpec) recoveryFor(cfg Config) string {
 		return ps.Recovery
 	}
 	return cfg.Recovery
+}
+
+// steerFor resolves the elastic-steering participation this pilot runs
+// under, mirroring policyFor: per-pilot override, else campaign-wide,
+// else empty (the pilot layer defaults to "none" — frozen).
+func (ps PilotSpec) steerFor(cfg Config) string {
+	if ps.Steer != "" {
+		return ps.Steer
+	}
+	return cfg.Steer
 }
 
 // ServesClass reports whether the spec accepts tasks of class c.

@@ -11,6 +11,7 @@ import (
 	"impress/internal/pipeline"
 	"impress/internal/protein"
 	"impress/internal/stats"
+	"impress/internal/steer"
 	"impress/internal/trace"
 )
 
@@ -71,6 +72,15 @@ type Result struct {
 	// Recoveries records each pilot's resolved fault-recovery policy,
 	// parallel to Pilots.
 	Recoveries []string
+	// Steerings records each pilot's resolved elastic-steering
+	// participation, parallel to Pilots ("none" on frozen partitions).
+	Steerings []string
+	// Steer is the campaign's elastic-steering policy ("none" when the
+	// partitions stayed frozen).
+	Steer string
+	// NodeTransfers counts the nodes the steering controller moved
+	// between pilots mid-campaign (0 with steering off).
+	NodeTransfers int
 	// Faults carries the fault-injection accounting; nil when the
 	// campaign ran without failure models.
 	Faults *FaultStats
@@ -168,6 +178,14 @@ func (c *Coordinator) buildResult() *Result {
 		res.Pilots = append(res.Pilots, ps.Name)
 		res.Policies = append(res.Policies, c.pilots[i].Policy())
 		res.Recoveries = append(res.Recoveries, c.pilots[i].Recovery())
+		res.Steerings = append(res.Steerings, c.pilots[i].Steer())
+	}
+	res.Steer = steer.Default()
+	if steer.Enabled(c.cfg.Steer) {
+		res.Steer = c.cfg.Steer
+	}
+	if c.steerer != nil {
+		res.NodeTransfers = c.steerer.Transfers()
 	}
 	if c.cfg.Fault.Enabled() {
 		res.Faults = c.buildFaultStats(res)
@@ -261,6 +279,15 @@ func (r *Result) Goodput() float64 {
 // RecoveryLabel summarizes the campaign's fault-recovery policy set,
 // mirroring PolicyLabel.
 func (r *Result) RecoveryLabel() string { return labelOf(r.Recoveries) }
+
+// SteerLabel returns the campaign's elastic-steering policy name — the
+// grouping key of the elastic report ("none" for the frozen split).
+func (r *Result) SteerLabel() string {
+	if r.Steer == "" {
+		return "none"
+	}
+	return r.Steer
+}
 
 // MetricSeries extracts one metric from a metrics set.
 type MetricSeries func(landscape.Metrics) float64

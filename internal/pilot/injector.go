@@ -111,6 +111,13 @@ func (in *injector) crash(i int) {
 	if in.stopped || in.pilot.state != PilotActive {
 		return
 	}
+	if in.pilot.agent.cluster.NodeIsRemoved(i) {
+		// The node was steered to another pilot; this pilot's crash model
+		// no longer owns the hardware. Keep the chain armed — the slot's
+		// MTBF stream stays deterministic whether or not the node left.
+		in.scheduleCrash(i)
+		return
+	}
 	in.crashes++
 	repair := in.spec.RepairWindow()
 	in.downSince[i] = in.pilot.engine.Now()

@@ -9,6 +9,7 @@ import (
 	"impress/internal/fault"
 	"impress/internal/sched"
 	"impress/internal/simclock"
+	"impress/internal/steer"
 	"impress/internal/trace"
 )
 
@@ -65,6 +66,12 @@ type PilotDescription struct {
 	// Recovery names the fault-recovery policy (internal/fault): none,
 	// retry, backoff, elsewhere. Empty means "none" — failures surface.
 	Recovery string
+	// Steer names the pilot's elastic-steering participation
+	// (internal/steer): "none" freezes the pilot's partition (it neither
+	// donates nor receives nodes), any steering policy name opts it into
+	// the campaign's node transfers. Empty means "none" — the pilot
+	// behaves exactly like the pre-steering runtime.
+	Steer string
 	// Seed derives all task jitter streams for this pilot.
 	Seed uint64
 }
@@ -115,6 +122,13 @@ func (pm *PilotManager) Submit(pd PilotDescription) (*Pilot, error) {
 	if err != nil {
 		return nil, err
 	}
+	steerName := pd.Steer
+	if steerName == "" {
+		steerName = steer.Default()
+	}
+	if err := steer.Validate(steerName); err != nil {
+		return nil, err
+	}
 	clu, err := cluster.New(pd.Machine)
 	if err != nil {
 		return nil, err
@@ -126,6 +140,7 @@ func (pm *PilotManager) Submit(pd PilotDescription) (*Pilot, error) {
 		engine:   pm.engine,
 		state:    PilotLaunching,
 		recovery: rec,
+		steer:    steerName,
 	}
 	p.agent = newAgent(p, clu, pm.rec, pol)
 	if pd.Fault.Enabled() {
@@ -168,6 +183,7 @@ type Pilot struct {
 	wallEvent simclock.Event
 
 	recovery fault.Policy
+	steer    string
 	injector *injector
 }
 
@@ -186,6 +202,54 @@ func (p *Pilot) Policy() string { return p.agent.policy.Name() }
 // Recovery returns the resolved name of the pilot's fault-recovery
 // policy ("none" when unset).
 func (p *Pilot) Recovery() string { return p.recovery.Name() }
+
+// Steer returns the resolved name of the pilot's elastic-steering
+// participation ("none" when unset: the partition is frozen).
+func (p *Pilot) Steer() string { return p.steer }
+
+// Active reports whether the pilot currently schedules tasks.
+func (p *Pilot) Active() bool { return p.state == PilotActive }
+
+// QueueLen returns the number of tasks waiting in the agent queue — the
+// queue-pressure signal the steering layer watches.
+func (p *Pilot) QueueLen() int { return p.agent.QueueLen() }
+
+// RunningCount returns the number of placed (setup or executing) tasks.
+func (p *Pilot) RunningCount() int { return len(p.agent.running) }
+
+// QueuedRequests returns the allocation requests of the queued tasks in
+// queue order — what the steering controller matches donor node shapes
+// against.
+func (p *Pilot) QueuedRequests() []cluster.Request {
+	out := make([]cluster.Request, 0, len(p.agent.queue))
+	for _, t := range p.agent.queue {
+		out = append(out, requestOf(t))
+	}
+	return out
+}
+
+// GrowNode transfers a node of the given capacity into the pilot's
+// ledger (an elastic steering transfer in) and returns its node ID. The
+// new capacity is offered to the queue immediately, with the same
+// freed-watermark discipline as a release or a node repair.
+func (p *Pilot) GrowNode(nc cluster.NodeCapacity) int {
+	id := p.agent.cluster.AddNode(nc)
+	if p.state == PilotActive {
+		p.agent.schedule()
+	}
+	return id
+}
+
+// ShrinkNode transfers the identified node out of the pilot's ledger (an
+// elastic steering transfer out), returning its capacity for the
+// receiving pilot's GrowNode. Only idle nodes shrink: a node that is
+// down or carries in-flight allocations is refused, so — unlike cancel
+// and fault, which must unwind busy counters and allocations exactly —
+// a shrink never has anything to unwind. That asymmetry is deliberate:
+// steering moves capacity, never work.
+func (p *Pilot) ShrinkNode(id int) (cluster.NodeCapacity, error) {
+	return p.agent.cluster.RemoveNode(id)
+}
 
 // FaultCounts reports the fault injector's activity: node crashes fired
 // and total node downtime injected. Zero without fault injection.

@@ -1,0 +1,129 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+
+	"impress/internal/core"
+	"impress/internal/stats"
+)
+
+// Elastic renders the steering comparison: one row per steering policy,
+// aggregated over seeds, against the frozen split ("none") of the same
+// seeds. The columns are the steering levers — makespan and its speedup
+// over the frozen baseline, queue wait, utilization, transfer counts —
+// plus the science outcome (trajectories, net pLDDT) so a policy that
+// goes fast by starving the protocol shows up immediately.
+func Elastic(results []*core.Result) string {
+	baselines, groups, names := groupElastic(results)
+
+	t := NewTable("Steer", "Runs", "Makespan (h)", "Speedup ×", "Queue wait", "Max wait",
+		"CPU %", "GPU %", "Transfers", "Traj", "ΔpLDDT")
+	for _, name := range names {
+		rs := groups[name]
+		collect := func(f func(*core.Result) float64) []float64 {
+			out := make([]float64, len(rs))
+			for i, r := range rs {
+				out[i] = f(r)
+			}
+			return out
+		}
+		var speedups []float64
+		for _, r := range rs {
+			if base, ok := baselines[r.Seed]; ok && r.Makespan.Hours() > 0 {
+				speedups = append(speedups, base/r.Makespan.Hours())
+			}
+		}
+		speedup := "n/a"
+		if len(speedups) > 0 {
+			speedup = fmt.Sprintf("%.3f", stats.Median(speedups))
+		}
+		var meanWait, maxWait time.Duration
+		transfers := 0
+		for _, r := range rs {
+			m, x := r.QueueWait()
+			meanWait += m
+			if x > maxWait {
+				maxWait = x
+			}
+			transfers += r.NodeTransfers
+		}
+		meanWait /= time.Duration(len(rs))
+		t.AddRow(
+			name,
+			fmt.Sprintf("%d", len(rs)),
+			fmt.Sprintf("%.2f", stats.Median(collect(func(r *core.Result) float64 { return r.Makespan.Hours() }))),
+			speedup,
+			fmtWait(meanWait),
+			fmtWait(maxWait),
+			fmt.Sprintf("%.1f", 100*stats.Median(collect(func(r *core.Result) float64 { return r.CPUUtilization }))),
+			fmt.Sprintf("%.1f", 100*stats.Median(collect(func(r *core.Result) float64 { return r.GPUUtilization }))),
+			fmt.Sprintf("%d", transfers),
+			fmt.Sprintf("%.1f", stats.Median(collect(func(r *core.Result) float64 { return float64(r.TrajectoryCount()) }))),
+			fmt.Sprintf("%+.2f", stats.Median(collect(func(r *core.Result) float64 { return r.NetDelta(core.PLDDTOf) }))),
+		)
+	}
+	var sb strings.Builder
+	sb.WriteString("Elastic steering comparison (medians over seeds; waits averaged, transfers summed;\n")
+	sb.WriteString("speedup = frozen-split makespan / policy makespan, per seed)\n")
+	if len(baselines) == 0 {
+		sb.WriteString("(no frozen-split runs: speedup unavailable)\n")
+	}
+	sb.WriteString(t.String())
+	return sb.String()
+}
+
+// groupElastic splits results into per-seed frozen-split baselines
+// (steer "none", by makespan hours) and groups keyed by steering policy,
+// with group names sorted. The frozen split itself also forms a group,
+// so its row shows speedup 1.
+func groupElastic(results []*core.Result) (map[uint64]float64, map[string][]*core.Result, []string) {
+	baselines := make(map[uint64]float64)
+	groups := make(map[string][]*core.Result)
+	for _, r := range results {
+		if r == nil {
+			continue
+		}
+		label := r.SteerLabel()
+		if label == "none" {
+			baselines[r.Seed] = r.Makespan.Hours()
+		}
+		groups[label] = append(groups[label], r)
+	}
+	names := make([]string, 0, len(groups))
+	for n := range groups {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return baselines, groups, names
+}
+
+// ElasticCSV writes one steering-comparison row per campaign — the
+// machine-readable companion of Elastic.
+func ElasticCSV(w io.Writer, results []*core.Result) error {
+	if _, err := fmt.Fprintln(w, "steer,seed,approach,makespan_h,speedup,queue_wait_mean_m,queue_wait_max_m,"+
+		"cpu_util,gpu_util,node_transfers,trajectories,dplddt"); err != nil {
+		return err
+	}
+	baselines, _, _ := groupElastic(results)
+	for _, r := range results {
+		if r == nil {
+			continue
+		}
+		speedup := ""
+		if base, ok := baselines[r.Seed]; ok && r.Makespan.Hours() > 0 {
+			speedup = fmt.Sprintf("%.4f", base/r.Makespan.Hours())
+		}
+		mean, max := r.QueueWait()
+		if _, err := fmt.Fprintf(w, "%s,%d,%s,%.4f,%s,%.4f,%.4f,%.4f,%.4f,%d,%d,%.4f\n",
+			r.SteerLabel(), r.Seed, r.Approach, r.Makespan.Hours(), speedup,
+			mean.Minutes(), max.Minutes(), r.CPUUtilization, r.GPUUtilization,
+			r.NodeTransfers, r.TrajectoryCount(), r.NetDelta(core.PLDDTOf)); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -12,8 +12,8 @@ package scenariorun
 import (
 	"fmt"
 	"io"
-	"os"
 
+	"impress/internal/artifact"
 	"impress/internal/campaign"
 	"impress/internal/core"
 	"impress/internal/report"
@@ -48,19 +48,25 @@ func Run(stdout, stderr io.Writer, name string, p campaign.Params, workers int, 
 	if sc.Report != nil && len(results) > 0 {
 		fmt.Fprintln(stdout, sc.Report(results))
 	}
-	if csvPath != "" && sc.ReportCSV != nil && len(results) > 0 {
-		f, err := os.Create(csvPath)
-		if err != nil {
-			fmt.Fprintln(stderr, err)
-			return 1
+	if csvPath != "" {
+		// A requested artifact is never silently missing: when the
+		// scenario has no CSV report — or every campaign failed and there
+		// is nothing to write — say so instead of exiting as if the file
+		// had been produced.
+		switch {
+		case sc.ReportCSV == nil:
+			fmt.Fprintf(stderr, "warning: scenario %s declares no CSV report; %s not written\n", name, csvPath)
+		case len(results) == 0:
+			fmt.Fprintf(stderr, "warning: no campaign completed; %s not written\n", csvPath)
+		default:
+			if err := artifact.WriteFile(csvPath, func(w io.Writer) error {
+				return sc.ReportCSV(w, results)
+			}); err != nil {
+				fmt.Fprintln(stderr, err)
+				return 1
+			}
+			fmt.Fprintf(stdout, "wrote %s\n", csvPath)
 		}
-		if err := sc.ReportCSV(f, results); err != nil {
-			f.Close()
-			fmt.Fprintln(stderr, err)
-			return 1
-		}
-		f.Close()
-		fmt.Fprintf(stdout, "wrote %s\n", csvPath)
 	}
 	if failed > 0 {
 		fmt.Fprintf(stderr, "%d/%d campaigns failed\n", failed, len(outs))

@@ -1,0 +1,139 @@
+package scenariorun
+
+// Satellite regression tests: a -csv request must never be silently
+// ignored. When the scenario has no CSV report, or every campaign
+// failed, the command says so on stderr instead of exiting as if the
+// artifact had been produced.
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"impress/internal/campaign"
+	"impress/internal/core"
+	"impress/internal/workload"
+)
+
+func register(t *testing.T, s campaign.Scenario) {
+	t.Helper()
+	if err := campaign.Register(s); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// miniCampaign is a small adaptive campaign that completes in well under
+// a second.
+func miniCampaign(t *testing.T, name string) campaign.Campaign {
+	t.Helper()
+	target, err := workload.NewTarget(9, "SRUN", 50, workload.AlphaSynucleinTail4, workload.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.AdaptiveConfig(9)
+	cfg.Pipeline.Cycles = 1
+	cfg.Pipeline.MPNN.NumSequences = 4
+	cfg.Pipeline.MPNN.Sweeps = 2
+	return campaign.Campaign{Name: name, Seed: 9, Targets: []*workload.Target{target}, Config: cfg}
+}
+
+func TestRunWarnsWhenScenarioHasNoCSVReport(t *testing.T) {
+	register(t, campaign.Scenario{
+		Name:  "srun-nocsv",
+		Build: func(campaign.Params) ([]campaign.Campaign, error) { return nil, nil },
+	})
+	csv := filepath.Join(t.TempDir(), "out.csv")
+	var stdout, stderr strings.Builder
+	code := Run(&stdout, &stderr, "srun-nocsv", campaign.Params{}, 1, csv)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "declares no CSV report") {
+		t.Fatalf("no warning for a requested-but-undeclared CSV; stderr: %q", stderr.String())
+	}
+	if _, err := os.Stat(csv); err == nil {
+		t.Fatal("CSV written despite the scenario declaring none")
+	}
+}
+
+func TestRunWarnsWhenEveryCampaignFailed(t *testing.T) {
+	register(t, campaign.Scenario{
+		Name: "srun-allfail",
+		Build: func(campaign.Params) ([]campaign.Campaign, error) {
+			// No targets: the coordinator rejects the campaign at
+			// construction, so every cell of the scenario fails.
+			return []campaign.Campaign{{Name: "doomed", Config: core.AdaptiveConfig(1)}}, nil
+		},
+		ReportCSV: func(w io.Writer, _ []*core.Result) error {
+			_, err := io.WriteString(w, "never\n")
+			return err
+		},
+	})
+	csv := filepath.Join(t.TempDir(), "out.csv")
+	var stdout, stderr strings.Builder
+	code := Run(&stdout, &stderr, "srun-allfail", campaign.Params{}, 1, csv)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1 (a campaign failed)", code)
+	}
+	if !strings.Contains(stderr.String(), "not written") {
+		t.Fatalf("no warning for the missing CSV; stderr: %q", stderr.String())
+	}
+	if _, err := os.Stat(csv); err == nil {
+		t.Fatal("CSV written despite zero completed campaigns")
+	}
+}
+
+func TestRunWritesDeclaredCSV(t *testing.T) {
+	register(t, campaign.Scenario{
+		Name: "srun-ok",
+		Build: func(campaign.Params) ([]campaign.Campaign, error) {
+			return []campaign.Campaign{miniCampaign(t, "srun-ok/mini")}, nil
+		},
+		ReportCSV: func(w io.Writer, results []*core.Result) error {
+			_, err := io.WriteString(w, "rows\n")
+			return err
+		},
+	})
+	csv := filepath.Join(t.TempDir(), "out.csv")
+	var stdout, stderr strings.Builder
+	code := Run(&stdout, &stderr, "srun-ok", campaign.Params{}, 1, csv)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr.String())
+	}
+	data, err := os.ReadFile(csv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "rows\n" {
+		t.Fatalf("CSV content %q", data)
+	}
+	if !strings.Contains(stdout.String(), "wrote "+csv) {
+		t.Fatalf("no wrote line; stdout: %q", stdout.String())
+	}
+}
+
+// TestRunFailsOnUnwritableCSV: the loss-proof write path turns an
+// unwritable destination into a non-zero exit with a message.
+func TestRunFailsOnUnwritableCSV(t *testing.T) {
+	register(t, campaign.Scenario{
+		Name: "srun-unwritable",
+		Build: func(campaign.Params) ([]campaign.Campaign, error) {
+			return []campaign.Campaign{miniCampaign(t, "srun-unwritable/mini")}, nil
+		},
+		ReportCSV: func(w io.Writer, _ []*core.Result) error {
+			_, err := io.WriteString(w, "rows\n")
+			return err
+		},
+	})
+	csv := filepath.Join(t.TempDir(), "missing-dir", "out.csv")
+	var stdout, stderr strings.Builder
+	code := Run(&stdout, &stderr, "srun-unwritable", campaign.Params{}, 1, csv)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1 for an unwritable CSV", code)
+	}
+	if stderr.Len() == 0 {
+		t.Fatal("no error message for the unwritable CSV")
+	}
+}

@@ -1,0 +1,201 @@
+package steer
+
+import (
+	"time"
+
+	"impress/internal/cluster"
+	"impress/internal/simclock"
+)
+
+// Elastic is the slice of the pilot mechanism the controller drives.
+// *pilot.Pilot implements it; the interface keeps this package below
+// internal/pilot in the dependency order (pilot validates steering
+// names through this package).
+type Elastic interface {
+	// Active reports whether the pilot currently schedules tasks.
+	Active() bool
+	// QueueLen returns the number of tasks waiting for resources.
+	QueueLen() int
+	// RunningCount returns the number of placed tasks.
+	RunningCount() int
+	// QueuedRequests returns the allocation requests of the queued
+	// tasks, in queue order.
+	QueuedRequests() []cluster.Request
+	// Cluster exposes the pilot's resource ledger.
+	Cluster() *cluster.Cluster
+	// ShrinkNode transfers the identified idle node out of the pilot.
+	ShrinkNode(id int) (cluster.NodeCapacity, error)
+	// GrowNode transfers a node of the given capacity into the pilot.
+	GrowNode(nc cluster.NodeCapacity) int
+}
+
+// Move records one applied node transfer.
+type Move struct {
+	// At is the virtual time of the transfer.
+	At simclock.Time
+	// From and To are pilot indices in controller order.
+	From, To int
+	// Node is the transferred capacity.
+	Node cluster.NodeCapacity
+}
+
+// Controller samples per-pilot pressure on the virtual timeline and
+// applies the steering policy's transfers through the pilots'
+// grow/shrink mechanism. It enforces, independently of the policy:
+//
+//   - only transferable nodes move (up, no in-flight allocations —
+//     cluster.RemoveNode re-checks),
+//   - a donor never gives up its last operational (up) node,
+//   - a node moves only if the receiver has a queued task its capacity
+//     could actually host (no stranding a 0-GPU node on a GPU queue),
+//   - frozen or inactive pilots neither donate nor receive.
+type Controller struct {
+	engine *simclock.Engine
+	pilots []Elastic
+	frozen []bool
+	pol    Policy
+	period time.Duration
+
+	ticker *simclock.Ticker
+	moves  []Move
+	onMove func(Move)
+
+	stats   []Stat // scratch, reused per observation
+	stopped bool
+}
+
+// NewController builds a controller over the pilots. frozen marks
+// pilots that opted out of steering (nil means all participate); onMove
+// (optional) observes every applied transfer.
+func NewController(engine *simclock.Engine, pilots []Elastic, frozen []bool, pol Policy, period time.Duration, onMove func(Move)) *Controller {
+	if engine == nil || pol == nil {
+		panic("steer: controller needs an engine and a policy")
+	}
+	if len(pilots) < 2 {
+		panic("steer: steering needs at least two pilots")
+	}
+	if frozen == nil {
+		frozen = make([]bool, len(pilots))
+	}
+	if len(frozen) != len(pilots) {
+		panic("steer: frozen mask length mismatch")
+	}
+	if period <= 0 {
+		period = DefaultPeriod
+	}
+	return &Controller{
+		engine: engine,
+		pilots: pilots,
+		frozen: frozen,
+		pol:    pol,
+		period: period,
+		onMove: onMove,
+		stats:  make([]Stat, len(pilots)),
+	}
+}
+
+// Start arms the observation ticker. The ticker keeps the event queue
+// non-empty, so the campaign owner must Stop the controller once the
+// real work has drained (exactly like fault injectors).
+func (c *Controller) Start() {
+	if c.ticker != nil || c.stopped {
+		return
+	}
+	c.ticker = c.engine.Every(c.period, func(simclock.Time) { c.observe() })
+}
+
+// Stop retires the controller; further observations are no-ops.
+func (c *Controller) Stop() {
+	if c.stopped {
+		return
+	}
+	c.stopped = true
+	if c.ticker != nil {
+		c.ticker.Stop()
+	}
+}
+
+// Transfers returns the number of node transfers applied so far.
+func (c *Controller) Transfers() int { return len(c.moves) }
+
+// Moves returns a copy of the applied transfer log.
+func (c *Controller) Moves() []Move { return append([]Move(nil), c.moves...) }
+
+// observe is one steering decision point: snapshot pressure, ask the
+// policy, apply what survives validation.
+func (c *Controller) observe() {
+	if c.stopped {
+		return
+	}
+	for i, p := range c.pilots {
+		st := Stat{Frozen: c.frozen[i] || !p.Active()}
+		if p.Active() {
+			clu := p.Cluster()
+			st.Queue = p.QueueLen()
+			st.Running = p.RunningCount()
+			st.Nodes = clu.UpNodeCount()
+			st.Idle = len(clu.TransferableNodes())
+		}
+		c.stats[i] = st
+	}
+	for _, tr := range c.pol.Decide(c.stats) {
+		c.apply(tr)
+	}
+}
+
+// apply validates and executes one proposed transfer. Invalid proposals
+// are skipped: the policy layer may be wrong about the world (its
+// snapshot ages as earlier transfers of the same observation land), the
+// mechanism may not.
+func (c *Controller) apply(tr Transfer) {
+	if tr.From < 0 || tr.From >= len(c.pilots) || tr.To < 0 || tr.To >= len(c.pilots) || tr.From == tr.To {
+		return
+	}
+	if c.frozen[tr.From] || c.frozen[tr.To] {
+		return
+	}
+	from, to := c.pilots[tr.From], c.pilots[tr.To]
+	if !from.Active() || !to.Active() {
+		return
+	}
+	clu := from.Cluster()
+	if clu.UpNodeCount() <= 1 {
+		// Donating the last operational node would leave the pilot with
+		// zero schedulable capacity (a crashed node still "belonging" to
+		// it does not count until repair).
+		return
+	}
+	id, ok := c.usefulNode(clu, to)
+	if !ok {
+		return
+	}
+	nc, err := from.ShrinkNode(id)
+	if err != nil {
+		// The node stopped being idle between snapshot and application;
+		// skip rather than chase another.
+		return
+	}
+	to.GrowNode(nc)
+	mv := Move{At: c.engine.Now(), From: tr.From, To: tr.To, Node: nc}
+	c.moves = append(c.moves, mv)
+	if c.onMove != nil {
+		c.onMove(mv)
+	}
+}
+
+// usefulNode picks the donor's lowest-ID transferable node whose
+// capacity could host at least one of the receiver's queued tasks.
+// Shipping a node the receiver cannot use would strand capacity where
+// neither pilot can reach it.
+func (c *Controller) usefulNode(donor *cluster.Cluster, to Elastic) (int, bool) {
+	queued := to.QueuedRequests()
+	for _, id := range donor.TransferableNodes() {
+		nc := donor.NodeCap(id)
+		for _, r := range queued {
+			if r.Cores <= nc.Cores && r.GPUs <= nc.GPUs && r.MemGB <= nc.MemGB {
+				return id, true
+			}
+		}
+	}
+	return -1, false
+}

@@ -1,0 +1,139 @@
+package steer
+
+import (
+	"testing"
+)
+
+func TestRegistry(t *testing.T) {
+	want := []string{"greedy", "hysteresis", "none"}
+	got := Names()
+	if len(got) != len(want) {
+		t.Fatalf("Names() = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Names() = %v, want %v", got, want)
+		}
+	}
+	for _, n := range want {
+		p, err := New(n)
+		if err != nil || p.Name() != n {
+			t.Fatalf("New(%q) = %v, %v", n, p, err)
+		}
+	}
+	if _, err := New("round-robin"); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+	if err := Validate(""); err != nil {
+		t.Fatal("empty name must be valid (defaults to none)")
+	}
+	if Default() != "none" {
+		t.Fatalf("Default() = %q", Default())
+	}
+	if Enabled("none") || Enabled("") || !Enabled("greedy") {
+		t.Fatal("Enabled wrong")
+	}
+}
+
+// TestNewReturnsFreshInstances pins the stateful-policy contract: two
+// campaigns must never share hysteresis counters.
+func TestNewReturnsFreshInstances(t *testing.T) {
+	a, _ := New("hysteresis")
+	b, _ := New("hysteresis")
+	if a == b {
+		t.Fatal("New returned a shared hysteresis instance")
+	}
+	stats := []Stat{{Queue: 5, Nodes: 2}, {Idle: 2, Nodes: 3}}
+	for i := 0; i < hysteresisPatience; i++ {
+		a.Decide(stats)
+	}
+	// b has seen nothing: its first decision must still be empty.
+	if got := b.Decide(stats); len(got) != 0 {
+		t.Fatalf("fresh instance inherited streaks: %v", got)
+	}
+}
+
+func TestNoneNeverTransfers(t *testing.T) {
+	p, _ := New("none")
+	stats := []Stat{{Queue: 100, Nodes: 1}, {Idle: 5, Nodes: 6}}
+	for i := 0; i < 10; i++ {
+		if got := p.Decide(stats); len(got) != 0 {
+			t.Fatalf("none proposed %v", got)
+		}
+	}
+}
+
+func TestGreedyRebalances(t *testing.T) {
+	p, _ := New("greedy")
+	// Pilot 0 starves, pilot 1 has idle nodes and no queue.
+	got := p.Decide([]Stat{{Queue: 3, Nodes: 2}, {Idle: 2, Nodes: 4}})
+	if len(got) != 1 || got[0] != (Transfer{From: 1, To: 0}) {
+		t.Fatalf("greedy proposed %v", got)
+	}
+	// No idle nodes anywhere: nothing to move.
+	if got := p.Decide([]Stat{{Queue: 3, Nodes: 2}, {Nodes: 4, Running: 9}}); len(got) != 0 {
+		t.Fatalf("greedy proposed %v with no idle donor", got)
+	}
+	// A donor that is itself starving never donates.
+	if got := p.Decide([]Stat{{Queue: 3, Nodes: 2}, {Queue: 1, Idle: 2, Nodes: 4}}); len(got) != 0 {
+		t.Fatalf("greedy raided a starving pilot: %v", got)
+	}
+	// A single-node donor never gives up its last node.
+	if got := p.Decide([]Stat{{Queue: 3, Nodes: 2}, {Idle: 1, Nodes: 1}}); len(got) != 0 {
+		t.Fatalf("greedy took a pilot's last node: %v", got)
+	}
+	// Frozen pilots neither donate nor receive.
+	if got := p.Decide([]Stat{{Queue: 3, Nodes: 2}, {Idle: 2, Nodes: 4, Frozen: true}}); len(got) != 0 {
+		t.Fatalf("greedy raided a frozen pilot: %v", got)
+	}
+	if got := p.Decide([]Stat{{Queue: 3, Nodes: 2, Frozen: true}, {Idle: 2, Nodes: 4}}); len(got) != 0 {
+		t.Fatalf("greedy fed a frozen pilot: %v", got)
+	}
+	// The deepest queue is served first when donors are scarce.
+	got = p.Decide([]Stat{{Queue: 1, Nodes: 2}, {Queue: 7, Nodes: 2}, {Idle: 1, Nodes: 2}})
+	if len(got) == 0 || got[0] != (Transfer{From: 2, To: 1}) {
+		t.Fatalf("greedy order %v, want deepest queue first", got)
+	}
+}
+
+func TestHysteresisRequiresPersistence(t *testing.T) {
+	p, _ := New("hysteresis")
+	pressure := []Stat{{Queue: 3, Nodes: 2}, {Idle: 2, Nodes: 4}}
+	calm := []Stat{{Nodes: 2}, {Idle: 2, Nodes: 4}}
+
+	// One observation of pressure is noise, not a trend.
+	if got := p.Decide(pressure); len(got) != 0 {
+		t.Fatalf("hysteresis moved on first observation: %v", got)
+	}
+	// Pressure that persists crosses the threshold.
+	got := p.Decide(pressure)
+	if len(got) != 1 || got[0] != (Transfer{From: 1, To: 0}) {
+		t.Fatalf("hysteresis after persistence: %v", got)
+	}
+	// The transfer opens a cooldown window: continued pressure does not
+	// trigger an immediate second move.
+	if got := p.Decide(pressure); len(got) != 0 {
+		t.Fatalf("hysteresis ignored its cooldown: %v", got)
+	}
+	// An interrupted streak starts over.
+	p2, _ := New("hysteresis")
+	p2.Decide(pressure)
+	p2.Decide(calm)
+	if got := p2.Decide(pressure); len(got) != 0 {
+		t.Fatalf("hysteresis kept a broken streak: %v", got)
+	}
+}
+
+// TestHysteresisAcceptsSingleIdleDonor pins the donor threshold to one
+// transferable node: the damping is the patience streaks and cooldowns,
+// not a hidden idle-count floor (patience is measured in observations,
+// not nodes).
+func TestHysteresisAcceptsSingleIdleDonor(t *testing.T) {
+	p, _ := New("hysteresis")
+	pressure := []Stat{{Queue: 3, Nodes: 2}, {Idle: 1, Nodes: 2, Running: 1}}
+	p.Decide(pressure)
+	got := p.Decide(pressure)
+	if len(got) != 1 || got[0] != (Transfer{From: 1, To: 0}) {
+		t.Fatalf("hysteresis refused a single-idle donor: %v", got)
+	}
+}

@@ -2,7 +2,11 @@ package impress
 
 import (
 	"io"
+	"os"
+	"path/filepath"
+	"sort"
 
+	"impress/internal/artifact"
 	"impress/internal/core"
 	"impress/internal/protein"
 	"impress/internal/report"
@@ -60,6 +64,42 @@ func WritePDB(w io.Writer, st *Structure, bfactors []float64) error {
 // ParsePDB reads a Cα-trace PDB back into a structure plus its B-factors.
 func ParsePDB(r io.Reader) (*Structure, []float64, error) {
 	return protein.ParsePDB(r)
+}
+
+// WriteArtifact creates (or truncates) path, streams the artifact
+// through write, and closes it, propagating write and close errors — the
+// loss-proof write path every command output goes through.
+func WriteArtifact(path string, write func(io.Writer) error) error {
+	return artifact.WriteFile(path, write)
+}
+
+// WriteDesignPDBs writes each target's best design from a campaign
+// result as <dir>/<target>.pdb and returns the written paths. Targets
+// are emitted in sorted name order, so the files — and any log lines
+// derived from the returned slice — come out identically on every run
+// (FinalDesigns is a map; ranging it directly is iteration-order
+// roulette). The first write error aborts and is returned.
+func WriteDesignPDBs(dir string, r *Result) ([]string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(r.FinalDesigns))
+	for name := range r.FinalDesigns {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var paths []string
+	for _, name := range names {
+		st := r.FinalDesigns[name]
+		path := filepath.Join(dir, name+".pdb")
+		if err := artifact.WriteFile(path, func(w io.Writer) error {
+			return protein.WritePDB(w, st, nil)
+		}); err != nil {
+			return paths, err
+		}
+		paths = append(paths, path)
+	}
+	return paths, nil
 }
 
 // TableI renders the paper's Table I for a CONT-V / IM-RP result pair.

@@ -2,6 +2,8 @@ package impress_test
 
 import (
 	"bytes"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -112,5 +114,56 @@ func TestPublicRenderers(t *testing.T) {
 	ctrl.Approach = "CONT-V" // label for rendering
 	if !strings.Contains(impress.TableI(ctrl, res), "Trajectories") {
 		t.Error("TableI broken")
+	}
+}
+
+// TestWriteDesignPDBsDeterministicOrder pins the -pdb satellite fix:
+// FinalDesigns is a map, and the files (and "wrote …" lines derived
+// from the returned paths) must come out in sorted target order, not in
+// Go's randomized map iteration order.
+func TestWriteDesignPDBsDeterministicOrder(t *testing.T) {
+	res := smallCampaign(t, 36)
+	st := res.FinalDesigns["IOTEST"]
+	if st == nil {
+		t.Fatal("no final design")
+	}
+	// Several targets, inserted in non-sorted order: map iteration order
+	// would differ between processes (and often between runs).
+	res.FinalDesigns = map[string]*impress.Structure{
+		"ZETA": st, "ALPHA": st, "MID": st, "BETA": st,
+	}
+	want := []string{"ALPHA.pdb", "BETA.pdb", "MID.pdb", "ZETA.pdb"}
+	for trial := 0; trial < 3; trial++ {
+		dir := t.TempDir()
+		paths, err := impress.WriteDesignPDBs(dir, res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(paths) != len(want) {
+			t.Fatalf("wrote %d files, want %d", len(paths), len(want))
+		}
+		for i, p := range paths {
+			if filepath.Base(p) != want[i] {
+				t.Fatalf("trial %d: path %d is %s, want %s", trial, i, filepath.Base(p), want[i])
+			}
+			if _, err := os.Stat(p); err != nil {
+				t.Fatalf("reported path not written: %v", err)
+			}
+		}
+	}
+}
+
+// TestWriteDesignPDBsErrorPath: an unwritable destination surfaces an
+// error (the command turns it into a non-zero exit) instead of quietly
+// dropping designs.
+func TestWriteDesignPDBsErrorPath(t *testing.T) {
+	res := smallCampaign(t, 37)
+	// A regular file where the directory should go: MkdirAll must fail.
+	blocker := filepath.Join(t.TempDir(), "not-a-dir")
+	if err := os.WriteFile(blocker, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := impress.WriteDesignPDBs(filepath.Join(blocker, "pdbs"), res); err == nil {
+		t.Fatal("writing into a blocked path succeeded")
 	}
 }
