@@ -19,6 +19,7 @@ import (
 	"testing"
 
 	"impress"
+	"impress/internal/cluster"
 )
 
 // reportCampaign attaches the scientific metrics of a result to b.
@@ -397,6 +398,90 @@ func benchMegaScreen(b *testing.B) {
 // workload, on the heterogeneous two-pilot placement, in one op.
 func BenchmarkMegaScreen(b *testing.B) {
 	benchMegaScreen(b)
+}
+
+// benchAllocScaling is one allocation-ledger cell, shared by
+// BenchmarkAllocScaling and the BENCH_<n>.json emitter. The cluster is
+// driven to the indexed ledger's worst-documented case for a linear
+// scan: every node but the last is completely full, so first-fit must
+// reject n-1 nodes before placing. The linear mode pays O(n) per
+// placement; the segment tree prunes full subtrees and pays O(log n).
+// Both modes are differentially tested to pick identical nodes, so this
+// is a pure mechanism A/B over one behaviour.
+func benchAllocScaling(b *testing.B, n int, indexed bool) {
+	spec := cluster.AmarelCluster(n)
+	mk := cluster.NewLinear
+	if indexed {
+		mk = cluster.New
+	}
+	c, err := mk(spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	full := cluster.Request{Cores: spec.CoresPerNode, GPUs: spec.GPUsPerNode, MemGB: spec.MemGBPerNode}
+	for i := 0; i < n-1; i++ {
+		if c.Allocate(full) == nil {
+			b.Fatalf("fill allocation %d failed", i)
+		}
+	}
+	r := cluster.Request{Cores: 4, GPUs: 1, MemGB: 8}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a := c.Allocate(r)
+		if a == nil {
+			b.Fatal("steady-state allocation failed")
+		}
+		c.Release(a)
+	}
+}
+
+// BenchmarkAllocScaling measures a single allocate/release round trip
+// against cluster size, indexed ledger vs retained linear scan.
+func BenchmarkAllocScaling(b *testing.B) {
+	for _, n := range []int{64, 512, 4096} {
+		for _, mode := range []struct {
+			name    string
+			indexed bool
+		}{{"indexed", true}, {"linear", false}} {
+			b.Run(fmt.Sprintf("nodes=%d/%s", n, mode.name), func(b *testing.B) {
+				benchAllocScaling(b, n, mode.indexed)
+			})
+		}
+	}
+}
+
+// benchKiloScreen is the kilo-screen body, shared by BenchmarkKiloScreen
+// and the BENCH_<n>.json emitter.
+func benchKiloScreen(b *testing.B) {
+	campaigns, err := impress.BuildScenario("kilo-screen", impress.ScenarioParams{Seed: 42})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var outs []impress.CampaignOutcome
+	for i := 0; i < b.N; i++ {
+		outs = impress.RunCampaigns(campaigns, 1)
+		for _, o := range outs {
+			if o.Err != nil {
+				b.Fatalf("campaign %s failed: %v", o.Name, o.Err)
+			}
+		}
+	}
+	res := outs[0].Result
+	reportCampaign(b, res)
+	b.ReportMetric(float64(res.NodeTransfers), "transfers")
+	if res.Faults != nil {
+		b.ReportMetric(100*res.Goodput(), "goodput-%")
+	}
+}
+
+// BenchmarkKiloScreen runs the kilo-screen scenario — a 128-target IM-RP
+// screen on a generated 1000-node heterogeneous fleet with faults,
+// recovery, and steering all active — end to end through the campaign
+// engine. This is the scale the indexed allocation ledger exists for:
+// every scheduling pass walks a thousand-node free-capacity ledger.
+func BenchmarkKiloScreen(b *testing.B) {
+	benchKiloScreen(b)
 }
 
 // BenchmarkFaultSweep runs a one-seed, single-rate resilience sweep —

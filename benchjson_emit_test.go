@@ -21,7 +21,7 @@ import (
 
 // benchJSONPR is this trajectory point's PR number; bump it (and the
 // committed artifact name) in each future perf PR.
-const benchJSONPR = 4
+const benchJSONPR = 6
 
 func TestEmitBenchJSON(t *testing.T) {
 	path := os.Getenv("IMPRESS_BENCH_JSON")
@@ -40,8 +40,26 @@ func TestEmitBenchJSON(t *testing.T) {
 	t.Log("running BenchmarkMegaScreen")
 	results = append(results, benchjson.FromBenchmark("BenchmarkMegaScreen",
 		testing.Benchmark(benchMegaScreen)))
+	t.Log("running BenchmarkKiloScreen")
+	results = append(results, benchjson.FromBenchmark("BenchmarkKiloScreen",
+		testing.Benchmark(benchKiloScreen)))
+
+	// The allocation-ledger A/B: the indexed measurement is this PR's
+	// result, the retained linear scan is its baseline — same cell name
+	// on both sides, so the delta reads directly out of the file.
+	var baseline []benchjson.Result
+	for _, n := range []int{64, 512, 4096} {
+		n := n
+		name := fmt.Sprintf("BenchmarkAllocScaling/nodes=%d", n)
+		t.Log("running", name, "(indexed + linear baseline)")
+		results = append(results, benchjson.FromBenchmark(name,
+			testing.Benchmark(func(b *testing.B) { benchAllocScaling(b, n, true) })))
+		baseline = append(baseline, benchjson.FromBenchmark(name,
+			testing.Benchmark(func(b *testing.B) { benchAllocScaling(b, n, false) })))
+	}
 
 	f := benchjson.NewFile(benchJSONPR, results)
+	f.Baseline = baseline
 	f.Note = "emitted by TestEmitBenchJSON (testing.Benchmark default benchtime)"
 	// Regenerating over an existing trajectory file must not destroy the
 	// baseline measurements (and their methodology note) recorded when
@@ -49,7 +67,17 @@ func TestEmitBenchJSON(t *testing.T) {
 	// document. Carry them forward.
 	const reEmitted = " — results re-emitted by TestEmitBenchJSON (testing.Benchmark default benchtime)"
 	if prev, err := benchjson.ReadFile(path); err == nil && prev.PR == benchJSONPR {
-		f.Baseline = prev.Baseline
+		// The freshly measured linear-scan cells stay; only baselines this
+		// emit did not re-measure (pre-PR commit numbers) carry forward.
+		fresh := make(map[string]bool, len(f.Baseline))
+		for _, r := range f.Baseline {
+			fresh[r.Name] = true
+		}
+		for _, r := range prev.Baseline {
+			if !fresh[r.Name] {
+				f.Baseline = append(f.Baseline, r)
+			}
+		}
 		if prev.Note != "" {
 			f.Note = strings.TrimSuffix(prev.Note, reEmitted) + reEmitted
 		}

@@ -81,6 +81,7 @@ func run() int {
 			Fault:    common.Fault(),
 			Recovery: common.Recovery,
 			Steer:    common.Steer,
+			Fleet:    common.Fleet,
 		}, common.Parallel, csvPath)
 	}
 	if impress.SteerEnabled(common.Steer) {
@@ -88,6 +89,11 @@ func run() int {
 		// nothing to steer between. Reject rather than silently drop (an
 		// explicit "none" is the default and passes through).
 		fmt.Fprintln(os.Stderr, "-steer applies only to -scenario runs (the paper experiments are single-pilot)")
+		return 2
+	}
+	if common.Fleet != "" {
+		// Same reasoning: generated fleets exist for fleet-driven scenarios.
+		fmt.Fprintln(os.Stderr, "-fleet applies only to -scenario runs (the paper experiments run the paper's machine)")
 		return 2
 	}
 	seed := &common.Seed

@@ -93,7 +93,7 @@ func run() int {
 			compat := map[string]bool{
 				"scenario": true, "seed": true, "seeds": true,
 				"screen-size": true, "pilots": true, "nodes": true, "parallel": true,
-				"policy": true, "steer": true, "csv": sc.ReportCSV != nil,
+				"policy": true, "steer": true, "fleet": true, "csv": sc.ReportCSV != nil,
 				"cpuprofile": true, "memprofile": true,
 			}
 			for _, name := range cliflags.FaultFlagNames() {
@@ -120,6 +120,7 @@ func run() int {
 			Fault:       common.Fault(),
 			Recovery:    common.Recovery,
 			Steer:       common.Steer,
+			Fleet:       common.Fleet,
 		}, common.Parallel, *csvPath)
 	}
 
@@ -142,6 +143,16 @@ func run() int {
 	}
 	if split {
 		ps, err := impress.SplitPilots(cfg.Machine)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		cfg.Pilots = ps
+	}
+	if common.Fleet != "" {
+		// A fleet spec defines its own split placement with explicit node
+		// capacities, superseding -pilots/-nodes.
+		ps, err := impress.FleetPilots(common.Fleet, common.Seed)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			return 1

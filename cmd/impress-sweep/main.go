@@ -70,6 +70,7 @@ func run() int {
 		Fault:       common.Fault(),
 		Recovery:    common.Recovery,
 		Steer:       common.Steer,
+		Fleet:       common.Fleet,
 	}
 
 	if *scenario != "" {

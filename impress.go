@@ -185,6 +185,14 @@ func SplitPilots(machine MachineSpec) ([]PilotSpec, error) {
 	return core.SplitPilots(machine)
 }
 
+// FleetPilots generates a seed-deterministic heterogeneous fleet from a
+// node-template spec (e.g. "cpu:28c0g128m*900+gpu:8c4g32m*100") and
+// splits it into a CPU pilot and a GPU pilot with explicit per-node
+// capacities. Assign the result to Config.Pilots.
+func FleetPilots(spec string, seed uint64) ([]PilotSpec, error) {
+	return campaign.FleetPilots(spec, seed)
+}
+
 // RunAdaptive executes an IM-RP campaign over targets.
 func RunAdaptive(targets []*Target, cfg Config) (*Result, error) {
 	return core.RunAdaptive(targets, cfg)

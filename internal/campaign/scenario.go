@@ -5,10 +5,12 @@ import (
 	"io"
 	"sort"
 	"sync"
+	"time"
 
 	"impress/internal/cluster"
 	"impress/internal/core"
 	"impress/internal/fault"
+	"impress/internal/fleet"
 	"impress/internal/report"
 	"impress/internal/sched"
 	"impress/internal/steer"
@@ -57,6 +59,12 @@ type Params struct {
 	// SplitPilots. The elastic-screen scenario rejects it at build time —
 	// racing every steering policy is its whole point.
 	Steer string
+	// Fleet is a node-template spec (internal/fleet syntax, e.g.
+	// "cpu:28c0g128m*900+gpu:8c4g32m*100") for scenarios that run on a
+	// generated heterogeneous fleet; empty keeps each scenario's default.
+	// Only the kilo-screen scenario consumes it today — like Targets for
+	// pair, other scenarios ignore it.
+	Fleet string
 }
 
 func (p Params) withDefaults() Params {
@@ -295,6 +303,88 @@ func faultSweepAt(seed uint64, rates []float64, p Params) ([]Campaign, error) {
 	return all, nil
 }
 
+// FleetPilots generates a seed-deterministic heterogeneous fleet from a
+// template spec (internal/fleet syntax) and splits it into the standard
+// two-pilot placement: a CPU pilot holding every GPU-less node and a GPU
+// pilot holding the rest, each with its explicit node capacities. The
+// same (spec, seed) pair yields the same pilots on every run.
+func FleetPilots(spec string, seed uint64) ([]core.PilotSpec, error) {
+	ts, err := fleet.ParseSpec(spec)
+	if err != nil {
+		return nil, err
+	}
+	caps, err := fleet.Generate(seed, ts)
+	if err != nil {
+		return nil, err
+	}
+	var cpu, gpu []cluster.NodeCapacity
+	for _, nc := range caps {
+		if nc.GPUs > 0 {
+			gpu = append(gpu, nc)
+		} else {
+			cpu = append(cpu, nc)
+		}
+	}
+	if len(cpu) == 0 || len(gpu) == 0 {
+		return nil, fmt.Errorf("campaign: fleet %q needs both CPU and GPU nodes for the split placement", spec)
+	}
+	return []core.PilotSpec{
+		{Name: "pilot-cpu", Machine: fleet.SpecFor("fleet-cpu", cpu), Nodes: cpu, Serves: []core.ResourceClass{core.ClassCPU}},
+		{Name: "pilot-gpu", Machine: fleet.SpecFor("fleet-gpu", gpu), Nodes: gpu, Serves: []core.ResourceClass{core.ClassGPU}},
+	}, nil
+}
+
+// The kilo-screen defaults: a 1000-node fleet — 900 CPU nodes shaped
+// like a full Amarel node, 100 GPU nodes shaped like the Amarel GPU
+// carve — with faults and steering on, so the indexed allocation ledger
+// is exercised at the scale it exists for, through every mutation path
+// (allocate/release/crash/repair/transfer).
+const (
+	kiloFleetSpec = "cpu:28c0g128m*900+gpu:8c4g32m*100"
+	kiloMinNodes  = 1000
+	kiloTargets   = 128
+)
+
+// kiloScreenAt builds one IM-RP screen campaign on a generated kilo-node
+// fleet.
+func kiloScreenAt(seed uint64, n int, p Params) (Campaign, error) {
+	targets, err := workload.MinedScreen(seed, n, workload.DefaultConfig())
+	if err != nil {
+		return Campaign{}, err
+	}
+	spec := p.Fleet
+	if spec == "" {
+		spec = kiloFleetSpec
+	}
+	pilots, err := FleetPilots(spec, seed)
+	if err != nil {
+		return Campaign{}, err
+	}
+	total := 0
+	for _, ps := range pilots {
+		total += len(ps.Nodes)
+	}
+	if total < kiloMinNodes {
+		return Campaign{}, fmt.Errorf("campaign: kilo-screen needs a fleet of >= %d nodes, got %d from %q", kiloMinNodes, total, spec)
+	}
+	// The machine override and split belong to the fleet, not to the
+	// Nodes/SplitPilots params applyExecution honours elsewhere.
+	cell := p
+	cell.Nodes = 0
+	cell.SplitPilots = false
+	cfg, err := applyExecution(core.AdaptiveConfig(seed), cell)
+	if err != nil {
+		return Campaign{}, err
+	}
+	cfg.Pilots = pilots
+	return Campaign{
+		Name:    fmt.Sprintf("kilo%d/seed%d", total, seed),
+		Seed:    seed,
+		Targets: targets,
+		Config:  cfg,
+	}, nil
+}
+
 // elasticNodes is the elastic-screen machine size: four Amarel nodes,
 // split into a 4-node CPU partition and a 4-node GPU partition, so the
 // steering layer has room to move nodes (a single-node split leaves
@@ -405,6 +495,38 @@ func init() {
 			p.SplitPilots = true
 			p = p.withDefaults()
 			c, err := screenAt(p.Seed, p.Targets, p)
+			if err != nil {
+				return nil, err
+			}
+			return []Campaign{c}, nil
+		},
+	}))
+	must(Register(Scenario{
+		Name: "kilo-screen",
+		Description: "one IM-RP screen campaign on a generated heterogeneous fleet of at least 1000 nodes " +
+			"(Fleet template spec, default 900 CPU + 100 GPU nodes) with faults and steering on by default — " +
+			"the kilo-node workload behind BenchmarkKiloScreen",
+		Build: func(p Params) ([]Campaign, error) {
+			// "Kilo" is about the fleet, not the screen: the node floor is
+			// enforced in kiloScreenAt, while Targets stays tunable so CI
+			// race smokes can run a reduced screen on the full fleet.
+			if p.Targets <= 0 {
+				p.Targets = kiloTargets
+			}
+			// Faults and steering default on — the scenario exists to drive
+			// every ledger mutation path (allocate/release/crash/repair/
+			// transfer) at scale. Explicit settings pass through.
+			if !p.Fault.Enabled() {
+				p.Fault = fault.Spec{TaskFailProb: 0.05, NodeMTBF: 24 * time.Hour}
+			}
+			if p.Recovery == "" {
+				p.Recovery = "elsewhere"
+			}
+			if p.Steer == "" {
+				p.Steer = "greedy"
+			}
+			p = p.withDefaults()
+			c, err := kiloScreenAt(p.Seed, p.Targets, p)
 			if err != nil {
 				return nil, err
 			}

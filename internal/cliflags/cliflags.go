@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"impress/internal/fault"
+	"impress/internal/fleet"
 	"impress/internal/sched"
 	"impress/internal/steer"
 )
@@ -68,6 +69,10 @@ type Common struct {
 	// Steer is the elastic-steering policy name ("" = none: pilot
 	// partitions stay frozen).
 	Steer string
+	// Fleet is a node-template spec (internal/fleet syntax) for
+	// fleet-driven scenarios like kilo-screen ("" = the scenario's
+	// default fleet).
+	Fleet string
 	// CPUProfile, when set, is the path a pprof CPU profile is written to
 	// for the whole command run.
 	CPUProfile string
@@ -104,6 +109,8 @@ func Register(fs *flag.FlagSet, o Options) *Common {
 		"fault-recovery policy: "+strings.Join(fault.Names(), ", ")+" (empty = none)")
 	fs.StringVar(&c.Steer, "steer", "",
 		"elastic steering policy for multi-pilot campaigns: "+strings.Join(steer.Names(), ", ")+" (empty = none: partitions stay frozen)")
+	fs.StringVar(&c.Fleet, "fleet", "",
+		"fleet template spec for fleet-driven scenarios, e.g. cpu:28c0g128m*900+gpu:8c4g32m*100 (empty = scenario default)")
 	fs.StringVar(&c.CPUProfile, "cpuprofile", "", "write a pprof CPU profile of the run to this path")
 	fs.StringVar(&c.MemProfile, "memprofile", "", "write a pprof allocation profile to this path at exit")
 	return c
@@ -165,6 +172,13 @@ func (c *Common) Validate() error {
 	}
 	if err := steer.Validate(c.Steer); err != nil {
 		return err
+	}
+	if c.Fleet != "" {
+		// Parse errors name the offending segment, so a long spec stays
+		// debuggable from the command line.
+		if _, err := fleet.ParseSpec(c.Fleet); err != nil {
+			return fmt.Errorf("-fleet: %w", err)
+		}
 	}
 	if c.withPilots {
 		if c.Nodes < 1 {

@@ -12,7 +12,6 @@ package cluster
 
 import (
 	"fmt"
-	"slices"
 )
 
 // Spec describes a homogeneous partition of nodes.
@@ -152,16 +151,95 @@ type Cluster struct {
 	// The pilot agent compares it against the value latched by its last
 	// blocked scheduling pass to skip passes that provably place nothing.
 	freed uint64
+
+	// homeShapes are the distinct node shapes present at construction —
+	// the envelope Fits promises. AddNode deliberately never widens it:
+	// capacity borrowed from a differently shaped partition must not
+	// change what the pilot accepts (see Fits).
+	homeShapes []NodeCapacity
+
+	// idx is the segment-tree allocation index (see index.go); nil in
+	// linear-reference mode, where every query falls back to the original
+	// O(nodes) scans. The linear mode is kept as the A/B baseline for the
+	// allocation benchmarks and as the oracle the randomized differential
+	// suite replays against.
+	idx *ledgerIndex
+
+	// Aggregate ledger counters, maintained incrementally on every
+	// mutation path so the indexed mode answers FreeCores/CapCores/
+	// ActiveNodeCount/UpNodeCount-style queries in O(1). Free totals
+	// include down nodes (their ledger stays exact across crash/repair);
+	// removed nodes hold zeroed capacity and contribute nothing.
+	freeCores, freeGPUs, freeMemGB int
+	capCores, capGPUs, capMemGB    int
+	activeNodes, upNodes           int
+
+	// avoidEpoch/epoch implement O(1) per-node exclusion checks for
+	// AllocateExcluding: each call with a non-empty avoid list bumps the
+	// epoch and stamps the avoided IDs, so the hot loop compares one
+	// uint64 instead of scanning the avoid slice per node.
+	avoidEpoch []uint64
+	epoch      uint64
 }
 
-// New builds a cluster with all resources free.
+// New builds an indexed cluster with all resources free.
 func New(spec Spec) (*Cluster, error) {
+	return newCluster(spec, nil, true)
+}
+
+// NewLinear builds a cluster that answers every query with the original
+// linear scans — the reference mode the indexed ledger is differentially
+// tested and benchmarked against.
+func NewLinear(spec Spec) (*Cluster, error) {
+	return newCluster(spec, nil, false)
+}
+
+// NewWithNodes builds an indexed cluster whose nodes take explicit,
+// possibly heterogeneous capacities (a generated fleet). spec.Nodes must
+// equal len(caps); spec's per-node fields describe the nominal partition
+// for reporting, while Fits derives its envelope from the distinct
+// capacities actually present.
+func NewWithNodes(spec Spec, caps []NodeCapacity) (*Cluster, error) {
+	if caps == nil {
+		caps = []NodeCapacity{}
+	}
+	return newCluster(spec, caps, true)
+}
+
+// NewLinearWithNodes is NewWithNodes in linear-reference mode.
+func NewLinearWithNodes(spec Spec, caps []NodeCapacity) (*Cluster, error) {
+	if caps == nil {
+		caps = []NodeCapacity{}
+	}
+	return newCluster(spec, caps, false)
+}
+
+func newCluster(spec Spec, caps []NodeCapacity, indexed bool) (*Cluster, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
-	c := &Cluster{spec: spec}
-	nc := NodeCapacity{Cores: spec.CoresPerNode, GPUs: spec.GPUsPerNode, MemGB: spec.MemGBPerNode}
-	for i := 0; i < spec.Nodes; i++ {
+	if caps == nil {
+		nc := NodeCapacity{Cores: spec.CoresPerNode, GPUs: spec.GPUsPerNode, MemGB: spec.MemGBPerNode}
+		caps = make([]NodeCapacity, spec.Nodes)
+		for i := range caps {
+			caps[i] = nc
+		}
+	} else {
+		if len(caps) != spec.Nodes {
+			return nil, fmt.Errorf("cluster: spec %q declares %d nodes but %d capacities given", spec.Name, spec.Nodes, len(caps))
+		}
+		for i, nc := range caps {
+			if nc.Cores < 0 || nc.GPUs < 0 || nc.MemGB < 0 || (nc.Cores == 0 && nc.GPUs == 0) {
+				return nil, fmt.Errorf("cluster: node %d has degenerate capacity %+v", i, nc)
+			}
+		}
+	}
+	c := &Cluster{
+		spec:       spec,
+		nodes:      make([]*Node, 0, len(caps)),
+		avoidEpoch: make([]uint64, len(caps)),
+	}
+	for i, nc := range caps {
 		c.nodes = append(c.nodes, &Node{
 			ID:        i,
 			cap:       nc,
@@ -169,9 +247,35 @@ func New(spec Spec) (*Cluster, error) {
 			freeGPUs:  nc.GPUs,
 			freeMemGB: nc.MemGB,
 		})
+		c.capCores += nc.Cores
+		c.capGPUs += nc.GPUs
+		c.capMemGB += nc.MemGB
+		c.freeCores += nc.Cores
+		c.freeGPUs += nc.GPUs
+		c.freeMemGB += nc.MemGB
+		c.addHomeShape(nc)
+	}
+	c.activeNodes = len(caps)
+	c.upNodes = len(caps)
+	if indexed {
+		c.rebuildIndex()
 	}
 	return c, nil
 }
+
+// addHomeShape records a distinct construction-time node shape.
+func (c *Cluster) addHomeShape(nc NodeCapacity) {
+	for _, s := range c.homeShapes {
+		if s == nc {
+			return
+		}
+	}
+	c.homeShapes = append(c.homeShapes, nc)
+}
+
+// Indexed reports whether this cluster runs the segment-tree allocation
+// index (false for the linear-reference mode).
+func (c *Cluster) Indexed() bool { return c.idx != nil }
 
 // Spec returns the cluster's specification.
 func (c *Cluster) Spec() Spec { return c.spec }
@@ -194,18 +298,24 @@ type Request struct {
 }
 
 // Fits reports whether the request could ever be satisfied by an empty
-// node of the cluster's *nominal* spec — used by the scheduler to fail
-// impossible tasks instead of wedging the queue. The check deliberately
-// ignores elastic node transfers: a pilot whose nodes are currently
-// loaned out still accepts tasks that fit its home shape (they queue
-// until steering brings capacity back), and capacity borrowed from a
-// differently shaped partition never widens what the pilot promises.
+// node of one of the cluster's *home* shapes (the distinct capacities
+// present at construction) — used by the scheduler to fail impossible
+// tasks instead of wedging the queue. For homogeneous partitions this is
+// exactly the nominal-spec check. The check deliberately ignores elastic
+// node transfers: a pilot whose nodes are currently loaned out still
+// accepts tasks that fit its home shapes (they queue until steering
+// brings capacity back), and capacity borrowed from a differently shaped
+// partition never widens what the pilot promises.
 func (c *Cluster) Fits(r Request) bool {
-	return r.Cores <= c.spec.CoresPerNode &&
-		r.GPUs <= c.spec.GPUsPerNode &&
-		r.MemGB <= c.spec.MemGBPerNode &&
-		r.Cores >= 0 && r.GPUs >= 0 && r.MemGB >= 0 &&
-		(r.Cores > 0 || r.GPUs > 0)
+	if r.Cores < 0 || r.GPUs < 0 || r.MemGB < 0 || (r.Cores == 0 && r.GPUs == 0) {
+		return false
+	}
+	for _, s := range c.homeShapes {
+		if r.Cores <= s.Cores && r.GPUs <= s.GPUs && r.MemGB <= s.MemGB {
+			return true
+		}
+	}
+	return false
 }
 
 // Allocate reserves resources on the first node that fits (first-fit
@@ -218,23 +328,74 @@ func (c *Cluster) Allocate(r Request) *Alloc {
 // AllocateExcluding is Allocate with a per-request node exclusion list —
 // the mechanism behind the "resubmit-elsewhere" recovery policy, which
 // retries a failed task away from the node that killed it. A nil or
-// empty list is exactly Allocate.
+// empty list is exactly Allocate. Exclusion is O(1) per node visit: the
+// avoided IDs are stamped into a reusable epoch array up front instead of
+// being rescanned for every candidate.
 func (c *Cluster) AllocateExcluding(r Request, avoid []int) *Alloc {
 	if !c.Fits(r) {
 		return nil
 	}
+	excluding := len(avoid) > 0
+	if excluding {
+		c.epoch++
+		for _, id := range avoid {
+			if id >= 0 && id < len(c.avoidEpoch) {
+				c.avoidEpoch[id] = c.epoch
+			}
+		}
+	}
+	if c.idx != nil {
+		id := c.idxFirstFit(1, r, excluding)
+		if id < 0 {
+			return nil
+		}
+		return c.take(c.nodes[id], r)
+	}
 	for _, n := range c.nodes {
-		if n.down || n.removed || slices.Contains(avoid, n.ID) {
+		if n.down || n.removed || (excluding && c.avoidEpoch[n.ID] == c.epoch) {
 			continue
 		}
 		if n.freeCores >= r.Cores && n.freeGPUs >= r.GPUs && n.freeMemGB >= r.MemGB {
-			n.freeCores -= r.Cores
-			n.freeGPUs -= r.GPUs
-			n.freeMemGB -= r.MemGB
-			return &Alloc{Node: n, Cores: r.Cores, GPUs: r.GPUs, MemGB: r.MemGB}
+			return c.take(n, r)
 		}
 	}
 	return nil
+}
+
+// take commits a placement decision on node n.
+func (c *Cluster) take(n *Node, r Request) *Alloc {
+	n.freeCores -= r.Cores
+	n.freeGPUs -= r.GPUs
+	n.freeMemGB -= r.MemGB
+	c.freeCores -= r.Cores
+	c.freeGPUs -= r.GPUs
+	c.freeMemGB -= r.MemGB
+	if c.idx != nil {
+		c.updateLeaf(n.ID)
+	}
+	return &Alloc{Node: n, Cores: r.Cores, GPUs: r.GPUs, MemGB: r.MemGB}
+}
+
+// VisitFitting calls f for every allocatable node whose free counters can
+// host r right now, in ascending node ID order, passing the node's ID and
+// free counters. f returning false stops the walk. In indexed mode only
+// fitting subtrees are descended, so scheduling policies rank candidates
+// in O(matches · log n) instead of rescanning the full node snapshot.
+func (c *Cluster) VisitFitting(r Request, f func(id int, free Request) bool) {
+	if c.idx != nil {
+		c.idxVisitFitting(1, r, f)
+		return
+	}
+	for _, n := range c.nodes {
+		if n.down || n.removed {
+			continue
+		}
+		if n.freeCores >= r.Cores && n.freeGPUs >= r.GPUs && n.freeMemGB >= r.MemGB {
+			if !f(n.ID, Request{Cores: n.freeCores, GPUs: n.freeGPUs, MemGB: n.freeMemGB}) {
+				return
+			}
+		}
+	}
 }
 
 // Release returns an allocation's resources to its node. Releasing twice
@@ -254,6 +415,12 @@ func (c *Cluster) Release(a *Alloc) {
 	a.Node.freeMemGB += a.MemGB
 	if a.Node.freeCores > a.Node.cap.Cores || a.Node.freeGPUs > a.Node.cap.GPUs || a.Node.freeMemGB > a.Node.cap.MemGB {
 		panic("cluster: release exceeds node capacity")
+	}
+	c.freeCores += a.Cores
+	c.freeGPUs += a.GPUs
+	c.freeMemGB += a.MemGB
+	if c.idx != nil {
+		c.updateLeaf(a.Node.ID)
 	}
 }
 
@@ -299,12 +466,26 @@ func (c *Cluster) SetNodeDown(id int) {
 	if n.removed {
 		panic(fmt.Sprintf("cluster: node %d crashed after transfer out", id))
 	}
+	if n.down {
+		return
+	}
 	n.down = true
+	c.upNodes--
+	if c.idx != nil {
+		c.updateLeaf(id)
+	}
 }
 
 // SetNodeUp returns a repaired node to allocation.
 func (c *Cluster) SetNodeUp(id int) {
-	c.node(id).down = false
+	n := c.node(id)
+	if n.down {
+		n.down = false
+		c.upNodes++
+		if c.idx != nil {
+			c.updateLeaf(id)
+		}
+	}
 	c.freed++
 }
 
@@ -327,6 +508,9 @@ func (c *Cluster) NodeCap(id int) NodeCapacity {
 // ActiveNodeCount returns the number of nodes currently part of the
 // cluster (not transferred away). Down nodes count: they come back.
 func (c *Cluster) ActiveNodeCount() int {
+	if c.idx != nil {
+		return c.activeNodes
+	}
 	t := 0
 	for _, n := range c.nodes {
 		if !n.removed {
@@ -342,6 +526,9 @@ func (c *Cluster) ActiveNodeCount() int {
 // capacity for a whole repair window, even though a down node still
 // "belongs" to it.
 func (c *Cluster) UpNodeCount() int {
+	if c.idx != nil {
+		return c.upNodes
+	}
 	t := 0
 	for _, n := range c.nodes {
 		if !n.removed && !n.down {
@@ -355,6 +542,13 @@ func (c *Cluster) UpNodeCount() int {
 // transfer out, ascending: up, still part of the cluster, and holding no
 // in-flight allocations.
 func (c *Cluster) TransferableNodes() []int {
+	if c.idx != nil {
+		total := c.idx.idle[1]
+		if total == 0 {
+			return nil
+		}
+		return c.idxAppendIdle(1, make([]int, 0, total))
+	}
 	var out []int
 	for _, n := range c.nodes {
 		if n.idle() {
@@ -385,6 +579,17 @@ func (c *Cluster) RemoveNode(id int) (NodeCapacity, error) {
 	n.removed = true
 	n.cap = NodeCapacity{}
 	n.freeCores, n.freeGPUs, n.freeMemGB = 0, 0, 0
+	c.capCores -= nc.Cores
+	c.capGPUs -= nc.GPUs
+	c.capMemGB -= nc.MemGB
+	c.freeCores -= nc.Cores
+	c.freeGPUs -= nc.GPUs
+	c.freeMemGB -= nc.MemGB
+	c.activeNodes--
+	c.upNodes--
+	if c.idx != nil {
+		c.updateLeaf(id)
+	}
 	return nc, nil
 }
 
@@ -404,7 +609,23 @@ func (c *Cluster) AddNode(nc NodeCapacity) int {
 		freeMemGB: nc.MemGB,
 	}
 	c.nodes = append(c.nodes, n)
+	c.avoidEpoch = append(c.avoidEpoch, 0)
+	c.capCores += nc.Cores
+	c.capGPUs += nc.GPUs
+	c.capMemGB += nc.MemGB
+	c.freeCores += nc.Cores
+	c.freeGPUs += nc.GPUs
+	c.freeMemGB += nc.MemGB
+	c.activeNodes++
+	c.upNodes++
 	c.freed++
+	if c.idx != nil {
+		if len(c.nodes) > c.idx.size {
+			c.rebuildIndex()
+		} else {
+			c.updateLeaf(n.ID)
+		}
+	}
 	return n.ID
 }
 
@@ -412,6 +633,9 @@ func (c *Cluster) AddNode(nc NodeCapacity) int {
 // active (non-removed) nodes — Spec().TotalCores() until steering moves
 // a node.
 func (c *Cluster) CapCores() int {
+	if c.idx != nil {
+		return c.capCores
+	}
 	t := 0
 	for _, n := range c.nodes {
 		t += n.cap.Cores
@@ -421,6 +645,9 @@ func (c *Cluster) CapCores() int {
 
 // CapGPUs returns the current total GPU capacity across active nodes.
 func (c *Cluster) CapGPUs() int {
+	if c.idx != nil {
+		return c.capGPUs
+	}
 	t := 0
 	for _, n := range c.nodes {
 		t += n.cap.GPUs
@@ -430,6 +657,9 @@ func (c *Cluster) CapGPUs() int {
 
 // CapMemGB returns the current total memory capacity across active nodes.
 func (c *Cluster) CapMemGB() int {
+	if c.idx != nil {
+		return c.capMemGB
+	}
 	t := 0
 	for _, n := range c.nodes {
 		t += n.cap.MemGB
@@ -457,6 +687,9 @@ func (c *Cluster) node(id int) *Node {
 
 // FreeCores returns the total free cores across nodes.
 func (c *Cluster) FreeCores() int {
+	if c.idx != nil {
+		return c.freeCores
+	}
 	t := 0
 	for _, n := range c.nodes {
 		t += n.freeCores
@@ -466,6 +699,9 @@ func (c *Cluster) FreeCores() int {
 
 // FreeGPUs returns the total free GPUs across nodes.
 func (c *Cluster) FreeGPUs() int {
+	if c.idx != nil {
+		return c.freeGPUs
+	}
 	t := 0
 	for _, n := range c.nodes {
 		t += n.freeGPUs
@@ -475,6 +711,9 @@ func (c *Cluster) FreeGPUs() int {
 
 // FreeMemGB returns the total free memory across nodes.
 func (c *Cluster) FreeMemGB() int {
+	if c.idx != nil {
+		return c.freeMemGB
+	}
 	t := 0
 	for _, n := range c.nodes {
 		t += n.freeMemGB

@@ -1,0 +1,227 @@
+package cluster
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"impress/internal/xrand"
+)
+
+// differentialCaps builds a random heterogeneous fleet: a few distinct
+// shapes, GPU nodes mixed in, never degenerate.
+func differentialCaps(rng *xrand.RNG, n int) []NodeCapacity {
+	shapes := make([]NodeCapacity, 1+rng.Intn(4))
+	for i := range shapes {
+		shapes[i] = NodeCapacity{
+			Cores: 2 + rng.Intn(30),
+			GPUs:  rng.Intn(5),
+			MemGB: 8 + rng.Intn(120),
+		}
+	}
+	caps := make([]NodeCapacity, n)
+	for i := range caps {
+		caps[i] = shapes[rng.Intn(len(shapes))]
+	}
+	return caps
+}
+
+// pair is the differential harness: the indexed cluster under test and
+// the retained linear-scan cluster as the behavioral oracle, driven
+// through identical operation sequences.
+type pair struct {
+	t        *testing.T
+	idx, lin *Cluster
+	// outstanding allocations, index-aligned across the two clusters
+	idxAllocs, linAllocs []*Alloc
+}
+
+func (p *pair) check(step int) {
+	p.t.Helper()
+	type agg struct {
+		FreeCores, FreeGPUs, FreeMemGB int
+		CapCores, CapGPUs, CapMemGB    int
+		Active, Up                     int
+	}
+	a := agg{p.idx.FreeCores(), p.idx.FreeGPUs(), p.idx.FreeMemGB(),
+		p.idx.CapCores(), p.idx.CapGPUs(), p.idx.CapMemGB(),
+		p.idx.ActiveNodeCount(), p.idx.UpNodeCount()}
+	b := agg{p.lin.FreeCores(), p.lin.FreeGPUs(), p.lin.FreeMemGB(),
+		p.lin.CapCores(), p.lin.CapGPUs(), p.lin.CapMemGB(),
+		p.lin.ActiveNodeCount(), p.lin.UpNodeCount()}
+	if a != b {
+		p.t.Fatalf("step %d: aggregates diverged\nindexed %+v\nlinear  %+v", step, a, b)
+	}
+	if !reflect.DeepEqual(p.idx.NodeFree(), p.lin.NodeFree()) {
+		p.t.Fatalf("step %d: per-node free counters diverged", step)
+	}
+	if !reflect.DeepEqual(p.idx.TransferableNodes(), p.lin.TransferableNodes()) {
+		p.t.Fatalf("step %d: transferable sets diverged: %v vs %v",
+			step, p.idx.TransferableNodes(), p.lin.TransferableNodes())
+	}
+}
+
+// visit collects VisitFitting's (id, free) sequence for comparison.
+func visit(c *Cluster, r Request) []string {
+	var out []string
+	c.VisitFitting(r, func(id int, free Request) bool {
+		out = append(out, fmt.Sprintf("%d:%v", id, free))
+		return true
+	})
+	return out
+}
+
+func randomRequest(rng *xrand.RNG) Request {
+	r := Request{Cores: rng.Intn(20), GPUs: rng.Intn(4), MemGB: rng.Intn(96)}
+	if r.Cores == 0 && r.GPUs == 0 {
+		r.Cores = 1
+	}
+	return r
+}
+
+// TestDifferentialIndexedVsLinear drives the indexed ledger and the
+// linear-scan reference through identical randomized operation sequences
+// — allocate, exclusion-list allocate, release, crash, repair, transfer
+// out, transfer in — asserting after every step that both pick the same
+// nodes and report the same counters. This is the byte-identity argument
+// for the segment tree, made executable.
+func TestDifferentialIndexedVsLinear(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 5, 8, 17, 33, 64} {
+		for seed := uint64(1); seed <= 3; seed++ {
+			t.Run(fmt.Sprintf("n=%d/seed=%d", n, seed), func(t *testing.T) {
+				runDifferential(t, n, seed)
+			})
+		}
+	}
+}
+
+func runDifferential(t *testing.T, n int, seed uint64) {
+	rng := xrand.New(xrand.Derive(seed, "differential"))
+	caps := differentialCaps(rng, n)
+	spec := Spec{Nodes: n, CoresPerNode: 1}
+	for _, nc := range caps {
+		spec.CoresPerNode = max(spec.CoresPerNode, nc.Cores)
+		spec.GPUsPerNode = max(spec.GPUsPerNode, nc.GPUs)
+		spec.MemGBPerNode = max(spec.MemGBPerNode, nc.MemGB)
+	}
+	idx, err := NewWithNodes(spec, caps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lin, err := NewLinearWithNodes(spec, caps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !idx.Indexed() || lin.Indexed() {
+		t.Fatal("constructor mode mixed up")
+	}
+	p := &pair{t: t, idx: idx, lin: lin}
+
+	for step := 0; step < 400; step++ {
+		switch op := rng.Intn(10); {
+		case op < 4: // allocate, sometimes with an exclusion list
+			r := randomRequest(rng)
+			var avoid []int
+			if rng.Bool(0.3) {
+				for k := rng.Intn(4); k >= 0; k-- {
+					// Out-of-range IDs deliberately included: both paths
+					// must ignore them.
+					avoid = append(avoid, rng.Intn(idx.NodeCount()+2)-1)
+				}
+			}
+			ai := idx.AllocateExcluding(r, avoid)
+			al := lin.AllocateExcluding(r, avoid)
+			if (ai == nil) != (al == nil) {
+				t.Fatalf("step %d: placement diverged for %+v avoid %v: indexed %v linear %v",
+					step, r, avoid, ai, al)
+			}
+			if ai != nil {
+				if ai.Node.ID != al.Node.ID {
+					t.Fatalf("step %d: chose node %d, linear chose %d (req %+v avoid %v)",
+						step, ai.Node.ID, al.Node.ID, r, avoid)
+				}
+				p.idxAllocs = append(p.idxAllocs, ai)
+				p.linAllocs = append(p.linAllocs, al)
+			}
+		case op < 6: // release a random outstanding allocation
+			if len(p.idxAllocs) == 0 {
+				continue
+			}
+			k := rng.Intn(len(p.idxAllocs))
+			idx.Release(p.idxAllocs[k])
+			lin.Release(p.linAllocs[k])
+			last := len(p.idxAllocs) - 1
+			p.idxAllocs[k], p.idxAllocs = p.idxAllocs[last], p.idxAllocs[:last]
+			p.linAllocs[k], p.linAllocs = p.linAllocs[last], p.linAllocs[:last]
+		case op < 7: // crash or repair a random non-removed node
+			id := rng.Intn(idx.NodeCount())
+			if idx.NodeIsRemoved(id) {
+				continue
+			}
+			if rng.Bool(0.5) {
+				idx.SetNodeDown(id)
+				lin.SetNodeDown(id)
+			} else {
+				idx.SetNodeUp(id)
+				lin.SetNodeUp(id)
+			}
+		case op < 8: // transfer a node out (refusals must agree too)
+			id := rng.Intn(idx.NodeCount())
+			ci, ei := idx.RemoveNode(id)
+			cl, el := lin.RemoveNode(id)
+			if (ei == nil) != (el == nil) || ci != cl {
+				t.Fatalf("step %d: RemoveNode(%d) diverged: (%v,%v) vs (%v,%v)",
+					step, id, ci, ei, cl, el)
+			}
+		case op < 9: // transfer a node in
+			nc := NodeCapacity{Cores: 1 + rng.Intn(16), GPUs: rng.Intn(3), MemGB: 4 + rng.Intn(64)}
+			ii := idx.AddNode(nc)
+			il := lin.AddNode(nc)
+			if ii != il {
+				t.Fatalf("step %d: AddNode IDs diverged: %d vs %d", step, ii, il)
+			}
+		default: // probe: VisitFitting order and contents must match
+			r := randomRequest(rng)
+			vi, vl := visit(idx, r), visit(lin, r)
+			if !reflect.DeepEqual(vi, vl) {
+				t.Fatalf("step %d: VisitFitting diverged for %+v:\nindexed %v\nlinear  %v", step, r, vi, vl)
+			}
+		}
+		p.check(step)
+	}
+}
+
+// TestAllocationHotPathAllocates pins the hot path's allocation budget:
+// one *Alloc per placement, nothing else — epoch-stamped exclusion and
+// the segment-tree descent are both allocation-free.
+func TestAllocationHotPathAllocates(t *testing.T) {
+	for _, mode := range []struct {
+		name string
+		mk   func(Spec) (*Cluster, error)
+	}{{"indexed", New}, {"linear", NewLinear}} {
+		c, err := mode.mk(AmarelCluster(8))
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := Request{Cores: 4, GPUs: 1, MemGB: 8}
+		avoid := []int{0, 1, 2}
+
+		if got := testing.AllocsPerRun(100, func() {
+			a := c.Allocate(r)
+			c.Release(a)
+		}); got > 1 {
+			t.Errorf("%s Allocate+Release: %.1f allocs/op, want <= 1", mode.name, got)
+		}
+		if got := testing.AllocsPerRun(100, func() {
+			a := c.AllocateExcluding(r, avoid)
+			c.Release(a)
+		}); got > 1 {
+			t.Errorf("%s AllocateExcluding: %.1f allocs/op, want <= 1", mode.name, got)
+		}
+		if got := testing.AllocsPerRun(100, func() {
+			c.VisitFitting(r, func(int, Request) bool { return true })
+		}); got > 0 {
+			t.Errorf("%s VisitFitting: %.1f allocs/op, want 0", mode.name, got)
+		}
+	}
+}

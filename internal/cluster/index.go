@@ -1,0 +1,162 @@
+package cluster
+
+// The indexed ledger: a segment tree over node IDs storing, per subtree,
+// the maximum free cores / GPUs / memGB of any allocatable (up,
+// non-removed) node and the count of idle (transferable) nodes. First-fit
+// descends left-first to the lowest-ID node that can host a request in
+// O(log n) — byte-identical placement order to the linear scan it
+// replaces, which the golden traces and the randomized differential suite
+// pin. The same tree answers fits-anywhere, the free/capacity aggregates
+// (via counters maintained alongside), TransferableNodes, and the
+// VisitFitting iterator the scheduling policies rank against.
+//
+// Down, removed, and padding leaves report -1 in all three max
+// dimensions; every valid request has all dimensions >= 0, so the
+// conjunctive host check fails on them without a separate mask array.
+//
+// The per-dimension maxima of an inner node over-approximate feasibility
+// (the max cores and max GPUs may live on different leaves), so descent
+// is a pruned backtracking DFS, not a single root-to-leaf walk. The
+// pruning keeps it O(log n) amortized on real allocation streams: a
+// subtree is entered only when some leaf below it is plausible.
+
+type ledgerIndex struct {
+	// size is the leaf count: the smallest power of two >= the node
+	// count. Tree arrays are 1-based with 2*size slots; leaf i lives at
+	// size+i, the children of pos are 2*pos and 2*pos+1.
+	size     int
+	maxCores []int
+	maxGPUs  []int
+	maxMem   []int
+	// idle counts transferable leaves per subtree (leaf value 1 or 0).
+	idle []int
+}
+
+func newLedgerIndex(n int) *ledgerIndex {
+	size := 1
+	for size < n {
+		size <<= 1
+	}
+	li := &ledgerIndex{
+		size:     size,
+		maxCores: make([]int, 2*size),
+		maxGPUs:  make([]int, 2*size),
+		maxMem:   make([]int, 2*size),
+		idle:     make([]int, 2*size),
+	}
+	// Padding leaves beyond the node count hold the sentinel forever.
+	for pos := size; pos < 2*size; pos++ {
+		li.maxCores[pos], li.maxGPUs[pos], li.maxMem[pos] = -1, -1, -1
+	}
+	return li
+}
+
+// setLeaf refreshes node i's leaf from its ledger state.
+func (li *ledgerIndex) setLeaf(i int, n *Node) {
+	pos := li.size + i
+	if n.down || n.removed {
+		li.maxCores[pos], li.maxGPUs[pos], li.maxMem[pos] = -1, -1, -1
+		li.idle[pos] = 0
+		return
+	}
+	li.maxCores[pos] = n.freeCores
+	li.maxGPUs[pos] = n.freeGPUs
+	li.maxMem[pos] = n.freeMemGB
+	if n.idle() {
+		li.idle[pos] = 1
+	} else {
+		li.idle[pos] = 0
+	}
+}
+
+// pull recomputes an inner position from its children.
+func (li *ledgerIndex) pull(pos int) {
+	l, r := 2*pos, 2*pos+1
+	li.maxCores[pos] = max(li.maxCores[l], li.maxCores[r])
+	li.maxGPUs[pos] = max(li.maxGPUs[l], li.maxGPUs[r])
+	li.maxMem[pos] = max(li.maxMem[l], li.maxMem[r])
+	li.idle[pos] = li.idle[l] + li.idle[r]
+}
+
+// canHost reports whether some leaf under pos might host r. Exact at
+// leaves, an over-approximation at inner nodes.
+func (li *ledgerIndex) canHost(pos int, r Request) bool {
+	return li.maxCores[pos] >= r.Cores && li.maxGPUs[pos] >= r.GPUs && li.maxMem[pos] >= r.MemGB
+}
+
+// rebuildIndex (re)derives the whole tree from the node slice — used at
+// construction and when AddNode outgrows the leaf array. O(n), amortized
+// across the doubling.
+func (c *Cluster) rebuildIndex() {
+	li := newLedgerIndex(len(c.nodes))
+	for i, n := range c.nodes {
+		li.setLeaf(i, n)
+	}
+	for pos := li.size - 1; pos >= 1; pos-- {
+		li.pull(pos)
+	}
+	c.idx = li
+}
+
+// updateLeaf refreshes node id's leaf and its root path after a ledger
+// mutation. O(log n), allocation-free.
+func (c *Cluster) updateLeaf(id int) {
+	li := c.idx
+	li.setLeaf(id, c.nodes[id])
+	for pos := (li.size + id) >> 1; pos >= 1; pos >>= 1 {
+		li.pull(pos)
+	}
+}
+
+// idxFirstFit returns the lowest node ID under pos that can host r (and,
+// when excluding, is not stamped with the current avoid epoch), or -1.
+// Left-first descent makes the result identical to the linear first-fit
+// scan.
+func (c *Cluster) idxFirstFit(pos int, r Request, excluding bool) int {
+	li := c.idx
+	if !li.canHost(pos, r) {
+		return -1
+	}
+	if pos >= li.size {
+		id := pos - li.size
+		if excluding && c.avoidEpoch[id] == c.epoch {
+			return -1
+		}
+		return id
+	}
+	if id := c.idxFirstFit(2*pos, r, excluding); id >= 0 {
+		return id
+	}
+	return c.idxFirstFit(2*pos+1, r, excluding)
+}
+
+// idxVisitFitting walks the fitting leaves under pos in ascending ID
+// order, reporting false as soon as f stops the iteration.
+func (c *Cluster) idxVisitFitting(pos int, r Request, f func(id int, free Request) bool) bool {
+	li := c.idx
+	if !li.canHost(pos, r) {
+		return true
+	}
+	if pos >= li.size {
+		id := pos - li.size
+		n := c.nodes[id]
+		return f(id, Request{Cores: n.freeCores, GPUs: n.freeGPUs, MemGB: n.freeMemGB})
+	}
+	if !c.idxVisitFitting(2*pos, r, f) {
+		return false
+	}
+	return c.idxVisitFitting(2*pos+1, r, f)
+}
+
+// idxAppendIdle appends the IDs of idle leaves under pos, ascending.
+func (c *Cluster) idxAppendIdle(pos int, out []int) []int {
+	li := c.idx
+	if li.idle[pos] == 0 {
+		return out
+	}
+	if pos >= li.size {
+		return append(out, pos-li.size)
+	}
+	out = c.idxAppendIdle(2*pos, out)
+	return c.idxAppendIdle(2*pos+1, out)
+}

@@ -268,14 +268,15 @@ func (c *Coordinator) Run() (*Result, error) {
 	c.specs = c.cfg.pilotSpecs()
 	totalCores, totalGPUs := 0, 0
 	for _, ps := range c.specs {
-		totalCores += ps.Machine.TotalCores()
-		totalGPUs += ps.Machine.TotalGPUs()
+		totalCores += ps.TotalCores()
+		totalGPUs += ps.TotalGPUs()
 	}
 	c.rec = trace.NewRecorder(totalCores, totalGPUs, 0)
 	pm := pilot.NewPilotManager(c.engine, c.rec)
 	for _, ps := range c.specs {
 		p, err := pm.Submit(pilot.PilotDescription{
 			Machine:  ps.Machine,
+			Nodes:    ps.Nodes,
 			Cost:     c.cfg.Pipeline.Cost,
 			Backfill: c.cfg.Backfill,
 			Policy:   ps.policyFor(c.cfg),

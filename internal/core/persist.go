@@ -80,10 +80,13 @@ type trajectoryJSON struct {
 	Sub           bool              `json:"sub"`
 }
 
-// resultJSON is the on-disk campaign record.
+// resultJSON is the on-disk campaign record. New fields must be
+// additive (omitempty or zero-defaulting) so schema 1 files written
+// before them still decode.
 type resultJSON struct {
 	Schema            int                          `json:"schema"`
 	Approach          string                       `json:"approach"`
+	Seed              uint64                       `json:"seed"`
 	Targets           []string                     `json:"targets"`
 	Trajectories      []trajectoryJSON             `json:"trajectories"`
 	PoolEntries       []ga.Entry                   `json:"pool_entries"`
@@ -103,6 +106,12 @@ type resultJSON struct {
 	TotalCores        int                          `json:"total_cores"`
 	TotalGPUs         int                          `json:"total_gpus"`
 	Pilots            []string                     `json:"pilots,omitempty"`
+	Policies          []string                     `json:"policies,omitempty"`
+	Recoveries        []string                     `json:"recoveries,omitempty"`
+	Steerings         []string                     `json:"steerings,omitempty"`
+	Steer             string                       `json:"steer,omitempty"`
+	NodeTransfers     int                          `json:"node_transfers,omitempty"`
+	Faults            *FaultStats                  `json:"faults,omitempty"`
 	Starting          map[string]landscape.Metrics `json:"starting"`
 	FinalBest         map[string]landscape.Metrics `json:"final_best"`
 	FinalDesigns      map[string]*structureJSON    `json:"final_designs"`
@@ -116,6 +125,7 @@ func (r *Result) WriteJSON(w io.Writer, includeTasks bool) error {
 	dto := resultJSON{
 		Schema:            resultSchemaVersion,
 		Approach:          r.Approach,
+		Seed:              r.Seed,
 		Targets:           r.Targets,
 		PoolEntries:       r.Pool.Entries(),
 		BasePipelines:     r.BasePipelines,
@@ -134,6 +144,12 @@ func (r *Result) WriteJSON(w io.Writer, includeTasks bool) error {
 		TotalCores:        r.TotalCores,
 		TotalGPUs:         r.TotalGPUs,
 		Pilots:            r.Pilots,
+		Policies:          r.Policies,
+		Recoveries:        r.Recoveries,
+		Steerings:         r.Steerings,
+		Steer:             r.Steer,
+		NodeTransfers:     r.NodeTransfers,
+		Faults:            r.Faults,
 		Starting:          r.Starting,
 		FinalBest:         r.FinalBest,
 		FinalDesigns:      make(map[string]*structureJSON, len(r.FinalDesigns)),
@@ -176,6 +192,7 @@ func ReadResultJSON(rd io.Reader) (*Result, error) {
 	}
 	res := &Result{
 		Approach:          dto.Approach,
+		Seed:              dto.Seed,
 		Targets:           dto.Targets,
 		Pool:              ga.NewPool(),
 		BasePipelines:     dto.BasePipelines,
@@ -194,6 +211,12 @@ func ReadResultJSON(rd io.Reader) (*Result, error) {
 		TotalCores:        dto.TotalCores,
 		TotalGPUs:         dto.TotalGPUs,
 		Pilots:            dto.Pilots,
+		Policies:          dto.Policies,
+		Recoveries:        dto.Recoveries,
+		Steerings:         dto.Steerings,
+		Steer:             dto.Steer,
+		NodeTransfers:     dto.NodeTransfers,
+		Faults:            dto.Faults,
 		Starting:          dto.Starting,
 		FinalBest:         dto.FinalBest,
 		FinalDesigns:      make(map[string]*protein.Structure, len(dto.FinalDesigns)),

@@ -2,8 +2,12 @@ package core
 
 import (
 	"bytes"
+	"reflect"
 	"strings"
 	"testing"
+
+	"impress/internal/cluster"
+	"impress/internal/fault"
 )
 
 func TestResultJSONRoundTrip(t *testing.T) {
@@ -55,6 +59,68 @@ func TestResultJSONRoundTrip(t *testing.T) {
 	}
 	if len(loaded.TaskRecords) != len(res.TaskRecords) {
 		t.Fatal("task records lost despite includeTasks")
+	}
+}
+
+// TestResultJSONRoundTripExecutionRecord pins the execution-layer fields
+// — seed, per-pilot policy/recovery/steering labels, node transfers, and
+// the full fault accounting — through a write/read cycle. A campaign with
+// all three subsystems on exercises every optional field at once.
+func TestResultJSONRoundTripExecutionRecord(t *testing.T) {
+	targets := smallTargets(t, 3, 27)
+	cfg := fastAdaptive(27)
+	cfg.Machine = cluster.AmarelCluster(2)
+	cfg = splitConfig(t, cfg)
+	cfg.Steer = "greedy"
+	cfg.Recovery = "retry"
+	cfg.Fault = fault.Spec{TaskFailProb: 0.15}
+	res, err := RunAdaptive(targets, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The source result must actually carry the record being pinned.
+	if res.Seed != 27 || res.Steer != "greedy" || res.Faults == nil {
+		t.Fatalf("campaign record incomplete: seed %d steer %q faults %v", res.Seed, res.Steer, res.Faults)
+	}
+	if len(res.Policies) != 2 || len(res.Recoveries) != 2 || len(res.Steerings) != 2 {
+		t.Fatalf("per-pilot labels incomplete: %v %v %v", res.Policies, res.Recoveries, res.Steerings)
+	}
+	if res.Faults.TaskFaults == 0 {
+		t.Fatal("fault injection produced no task faults at rate 0.15")
+	}
+
+	// includeTasks keeps the per-attempt records, so derived quantities
+	// that walk them (Goodput) survive too.
+	var buf bytes.Buffer
+	if err := res.WriteJSON(&buf, true); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ReadResultJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Seed != res.Seed {
+		t.Errorf("seed: %d != %d", loaded.Seed, res.Seed)
+	}
+	if !reflect.DeepEqual(loaded.Policies, res.Policies) ||
+		!reflect.DeepEqual(loaded.Recoveries, res.Recoveries) ||
+		!reflect.DeepEqual(loaded.Steerings, res.Steerings) {
+		t.Errorf("per-pilot labels lost: %v %v %v", loaded.Policies, loaded.Recoveries, loaded.Steerings)
+	}
+	if loaded.Steer != res.Steer || loaded.NodeTransfers != res.NodeTransfers {
+		t.Errorf("steering record lost: %q/%d != %q/%d",
+			loaded.Steer, loaded.NodeTransfers, res.Steer, res.NodeTransfers)
+	}
+	if loaded.SteerLabel() != res.SteerLabel() ||
+		loaded.PolicyLabel() != res.PolicyLabel() ||
+		loaded.RecoveryLabel() != res.RecoveryLabel() {
+		t.Error("derived labels diverged after round trip")
+	}
+	if !reflect.DeepEqual(loaded.Faults, res.Faults) {
+		t.Errorf("fault stats lost:\n got %+v\nwant %+v", loaded.Faults, res.Faults)
+	}
+	if loaded.Goodput() != res.Goodput() {
+		t.Errorf("goodput diverged: %v != %v", loaded.Goodput(), res.Goodput())
 	}
 }
 

@@ -48,6 +48,12 @@ type PilotSpec struct {
 	Name string
 	// Machine is the resource partition this pilot acquires.
 	Machine cluster.Spec
+	// Nodes, when non-empty, gives every node an explicit (possibly
+	// heterogeneous) capacity — a generated fleet. Machine.Nodes must
+	// equal len(Nodes); Machine's per-node fields then describe the
+	// nominal envelope (fleet.SpecFor). Empty keeps the homogeneous
+	// partition Machine describes.
+	Nodes []cluster.NodeCapacity
 	// Serves restricts the task classes routed here; empty serves all.
 	Serves []ResourceClass
 	// Policy overrides the campaign's scheduling policy for this pilot
@@ -91,6 +97,32 @@ func (ps PilotSpec) steerFor(cfg Config) string {
 		return ps.Steer
 	}
 	return cfg.Steer
+}
+
+// TotalCores returns the pilot's aggregate core capacity: the sum over
+// explicit fleet nodes when present, else the machine spec's total.
+func (ps PilotSpec) TotalCores() int {
+	if len(ps.Nodes) == 0 {
+		return ps.Machine.TotalCores()
+	}
+	t := 0
+	for _, nc := range ps.Nodes {
+		t += nc.Cores
+	}
+	return t
+}
+
+// TotalGPUs returns the pilot's aggregate GPU capacity, fleet-aware like
+// TotalCores.
+func (ps PilotSpec) TotalGPUs() int {
+	if len(ps.Nodes) == 0 {
+		return ps.Machine.TotalGPUs()
+	}
+	t := 0
+	for _, nc := range ps.Nodes {
+		t += nc.GPUs
+	}
+	return t
 }
 
 // ServesClass reports whether the spec accepts tasks of class c.
@@ -138,7 +170,10 @@ func validatePilots(specs []PilotSpec) error {
 		if err := ps.Machine.Validate(); err != nil {
 			return err
 		}
-		if ps.ServesClass(ClassGPU) && len(ps.Serves) > 0 && ps.Machine.TotalGPUs() == 0 {
+		if len(ps.Nodes) > 0 && len(ps.Nodes) != ps.Machine.Nodes {
+			return fmt.Errorf("core: pilot %q declares %d nodes but %d explicit capacities", ps.Name, ps.Machine.Nodes, len(ps.Nodes))
+		}
+		if ps.ServesClass(ClassGPU) && len(ps.Serves) > 0 && ps.TotalGPUs() == 0 {
 			return fmt.Errorf("core: pilot %q serves GPU tasks but has no GPUs", ps.Name)
 		}
 		for _, c := range []ResourceClass{ClassCPU, ClassGPU} {

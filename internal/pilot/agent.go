@@ -161,8 +161,16 @@ func (a *agent) schedulePass() {
 		items = append(items, sched.Task{UID: a.queue[i].UID, Req: requestOf(a.queue[i])})
 	}
 	a.scratchItems = items
-	a.scratchNodes = a.cluster.NodeFreeInto(a.scratchNodes)
-	order := a.policy.Order(items, sched.Capacity{Nodes: a.scratchNodes})
+	var free sched.Capacity
+	if a.cluster.Indexed() {
+		// Indexed ledger: policies rank only the nodes that can host each
+		// request, straight off the segment tree — no per-pass snapshot.
+		free.Ledger = a.cluster
+	} else {
+		a.scratchNodes = a.cluster.NodeFreeInto(a.scratchNodes)
+		free.Nodes = a.scratchNodes
+	}
+	order := a.policy.Order(items, free)
 
 	started := resetBools(&a.scratchStarted, n)
 	offered := resetBools(&a.scratchOffered, n)

@@ -44,6 +44,11 @@ func (s PilotState) String() string {
 type PilotDescription struct {
 	// Machine is the resource to acquire.
 	Machine cluster.Spec
+	// Nodes, when non-empty, gives every node an explicit (possibly
+	// heterogeneous) capacity — a generated fleet. Machine.Nodes must
+	// equal len(Nodes). Empty acquires the homogeneous partition Machine
+	// describes.
+	Nodes []cluster.NodeCapacity
 	// Cost supplies runtime overhead models (bootstrap, exec setup).
 	Cost costmodel.Params
 	// Backfill lets the agent scheduler start later queued tasks when
@@ -129,7 +134,12 @@ func (pm *PilotManager) Submit(pd PilotDescription) (*Pilot, error) {
 	if err := steer.Validate(steerName); err != nil {
 		return nil, err
 	}
-	clu, err := cluster.New(pd.Machine)
+	var clu *cluster.Cluster
+	if len(pd.Nodes) > 0 {
+		clu, err = cluster.NewWithNodes(pd.Machine, pd.Nodes)
+	} else {
+		clu, err = cluster.New(pd.Machine)
+	}
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,115 @@
+package sched
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"impress/internal/cluster"
+	"impress/internal/xrand"
+)
+
+// randomCluster builds a heterogeneous cluster and walks it into a
+// random mid-campaign state: partial allocations and a few crashed
+// nodes.
+func randomCluster(t *testing.T, rng *xrand.RNG, n int) *cluster.Cluster {
+	t.Helper()
+	caps := make([]cluster.NodeCapacity, n)
+	for i := range caps {
+		caps[i] = cluster.NodeCapacity{
+			Cores: 2 + rng.Intn(28),
+			GPUs:  rng.Intn(5),
+			MemGB: 8 + rng.Intn(120),
+		}
+	}
+	spec := cluster.Spec{Nodes: n, CoresPerNode: 1}
+	for _, nc := range caps {
+		spec.CoresPerNode = max(spec.CoresPerNode, nc.Cores)
+		spec.GPUsPerNode = max(spec.GPUsPerNode, nc.GPUs)
+		spec.MemGBPerNode = max(spec.MemGBPerNode, nc.MemGB)
+	}
+	c, err := cluster.NewWithNodes(spec, caps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3*n; i++ {
+		c.Allocate(cluster.Request{Cores: 1 + rng.Intn(8), GPUs: rng.Intn(2), MemGB: rng.Intn(32)})
+	}
+	for i := 0; i < n; i++ {
+		if rng.Bool(0.15) {
+			c.SetNodeDown(i)
+		}
+	}
+	return c
+}
+
+// TestOrderEquivalentUnderLedger pins the contract of Capacity's two
+// forms: every policy must produce the same order whether it scores fits
+// against the full node snapshot (the debug/reference mode) or through
+// the cluster's indexed ledger. Random queues over random mid-campaign
+// cluster states, all registered policies.
+func TestOrderEquivalentUnderLedger(t *testing.T) {
+	for _, name := range Names() {
+		t.Run(name, func(t *testing.T) {
+			p, err := New(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for seed := uint64(1); seed <= 5; seed++ {
+				rng := xrand.New(xrand.Derive(seed, "sched-ledger"))
+				c := randomCluster(t, rng, 4+rng.Intn(29))
+				queue := make([]Task, 1+rng.Intn(12))
+				for i := range queue {
+					queue[i] = Task{
+						UID: uint64(i + 1),
+						Req: cluster.Request{Cores: 1 + rng.Intn(16), GPUs: rng.Intn(4), MemGB: rng.Intn(64)},
+					}
+				}
+				snapshot := p.Order(queue, Capacity{Nodes: c.NodeFree()})
+				indexed := p.Order(queue, Capacity{Ledger: c})
+				if !reflect.DeepEqual(snapshot, indexed) {
+					t.Fatalf("seed %d: order diverged\nqueue    %+v\nsnapshot %v\nindexed  %v",
+						seed, queue, snapshot, indexed)
+				}
+			}
+		})
+	}
+}
+
+// TestLedgerFormMatchesLinearCluster crosses the two equivalences: a
+// linear-mode cluster feeding the snapshot form must order identically
+// to an indexed cluster (same state) feeding the Ledger form.
+func TestLedgerFormMatchesLinearCluster(t *testing.T) {
+	spec := cluster.AmarelCluster(6)
+	idx, err := cluster.New(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lin, err := cluster.NewLinear(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := xrand.New(xrand.Derive(7, "sched-ledger-linear"))
+	for i := 0; i < 40; i++ {
+		r := cluster.Request{Cores: 1 + rng.Intn(10), GPUs: rng.Intn(2), MemGB: rng.Intn(32)}
+		ai, al := idx.Allocate(r), lin.Allocate(r)
+		if (ai == nil) != (al == nil) {
+			t.Fatalf("state setup diverged at step %d", i)
+		}
+	}
+	queue := queueOf(
+		req(4, 1, 8), req(28, 0, 64), req(1, 0, 1), req(8, 4, 32),
+		req(2, 0, 16), req(14, 2, 48), req(1, 1, 4),
+	)
+	for _, name := range Names() {
+		p, err := New(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a := p.Order(queue, Capacity{Ledger: idx})
+		b := p.Order(queue, Capacity{Nodes: lin.NodeFree()})
+		if fmt.Sprint(a) != fmt.Sprint(b) {
+			t.Errorf("%s: indexed-ledger order %v != linear-snapshot order %v", name, a, b)
+		}
+	}
+}

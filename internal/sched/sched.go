@@ -34,6 +34,17 @@ type Task struct {
 	Req cluster.Request
 }
 
+// Ledger is the indexed view of a pilot's free capacity: it enumerates
+// only the nodes that can host a given request, ascending by node ID.
+// *cluster.Cluster implements it (via its segment-tree index), keeping
+// this package below internal/cluster's consumers in the dependency
+// order.
+type Ledger interface {
+	// VisitFitting calls f for every node whose free counters can host r,
+	// in ascending node ID order; f returning false stops the walk.
+	VisitFitting(r cluster.Request, f func(id int, free cluster.Request) bool)
+}
+
 // Capacity is a snapshot of the pilot's free-capacity ledger at the start
 // of a scheduling pass.
 type Capacity struct {
@@ -41,6 +52,12 @@ type Capacity struct {
 	// span nodes, so fit decisions are per-node; aggregate free capacity
 	// is the sum over Nodes.
 	Nodes []cluster.Request
+	// Ledger, when non-nil, replaces Nodes for fit scoring: policies
+	// query only the nodes that can actually host each request instead of
+	// rescanning the full snapshot. The two forms are equivalent (the
+	// equivalence suite pins it); Nodes stays as the debug/reference mode
+	// and the form linear-mode clusters feed.
+	Ledger Ledger
 }
 
 // Policy decides the order in which the agent offers resources to queued
@@ -86,9 +103,21 @@ func slack(node, req cluster.Request) (score int, ok bool) {
 }
 
 // minSlack returns the tightest fit of req across the free nodes; ok is
-// false when no node currently fits.
+// false when no node currently fits. With an indexed Ledger only fitting
+// nodes are visited — the minimum is identical to the full scan because
+// non-fitting nodes never contribute a score, and both walks ascend node
+// IDs with a strict < comparison.
 func minSlack(free Capacity, req cluster.Request) (score int, ok bool) {
 	best, found := 0, false
+	if free.Ledger != nil {
+		free.Ledger.VisitFitting(req, func(_ int, n cluster.Request) bool {
+			if s, fits := slack(n, req); fits && (!found || s < best) {
+				best, found = s, true
+			}
+			return true
+		})
+		return best, found
+	}
 	for _, n := range free.Nodes {
 		if s, fits := slack(n, req); fits && (!found || s < best) {
 			best, found = s, true
