@@ -555,3 +555,42 @@ func BenchmarkElasticScreen(b *testing.B) {
 		b.ReportMetric(frozen/best, "best-speedup")
 	}
 }
+
+// BenchmarkChaosSweep runs a one-seed chaos grid — the fault-free
+// frozen baseline plus every recovery × steering cell on the labeled
+// default fleet under the fixed correlated-failure mix — reporting mean
+// goodput over the faulty cells and the total correlated-event counts.
+// CI runs it at -benchtime 1x as the failure-domain smoke test.
+func BenchmarkChaosSweep(b *testing.B) {
+	campaigns, err := impress.BuildScenario("chaos-sweep", impress.ScenarioParams{
+		Seed:    42,
+		Seeds:   1,
+		Targets: 8,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var outs []impress.CampaignOutcome
+	for i := 0; i < b.N; i++ {
+		outs = impress.RunCampaigns(campaigns, 0)
+		for _, o := range outs {
+			if o.Err != nil {
+				b.Fatalf("campaign %s failed: %v", o.Name, o.Err)
+			}
+		}
+	}
+	goodput, faulty := 0.0, 0
+	outages, maints := 0, 0
+	for _, o := range outs {
+		if f := o.Result.Faults; f != nil {
+			goodput += o.Result.Goodput()
+			faulty++
+			outages += f.DomainOutages
+			maints += f.MaintenanceWindows
+		}
+	}
+	b.ReportMetric(float64(len(outs)), "campaigns")
+	b.ReportMetric(100*goodput/float64(faulty), "goodput-%")
+	b.ReportMetric(float64(outages), "outages")
+	b.ReportMetric(float64(maints), "maint-windows")
+}

@@ -17,6 +17,7 @@
 //	impress-run -scenario stress -seeds 4 -screen-size 16 -parallel 8
 //	impress-run -scenario policy-compare -seeds 4 -parallel 8
 //	impress-run -scenario fault-sweep -seeds 4 -parallel 8 -mtbf 12h -csv resilience.csv
+//	impress-run -scenario chaos-sweep -seeds 2 -parallel 8 -csv chaos.csv
 //	impress-run -scenario mega-screen -cpuprofile cpu.prof -memprofile mem.prof
 package main
 

@@ -85,9 +85,18 @@ type (
 	// ScenarioParams parameterizes scenario construction.
 	ScenarioParams = campaign.Params
 	// FaultSpec declares a campaign's failure models (per-task faults,
-	// node MTBF crashes, walltime expiry); the zero value injects
-	// nothing. Assign to Config.Fault or ScenarioParams.Fault.
+	// node MTBF crashes, walltime expiry, correlated domain failures);
+	// the zero value injects nothing. Assign to Config.Fault or
+	// ScenarioParams.Fault.
 	FaultSpec = fault.Spec
+	// DomainSpec declares the correlated failure-domain models
+	// (FaultSpec.Domains): whole-domain outages, same-domain crash
+	// cascades, and scheduled maintenance windows.
+	DomainSpec = fault.DomainSpec
+	// Maintenance is one scheduled maintenance window over a failure
+	// domain (DomainSpec.Maintenance; parse flag syntax with
+	// ParseMaintenance).
+	Maintenance = fault.Maintenance
 	// FaultStats is a campaign's fault-injection and recovery record
 	// (Result.Faults; nil without failure models).
 	FaultStats = core.FaultStats
@@ -264,6 +273,12 @@ func RecoveryPolicies() []string { return fault.Names() }
 // is valid and means "none" (failures surface).
 func ValidateRecovery(name string) error { return fault.Validate(name) }
 
+// ParseMaintenance parses a scheduled-maintenance description of the
+// form "rackA@6h/30m/24h,rackB@12h/1h" — comma-separated
+// domain@start/duration[/every] windows — into DomainSpec.Maintenance
+// entries. An empty string yields nil windows.
+func ParseMaintenance(s string) ([]Maintenance, error) { return fault.ParseMaintenance(s) }
+
 // SteeringPolicies returns the registered elastic-steering policy names
 // (sorted): the values accepted by Config.Steer, PilotSpec.Steer,
 // ScenarioParams.Steer, and the cmds' -steer flag.
@@ -295,4 +310,14 @@ func Resilience(results []*Result) string { return report.Resilience(results) }
 // ResilienceCSV writes one resilience CSV row per result.
 func ResilienceCSV(w io.Writer, results []*Result) error {
 	return report.ResilienceCSV(w, results)
+}
+
+// Chaos renders the correlated-failure comparison table over campaign
+// results grouped by (recovery policy, steering policy), against their
+// fault-free baselines — the report behind the chaos-sweep scenario.
+func Chaos(results []*Result) string { return report.Chaos(results) }
+
+// ChaosCSV writes one chaos CSV row per result.
+func ChaosCSV(w io.Writer, results []*Result) error {
+	return report.ChaosCSV(w, results)
 }

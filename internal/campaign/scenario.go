@@ -60,10 +60,11 @@ type Params struct {
 	// racing every steering policy is its whole point.
 	Steer string
 	// Fleet is a node-template spec (internal/fleet syntax, e.g.
-	// "cpu:28c0g128m*900+gpu:8c4g32m*100") for scenarios that run on a
-	// generated heterogeneous fleet; empty keeps each scenario's default.
-	// Only the kilo-screen scenario consumes it today — like Targets for
-	// pair, other scenarios ignore it.
+	// "cpu:28c0g128m*900+gpu:8c4g32m*100@rackB", with optional @domain
+	// failure-domain labels) for scenarios that run on a generated
+	// heterogeneous fleet; empty keeps each scenario's default. The
+	// kilo-screen and chaos-sweep scenarios consume it — like Targets
+	// for pair, other scenarios ignore it.
 	Fleet string
 }
 
@@ -385,6 +386,102 @@ func kiloScreenAt(seed uint64, n int, p Params) (Campaign, error) {
 	}, nil
 }
 
+// The chaos-sweep defaults: a small labeled fleet spread over four
+// failure domains (two CPU racks, two GPU racks) and a correlated
+// failure mix that exercises every domain model at once — per-node
+// crashes, whole-rack outages, same-rack cascades, and a recurring
+// maintenance window on rackA. The CPU nodes are deliberately lean
+// (8 cores fits the largest CPU stage exactly) so losing a rack builds
+// real queue pressure and the steering dimension of the grid has
+// eligible GPU→CPU transfers to race.
+const chaosFleetSpec = "cpuA:8c0g32m*3@rackA+cpuB:8c0g32m*3@rackB+gpuC:8c4g32m*2@rackC+gpuD:8c4g32m*2@rackD"
+
+// chaosFaultSpec is the fixed failure mix every chaos-sweep cell races
+// under (the grid varies recovery and steering, not the failure model).
+func chaosFaultSpec() fault.Spec {
+	return fault.Spec{
+		TaskFailProb: 0.02,
+		NodeMTBF:     12 * time.Hour,
+		Domains: fault.DomainSpec{
+			OutageMTBF:     24 * time.Hour,
+			OutageDuration: 45 * time.Minute,
+			CascadeProb:    0.25,
+			Maintenance: []fault.Maintenance{
+				{Domain: "rackA", Start: 8 * time.Hour, Duration: 45 * time.Minute, Every: 24 * time.Hour},
+			},
+		},
+	}
+}
+
+// chaosSweepAt builds one seed's slice of the chaos grid: a fault-free
+// frozen baseline plus one campaign per (recovery policy, steering
+// policy) cell, all over the identical screen workload on the identical
+// labeled fleet — the workload and the failure schedule are the control
+// variables, recovery and steering are the treatments.
+func chaosSweepAt(seed uint64, n int, p Params) ([]Campaign, error) {
+	targets, err := workload.MinedScreen(seed, n, workload.DefaultConfig())
+	if err != nil {
+		return nil, err
+	}
+	spec := p.Fleet
+	if spec == "" {
+		spec = chaosFleetSpec
+	}
+	pilots, err := FleetPilots(spec, seed)
+	if err != nil {
+		return nil, err
+	}
+	mkConfig := func(cell Params) (core.Config, error) {
+		// The machine and split belong to the fleet, not to the
+		// Nodes/SplitPilots params applyExecution honours elsewhere.
+		cell.Nodes = 0
+		cell.SplitPilots = false
+		cfg, err := applyExecution(core.AdaptiveConfig(seed), cell)
+		if err != nil {
+			return core.Config{}, err
+		}
+		cfg.Pilots = pilots
+		return cfg, nil
+	}
+	base := p
+	base.Fault = fault.Spec{}
+	base.Recovery = ""
+	base.Steer = "none"
+	baseCfg, err := mkConfig(base)
+	if err != nil {
+		return nil, err
+	}
+	all := []Campaign{{
+		Name:    fmt.Sprintf("chaos/baseline/seed%d", seed),
+		Seed:    seed,
+		Targets: targets,
+		Config:  baseCfg,
+	}}
+	fs := p.Fault
+	if !fs.Enabled() {
+		fs = chaosFaultSpec()
+	}
+	for _, rec := range fault.Names() {
+		for _, st := range steer.Names() {
+			cell := p
+			cell.Fault = fs
+			cell.Recovery = rec
+			cell.Steer = st
+			cfg, err := mkConfig(cell)
+			if err != nil {
+				return nil, err
+			}
+			all = append(all, Campaign{
+				Name:    fmt.Sprintf("chaos/%s+%s/seed%d", rec, st, seed),
+				Seed:    seed,
+				Targets: targets,
+				Config:  cfg,
+			})
+		}
+	}
+	return all, nil
+}
+
 // elasticNodes is the elastic-screen machine size: four Amarel nodes,
 // split into a 4-node CPU partition and a 4-node GPU partition, so the
 // steering layer has room to move nodes (a single-node split leaves
@@ -617,5 +714,42 @@ func init() {
 		},
 		Report:    report.Resilience,
 		ReportCSV: report.ResilienceCSV,
+	}))
+	must(Register(Scenario{
+		Name: "chaos-sweep",
+		Description: "races every fault-recovery policy × every steering policy on a small labeled fleet under a fixed " +
+			"correlated-failure mix (node crashes, whole-rack outages, same-rack cascades, a recurring maintenance window), " +
+			"against a fault-free frozen baseline, and reports goodput / makespan inflation / crash+outage counts",
+		Build: func(p Params) ([]Campaign, error) {
+			if p.Recovery != "" {
+				return nil, fmt.Errorf("campaign: chaos-sweep races every recovery policy; a fixed policy %q does not apply", p.Recovery)
+			}
+			// An explicit "none" is the frozen default (and a cell of the
+			// race anyway); only an actual steering policy is a conflict.
+			if steer.Enabled(p.Steer) {
+				return nil, fmt.Errorf("campaign: chaos-sweep races every steering policy; a fixed policy %q does not apply", p.Steer)
+			}
+			// The grid is recovery × steering wide, so the defaults keep
+			// each cell small: a short screen and a narrow seed sweep.
+			// Explicit values pass through.
+			if p.Targets <= 0 {
+				p.Targets = 8
+			}
+			if p.Seeds <= 0 {
+				p.Seeds = 2
+			}
+			p = p.withDefaults()
+			var all []Campaign
+			for i := 0; i < p.Seeds; i++ {
+				cs, err := chaosSweepAt(p.Seed+uint64(i), p.Targets, p)
+				if err != nil {
+					return nil, err
+				}
+				all = append(all, cs...)
+			}
+			return all, nil
+		},
+		Report:    report.Chaos,
+		ReportCSV: report.ChaosCSV,
 	}))
 }

@@ -66,6 +66,19 @@ type Common struct {
 	Repair time.Duration
 	// Recovery is the fault-recovery policy name ("" = none).
 	Recovery string
+	// OutageMTBF enables the correlated domain-outage model (0 = off).
+	OutageMTBF time.Duration
+	// OutageDur is the whole-domain outage duration (0 = the repair
+	// window).
+	OutageDur time.Duration
+	// Cascade is the per-neighbor cascade probability after a crash
+	// (0 = off; needs -mtbf).
+	Cascade float64
+	// CascadeWindow bounds the cascade follow-up delay (0 = default).
+	CascadeWindow time.Duration
+	// MaintenanceSpec is the scheduled-maintenance description
+	// (fault.ParseMaintenance syntax; "" = none).
+	MaintenanceSpec string
 	// Steer is the elastic-steering policy name ("" = none: pilot
 	// partitions stay frozen).
 	Steer string
@@ -107,6 +120,12 @@ func Register(fs *flag.FlagSet, o Options) *Common {
 	fs.DurationVar(&c.Repair, "repair", fault.DefaultNodeRepair, "node repair window after a crash (with -mtbf)")
 	fs.StringVar(&c.Recovery, "recovery", "",
 		"fault-recovery policy: "+strings.Join(fault.Names(), ", ")+" (empty = none)")
+	fs.DurationVar(&c.OutageMTBF, "outage-mtbf", 0, "mean time between whole-domain outages per failure domain (0 = no domain outages)")
+	fs.DurationVar(&c.OutageDur, "outage-dur", 0, "domain outage duration (0 = the -repair window)")
+	fs.Float64Var(&c.Cascade, "cascade", 0, "probability a node crash cascades to each same-domain neighbor (0 = off; needs -mtbf)")
+	fs.DurationVar(&c.CascadeWindow, "cascade-window", 0, "window cascade follow-up crashes land in (0 = default)")
+	fs.StringVar(&c.MaintenanceSpec, "maintenance", "",
+		"scheduled maintenance windows, e.g. rackA@6h/30m/24h,rackB@12h/1h (domain@start/duration[/every]; empty = none)")
 	fs.StringVar(&c.Steer, "steer", "",
 		"elastic steering policy for multi-pilot campaigns: "+strings.Join(steer.Names(), ", ")+" (empty = none: partitions stay frozen)")
 	fs.StringVar(&c.Fleet, "fleet", "",
@@ -180,6 +199,9 @@ func (c *Common) Validate() error {
 			return fmt.Errorf("-fleet: %w", err)
 		}
 	}
+	if _, err := fault.ParseMaintenance(c.MaintenanceSpec); err != nil {
+		return fmt.Errorf("-maintenance: %w", err)
+	}
 	if c.withPilots {
 		if c.Nodes < 1 {
 			return fmt.Errorf("-nodes %d: machine needs at least one node", c.Nodes)
@@ -198,16 +220,30 @@ func (c *Common) Validate() error {
 func (c *Common) SplitPilots() bool { return c.Pilots == "split" }
 
 // Fault assembles the failure-model spec the shared flags describe.
+// Call Validate first: a malformed -maintenance spec is reported there
+// and silently dropped here.
 func (c *Common) Fault() fault.Spec {
 	s := fault.Spec{TaskFailProb: c.FaultRate}
 	if c.MTBF > 0 {
 		s.NodeMTBF = c.MTBF
 		s.NodeRepair = c.Repair
 	}
+	s.Domains = fault.DomainSpec{
+		OutageMTBF:     c.OutageMTBF,
+		OutageDuration: c.OutageDur,
+		CascadeProb:    c.Cascade,
+		CascadeWindow:  c.CascadeWindow,
+	}
+	s.Domains.Maintenance, _ = fault.ParseMaintenance(c.MaintenanceSpec)
 	return s
 }
 
 // FaultFlagNames lists the flag names this package registers for the
 // fault subsystem — commands that gate scenario-incompatible flags use
 // it to keep their allowlists in one place.
-func FaultFlagNames() []string { return []string{"fault", "mtbf", "repair", "recovery"} }
+func FaultFlagNames() []string {
+	return []string{
+		"fault", "mtbf", "repair", "recovery",
+		"outage-mtbf", "outage-dur", "cascade", "cascade-window", "maintenance",
+	}
+}

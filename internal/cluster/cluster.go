@@ -112,6 +112,11 @@ type NodeCapacity struct {
 	Cores int
 	GPUs  int
 	MemGB int
+	// Domain is the node's failure-domain label (rack, zone, power
+	// feed); the fault layer's correlated models group nodes by it.
+	// Empty means unlabeled. The label travels with the node through
+	// elastic transfers, exactly like its resource shape.
+	Domain string
 }
 
 // Node is one compute node's capacity and free-resource counters.
@@ -503,6 +508,17 @@ func (c *Cluster) NodeCap(id int) NodeCapacity {
 		return NodeCapacity{}
 	}
 	return n.cap
+}
+
+// NodeDomain returns a node's failure-domain label ("" for unlabeled or
+// removed nodes) — the grouping key of the fault layer's correlated
+// failure models.
+func (c *Cluster) NodeDomain(id int) string {
+	n := c.node(id)
+	if n.removed {
+		return ""
+	}
+	return n.cap.Domain
 }
 
 // ActiveNodeCount returns the number of nodes currently part of the

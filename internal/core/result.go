@@ -126,11 +126,26 @@ type FaultStats struct {
 	// chain ended after exactly that many attempts.
 	AttemptsHistogram map[int]int
 	// DowntimeNodeSeconds is the total node downtime injected by crash
-	// repair windows, in node-seconds.
+	// repair windows, correlated outages, and maintenance, in
+	// node-seconds.
 	DowntimeNodeSeconds float64
 	// WastedCoreHours is allocation time consumed by attempts that did
 	// not complete (failed or cancelled after placement), in core-hours.
 	WastedCoreHours float64
+	// PilotCrashes maps pilot name -> node crashes booked by that pilot's
+	// injector. Crashes attribute to the node's owner at the instant of
+	// the crash, so a node that crashes after being steered in counts
+	// against the receiving pilot. Nil when no crashes occurred.
+	PilotCrashes map[string]int
+	// DomainCrashes maps failure-domain label -> node crashes in that
+	// domain ("" collects unlabeled nodes). Nil without domain labels or
+	// crashes.
+	DomainCrashes map[string]int
+	// DomainOutages counts whole-domain outage events across all pilots.
+	DomainOutages int
+	// MaintenanceWindows counts opened maintenance windows across all
+	// pilots.
+	MaintenanceWindows int
 }
 
 // MaxAttempts returns the deepest attempt chain observed.
@@ -218,10 +233,25 @@ func (c *Coordinator) buildFaultStats(res *Result) *FaultStats {
 		KilledPipelines:   len(c.killed),
 		AttemptsHistogram: tl.AttemptHist,
 	}
-	for _, p := range c.pilots {
+	for i, p := range c.pilots {
 		crashes, downtime := p.FaultCounts()
 		fs.NodeCrashes += crashes
 		fs.DowntimeNodeSeconds += downtime.Seconds()
+		if crashes > 0 {
+			if fs.PilotCrashes == nil {
+				fs.PilotCrashes = make(map[string]int)
+			}
+			fs.PilotCrashes[c.specs[i].Name] += crashes
+		}
+		for dom, n := range p.FaultCountsByDomain() {
+			if fs.DomainCrashes == nil {
+				fs.DomainCrashes = make(map[string]int)
+			}
+			fs.DomainCrashes[dom] += n
+		}
+		outages, maints := p.DomainEventCounts()
+		fs.DomainOutages += outages
+		fs.MaintenanceWindows += maints
 	}
 	_, fs.WastedCoreHours = res.usefulWasted()
 	return fs

@@ -23,6 +23,12 @@
 //   - walltime expiry: the pilot's allocation ends, failing all queued
 //     and in-flight work.
 //
+// Plus the correlated, domain-aware models (Spec.Domains): whole-domain
+// outages on a seeded schedule, crash cascades that drag same-domain
+// neighbors down, and scheduled maintenance windows declared as data —
+// the rack/zone failure bursts independent per-node MTBF chains cannot
+// express.
+//
 // Recovery is a Policy chosen per pilot, exactly like the agent's
 // scheduling policy (internal/sched): "none" surfaces every failure,
 // "retry" resubmits up to a fixed attempt budget, "backoff" retries with
@@ -93,6 +99,195 @@ type Spec struct {
 	// queued and in-flight work fails with KindWalltime (recoverable on
 	// another pilot, unlike the legacy cancellation walltime). 0 disables.
 	Walltime time.Duration
+	// Domains declares the correlated, domain-aware failure models
+	// (whole-domain outages, crash cascades, scheduled maintenance). The
+	// zero value disables them all. Domain membership comes from each
+	// node's capacity label (cluster.NodeCapacity.Domain); nodes without
+	// a label form the "" domain.
+	Domains DomainSpec
+}
+
+// DomainSpec declares the correlated failure models that act on failure
+// domains (racks, zones, power feeds) rather than on independent nodes.
+// Every model draws from seed-derived streams in virtual time, so a
+// domain-faulted campaign replays bit-for-bit, and the zero value is
+// inert.
+type DomainSpec struct {
+	// OutageMTBF enables whole-domain outages: each failure domain draws
+	// exponentially distributed times between outages with this mean,
+	// and an outage takes every up node of the domain down together —
+	// the rack/zone burst real fleets fail in. 0 disables the model.
+	OutageMTBF time.Duration
+	// OutageDuration is how long an outage keeps its domain down;
+	// 0 means the node repair window (Spec.RepairWindow).
+	OutageDuration time.Duration
+	// CascadeProb enables crash cascades: when a node crashes, each up
+	// node of the same domain is independently dragged down with this
+	// probability, within CascadeWindow — a crash raises the hazard for
+	// its neighbors. 0 disables the model.
+	CascadeProb float64
+	// CascadeWindow bounds how long after the trigger crash a cascading
+	// neighbor falls; 0 means DefaultCascadeWindow.
+	CascadeWindow time.Duration
+	// Maintenance declares scheduled domain outages as data: windows are
+	// deterministic (no random stream), measured from pilot activation.
+	Maintenance []Maintenance
+}
+
+// DefaultCascadeWindow is the cascade spread used when CascadeWindow is
+// zero.
+const DefaultCascadeWindow = 10 * time.Minute
+
+// Enabled reports whether any domain-level model is active.
+func (d DomainSpec) Enabled() bool {
+	return d.OutageMTBF > 0 || d.CascadeProb > 0 || len(d.Maintenance) > 0
+}
+
+// Validate rejects domain specs that cannot be sampled or scheduled.
+func (d DomainSpec) Validate() error {
+	if d.OutageMTBF < 0 {
+		return fmt.Errorf("fault: negative domain outage MTBF %v", d.OutageMTBF)
+	}
+	if d.OutageDuration < 0 {
+		return fmt.Errorf("fault: negative domain outage duration %v", d.OutageDuration)
+	}
+	if d.CascadeProb < 0 || d.CascadeProb >= 1 {
+		return fmt.Errorf("fault: cascade probability %v outside [0, 1)", d.CascadeProb)
+	}
+	if d.CascadeWindow < 0 {
+		return fmt.Errorf("fault: negative cascade window %v", d.CascadeWindow)
+	}
+	for i, m := range d.Maintenance {
+		if err := m.Validate(); err != nil {
+			return fmt.Errorf("fault: maintenance window %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// cascadeWindow returns the effective cascade spread.
+func (d DomainSpec) cascadeWindow() time.Duration {
+	if d.CascadeWindow > 0 {
+		return d.CascadeWindow
+	}
+	return DefaultCascadeWindow
+}
+
+// CascadeDelay decides deterministically whether a same-domain neighbor
+// is dragged down by a trigger crash, and when within the window. The
+// draw advances the neighbor's own chain RNG, so cascade decisions stay
+// independent across nodes and deterministic per stream.
+func (d DomainSpec) CascadeDelay(rng *xrand.RNG) (delay time.Duration, ok bool) {
+	if d.CascadeProb <= 0 {
+		return 0, false
+	}
+	hit := rng.Float64() < d.CascadeProb
+	frac := rng.Float64() // always drawn: stream shape is hit-independent
+	if !hit {
+		return 0, false
+	}
+	delay = time.Duration(frac * float64(d.cascadeWindow()))
+	if delay < time.Second {
+		delay = time.Second
+	}
+	return delay, true
+}
+
+// Maintenance is one scheduled outage window for a failure domain,
+// declared as data: at Start (measured from pilot activation) every up
+// node of Domain goes down for Duration, repeating every Every when set.
+type Maintenance struct {
+	// Domain is the failure-domain label taken down ("" matches nodes
+	// without a label).
+	Domain string
+	// Start is the window's first opening, measured from pilot
+	// activation.
+	Start time.Duration
+	// Duration is how long the window keeps the domain down.
+	Duration time.Duration
+	// Every repeats the window with this period; 0 means one-shot.
+	Every time.Duration
+}
+
+// Validate rejects windows that cannot be scheduled.
+func (m Maintenance) Validate() error {
+	if m.Start < 0 {
+		return fmt.Errorf("negative start %v", m.Start)
+	}
+	if m.Duration <= 0 {
+		return fmt.Errorf("non-positive duration %v", m.Duration)
+	}
+	if m.Every < 0 {
+		return fmt.Errorf("negative period %v", m.Every)
+	}
+	if m.Every > 0 && m.Every <= m.Duration {
+		return fmt.Errorf("period %v must exceed duration %v", m.Every, m.Duration)
+	}
+	return nil
+}
+
+// ParseMaintenance parses a comma-separated maintenance schedule of the
+// form
+//
+//	rackA@6h/30m/24h,rackB@12h/1h
+//
+// — each window domain@start/duration[/every], with durations in Go
+// syntax. An empty domain ("@1h/30m") addresses unlabeled nodes. Errors
+// name the offending window so a long flag value stays debuggable.
+func ParseMaintenance(s string) ([]Maintenance, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var out []Maintenance
+	for _, raw := range strings.Split(s, ",") {
+		win := strings.TrimSpace(raw)
+		bad := func(msg string) ([]Maintenance, error) {
+			return nil, fmt.Errorf("fault: bad maintenance window %q: %s (want domain@start/duration[/every])", win, msg)
+		}
+		domain, rest, ok := strings.Cut(win, "@")
+		if !ok {
+			return bad("missing '@'")
+		}
+		parts := strings.Split(rest, "/")
+		if len(parts) < 2 || len(parts) > 3 {
+			return bad("want start/duration[/every]")
+		}
+		var m Maintenance
+		m.Domain = domain
+		var err error
+		if m.Start, err = time.ParseDuration(parts[0]); err != nil {
+			return bad(fmt.Sprintf("bad start %q", parts[0]))
+		}
+		if m.Duration, err = time.ParseDuration(parts[1]); err != nil {
+			return bad(fmt.Sprintf("bad duration %q", parts[1]))
+		}
+		if len(parts) == 3 {
+			if m.Every, err = time.ParseDuration(parts[2]); err != nil {
+				return bad(fmt.Sprintf("bad period %q", parts[2]))
+			}
+		}
+		if err := m.Validate(); err != nil {
+			return bad(err.Error())
+		}
+		out = append(out, m)
+	}
+	return out, nil
+}
+
+// Chain is the portable ownership record of one node's crash machinery —
+// what an elastic node transfer hands from the donor pilot's injector to
+// the receiver's. It carries the node's dedicated MTBF stream and the
+// delay remaining until its pending crash, so the crash fires at the
+// same virtual instant it would have on the donor, now booked by the
+// pilot that actually owns the hardware.
+type Chain struct {
+	// RNG is the node's dedicated MTBF stream, advanced only by its
+	// crash chain.
+	RNG *xrand.RNG
+	// NextCrash is the delay remaining until the node's pending crash at
+	// detach time; <= 0 means no crash was pending (the receiver draws
+	// afresh).
+	NextCrash time.Duration
 }
 
 // DefaultNodeRepair is the repair window used when NodeRepair is zero.
@@ -100,7 +295,8 @@ const DefaultNodeRepair = 30 * time.Minute
 
 // Enabled reports whether any failure model is active.
 func (s Spec) Enabled() bool {
-	return s.TaskFailProb > 0 || len(s.StageFailProb) > 0 || s.NodeMTBF > 0 || s.Walltime > 0
+	return s.TaskFailProb > 0 || len(s.StageFailProb) > 0 || s.NodeMTBF > 0 || s.Walltime > 0 ||
+		s.Domains.Enabled()
 }
 
 // Validate rejects specs that cannot be sampled.
@@ -129,6 +325,12 @@ func (s Spec) Validate() error {
 	}
 	if s.Walltime < 0 {
 		return fmt.Errorf("fault: negative walltime %v", s.Walltime)
+	}
+	if err := s.Domains.Validate(); err != nil {
+		return err
+	}
+	if s.Domains.CascadeProb > 0 && s.NodeMTBF <= 0 {
+		return fmt.Errorf("fault: cascade model needs per-node crash chains (set NodeMTBF)")
 	}
 	return nil
 }

@@ -1,8 +1,8 @@
 // Package fleet generates seed-deterministic heterogeneous node fleets
 // from weighted node templates — the Navarch-style synthetic-cluster
 // generator the kilo-node scenarios run on. A fleet is described as a
-// list of templates (name, node shape, count or weight, failure-domain
-// label reserved for the chaos roadmap item); Generate expands the
+// list of templates (name, node shape, count or weight, optional
+// failure-domain label); Generate expands the
 // templates and shuffles the node order deterministically from a seed, so
 // the same (spec, seed) pair yields the same fleet on every run and every
 // platform — the property the kilo-screen byte-identical trace test pins.
@@ -29,9 +29,10 @@ type Template struct {
 	// Weight is the template's relative share of the nodes Distribute
 	// hands out. Ignored when Count is set.
 	Weight float64
-	// Domain is the template's failure-domain label, reserved for the
-	// correlated-failure (chaos) roadmap item; the generator carries it
-	// but nothing consumes it yet.
+	// Domain is the template's failure-domain label. Generate stamps it
+	// on every node the template expands to; the fault layer groups
+	// correlated failures (domain outages, cascades, maintenance) by it.
+	// Empty means unlabeled.
 	Domain string
 }
 
@@ -140,8 +141,10 @@ func Generate(seed uint64, ts []Template) ([]cluster.NodeCapacity, error) {
 	}
 	caps := make([]cluster.NodeCapacity, 0, total)
 	for _, t := range ts {
+		nc := t.Cap
+		nc.Domain = t.Domain
 		for i := 0; i < t.Count; i++ {
-			caps = append(caps, t.Cap)
+			caps = append(caps, nc)
 		}
 	}
 	rng := xrand.New(xrand.Derive(seed, "fleet"))
@@ -151,11 +154,11 @@ func Generate(seed uint64, ts []Template) ([]cluster.NodeCapacity, error) {
 
 // ParseSpec parses a fleet description of the form
 //
-//	cpu:28c0g128m*900+gpu:8c4g32m*100
+//	cpu:28c0g128m*900+gpu:8c4g32m*100@rackB
 //
-// — '+'-separated segments, each name:<cores>c<gpus>g<mem>m*<count>.
-// Errors name the offending segment so a long flag value stays
-// debuggable.
+// — '+'-separated segments, each name:<cores>c<gpus>g<mem>m*<count>
+// with an optional @<domain> failure-domain label. Errors name the
+// offending segment so a long flag value stays debuggable.
 func ParseSpec(s string) ([]Template, error) {
 	if strings.TrimSpace(s) == "" {
 		return nil, fmt.Errorf("fleet: empty fleet spec")
@@ -179,7 +182,7 @@ func ParseSpec(s string) ([]Template, error) {
 
 func parseSegment(seg string) (Template, error) {
 	bad := func(msg string) (Template, error) {
-		return Template{}, fmt.Errorf("fleet: bad segment %q: %s (want name:<cores>c<gpus>g<mem>m*<count>)", seg, msg)
+		return Template{}, fmt.Errorf("fleet: bad segment %q: %s (want name:<cores>c<gpus>g<mem>m*<count>[@domain])", seg, msg)
 	}
 	name, rest, ok := strings.Cut(seg, ":")
 	if !ok || name == "" {
@@ -203,11 +206,15 @@ func parseSegment(seg string) (Template, error) {
 	if shape != "" {
 		return bad(fmt.Sprintf("trailing %q after <mem>m", shape))
 	}
+	countStr, domain, hasDomain := strings.Cut(countStr, "@")
+	if hasDomain && domain == "" {
+		return bad("empty domain after '@'")
+	}
 	count, err := strconv.Atoi(countStr)
 	if err != nil || count <= 0 {
 		return bad(fmt.Sprintf("bad count %q", countStr))
 	}
-	t := Template{Name: name, Cap: nc, Count: count}
+	t := Template{Name: name, Cap: nc, Count: count, Domain: domain}
 	if err := t.Validate(); err != nil {
 		return bad(err.Error())
 	}

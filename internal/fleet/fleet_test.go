@@ -181,3 +181,41 @@ func TestSpecFor(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestParseSpecDomains: the optional @domain suffix labels a segment's
+// failure domain, and Generate stamps the label on every expanded node.
+func TestParseSpecDomains(t *testing.T) {
+	ts, err := ParseSpec("cpu:8c0g32m*3@rackA+gpu:8c4g32m*2@rackB+misc:4c0g16m*1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantDomains := []string{"rackA", "rackB", ""}
+	for i, want := range wantDomains {
+		if ts[i].Domain != want {
+			t.Fatalf("segment %d domain %q, want %q", i, ts[i].Domain, want)
+		}
+	}
+	caps, err := Generate(11, ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byDomain := make(map[string]int)
+	for _, nc := range caps {
+		byDomain[nc.Domain]++
+	}
+	if byDomain["rackA"] != 3 || byDomain["rackB"] != 2 || byDomain[""] != 1 {
+		t.Fatalf("generated domain counts %v, want rackA:3 rackB:2 unlabeled:1", byDomain)
+	}
+	for _, bad := range []struct{ spec, seg string }{
+		{"cpu:8c0g32m*3@", "cpu:8c0g32m*3@"},          // empty domain
+		{"cpu:8c0g32m*x@rackA", "cpu:8c0g32m*x@rackA"}, // bad count with domain
+	} {
+		_, err := ParseSpec(bad.spec)
+		if err == nil {
+			t.Fatalf("ParseSpec(%q) accepted", bad.spec)
+		}
+		if !strings.Contains(err.Error(), `"`+bad.seg+`"`) {
+			t.Fatalf("ParseSpec(%q) error %q does not name segment %q", bad.spec, err, bad.seg)
+		}
+	}
+}

@@ -40,7 +40,7 @@ func TestGrowNodeFeedsBlockedQueue(t *testing.T) {
 	})
 	growAt := 30 * time.Minute
 	h.engine.After(growAt, func() {
-		h.pilot.GrowNode(cluster.NodeCapacity{Cores: 28, GPUs: 4, MemGB: 128})
+		h.pilot.GrowNode(cluster.NodeCapacity{Cores: 28, GPUs: 4, MemGB: 128}, nil)
 	})
 	h.engine.Run()
 	if wide.State() != StateDone || blocked.State() != StateDone {
@@ -68,11 +68,11 @@ func TestShrinkNodeRefusesBusyCapacity(t *testing.T) {
 		t.Fatalf("task state %v", task.State())
 	}
 	busy := task.Node()
-	if _, err := h.pilot.ShrinkNode(busy); err == nil {
+	if _, _, err := h.pilot.ShrinkNode(busy); err == nil {
 		t.Fatal("shrank a node with a running task")
 	}
 	idle := 1 - busy
-	nc, err := h.pilot.ShrinkNode(idle)
+	nc, _, err := h.pilot.ShrinkNode(idle)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -240,11 +240,11 @@ func runElasticInvariantTrial(t *testing.T, polName string, trial int64) {
 			if len(ids) == 0 || clu.ActiveNodeCount() <= 1 {
 				return
 			}
-			nc, err := from.ShrinkNode(ids[rng.Intn(len(ids))])
+			nc, ch, err := from.ShrinkNode(ids[rng.Intn(len(ids))])
 			if err != nil {
 				t.Fatalf("shrink of transferable node failed: %v", err)
 			}
-			to.GrowNode(nc)
+			to.GrowNode(nc, ch)
 		})
 	}
 

@@ -2,6 +2,7 @@ package pilot
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"impress/internal/fault"
@@ -19,41 +20,131 @@ import (
 // pure functions of the attempt seed (no injector state); node crashes
 // draw from one dedicated RNG per node, advanced only by that node's
 // crash chain, so crash timelines are independent of workload and of
-// each other.
+// each other. Domain outages draw from one RNG per failure-domain label,
+// derived from the label itself, so a domain's outage schedule does not
+// depend on which nodes happen to populate it.
+//
+// Ownership: a node's crash chain belongs to the pilot that owns the
+// hardware. An elastic transfer detaches the chain from the donor's
+// injector (detach) and hands it — RNG state and pending crash delay —
+// to the receiver's (adopt), so transferred nodes keep crashing on their
+// original schedule and the receiving pilot books the crashes and
+// downtime. Per-node state lives in a slice that grows with the cluster,
+// so grown node IDs never index out of bounds.
 type injector struct {
 	pilot *Pilot
 	spec  fault.Spec
 
-	nodeRNG    []*xrand.RNG
-	nodeEvents []simclock.Event // pending crash or repair event per node
-	downSince  []simclock.Time  // crash timestamp per node, valid while down
-	wallEvent  simclock.Event
+	chains    []nodeChain // per node-ID slot; grows with the cluster
+	wallEvent simclock.Event
 
-	crashes  int
-	downtime time.Duration // actual elapsed node downtime (booked at repair)
-	stopped  bool
+	domains      []*domainState // outage machinery per failure-domain label
+	maintEvents  []simclock.Event
+	maintVictims [][]int // node IDs each open window took down
+
+	crashes         int
+	crashesByDomain map[string]int
+	outages         int
+	maintenances    int
+	downtime        time.Duration // actual elapsed node downtime (booked at up-transition)
+	started         bool
+	stopped         bool
+}
+
+// downCause records what took a node down, so the matching up-transition
+// (repair, outage end, window close, injector stop) books its downtime
+// exactly once.
+type downCause uint8
+
+const (
+	causeNone   downCause = iota
+	causeCrash            // individual MTBF crash or cascade; repair event pending
+	causeOutage           // whole-domain outage; the outage's restore brings it up
+	causeMaint            // maintenance window; the window close brings it up
+)
+
+// nodeChain is one node's slot of injector state. rng is nil when the
+// slot carries no individual crash chain (MTBF model off, or the node
+// was transferred away — the slot stays behind as a tombstone, exactly
+// like the cluster's).
+type nodeChain struct {
+	rng *xrand.RNG
+	ev  simclock.Event // pending crash or repair event
+
+	// pendingNext carries an adopted chain's remaining crash delay until
+	// the chain can be armed (pilot not yet active).
+	pendingNext time.Duration
+	hasPending  bool
+
+	downAt simclock.Time // valid while the node is down
+	cause  downCause
+}
+
+// domainState is the outage machinery of one failure-domain label.
+type domainState struct {
+	name    string
+	rng     *xrand.RNG
+	ev      simclock.Event // pending outage start or restore
+	victims []int          // node IDs the current outage took down
 }
 
 func newInjector(p *Pilot, spec fault.Spec) *injector {
 	in := &injector{pilot: p, spec: spec}
+	n := p.agent.cluster.NodeCount()
 	if spec.NodeMTBF > 0 {
-		n := p.agent.cluster.NodeCount()
-		in.nodeRNG = make([]*xrand.RNG, n)
-		in.nodeEvents = make([]simclock.Event, n)
-		in.downSince = make([]simclock.Time, n)
+		in.chains = make([]nodeChain, n)
 		for i := 0; i < n; i++ {
-			in.nodeRNG[i] = xrand.New(xrand.Derive(p.desc.Seed, fmt.Sprintf("fault:node:%d", i)))
+			in.chains[i].rng = xrand.New(xrand.Derive(p.desc.Seed, fmt.Sprintf("fault:node:%d", i)))
 		}
+	} else if spec.Domains.Enabled() {
+		// Domain models need down bookkeeping even without per-node
+		// chains.
+		in.chains = make([]nodeChain, n)
 	}
 	return in
 }
 
+// slot returns node id's chain state, growing the per-node slice when a
+// grown node's ID lies past it — the injector's state tracks the
+// cluster's, so transferred-in hardware can crash and stop() never
+// indexes out of bounds.
+func (in *injector) slot(id int) *nodeChain {
+	for id >= len(in.chains) {
+		in.chains = append(in.chains, nodeChain{})
+	}
+	return &in.chains[id]
+}
+
 // start arms the standing failure models at pilot activation: one crash
-// chain per node and the fault-model walltime. Per-task faults need no
-// arming — the executor consults the spec per attempt.
+// chain per node, the domain outage schedules, the maintenance windows,
+// and the fault-model walltime. Per-task faults need no arming — the
+// executor consults the spec per attempt.
 func (in *injector) start() {
-	for i := range in.nodeRNG {
-		in.scheduleCrash(i)
+	in.started = true
+	for i := range in.chains {
+		if in.chains[i].rng != nil {
+			in.armChain(i)
+		}
+	}
+	if in.spec.Domains.OutageMTBF > 0 {
+		clu := in.pilot.agent.cluster
+		labels := make([]string, 0, 4)
+		seen := make(map[string]bool, 4)
+		for i := 0; i < clu.NodeCount(); i++ {
+			if d := clu.NodeDomain(i); d != "" && !seen[d] {
+				seen[d] = true
+				labels = append(labels, d)
+			}
+		}
+		sort.Strings(labels)
+		for _, d := range labels {
+			in.ensureDomain(d)
+		}
+	}
+	for idx, m := range in.spec.Domains.Maintenance {
+		in.maintEvents = append(in.maintEvents, simclock.Event{})
+		in.maintVictims = append(in.maintVictims, nil)
+		in.scheduleMaintOpen(idx, m, m.Start)
 	}
 	if in.spec.Walltime > 0 {
 		in.wallEvent = in.pilot.engine.AfterNamed(in.spec.Walltime, in.pilot.ID+":fault-walltime", func() {
@@ -63,26 +154,36 @@ func (in *injector) start() {
 }
 
 // stop retires the injector: all pending events are cancelled and any
-// node still in its repair window comes back up so queued work can
-// drain. Without this, the self-rescheduling crash chains would keep the
-// discrete-event engine alive forever.
+// node still down — mid-repair, mid-outage, or mid-window — comes back
+// up so queued work can drain. Without this, the self-rescheduling crash
+// chains would keep the discrete-event engine alive forever.
 func (in *injector) stop() {
 	if in.stopped {
 		return
 	}
 	in.stopped = true
 	engine := in.pilot.engine
-	for i, ev := range in.nodeEvents {
+	for i := range in.chains {
+		engine.Cancel(in.chains[i].ev)
+		in.chains[i].ev = simclock.Event{}
+	}
+	for _, d := range in.domains {
+		engine.Cancel(d.ev)
+		d.ev = simclock.Event{}
+	}
+	for i, ev := range in.maintEvents {
 		engine.Cancel(ev)
-		in.nodeEvents[i] = simclock.Event{}
+		in.maintEvents[i] = simclock.Event{}
 	}
 	engine.Cancel(in.wallEvent)
 	clu := in.pilot.agent.cluster
 	repaired := false
 	for _, id := range clu.DownNodes() {
 		// Book only the downtime that actually elapsed: the repair
-		// window is cut short by the stop.
-		in.downtime += engine.Now().Sub(in.downSince[id])
+		// window (or outage) is cut short by the stop.
+		s := in.slot(id)
+		in.downtime += engine.Now().Sub(s.downAt)
+		s.cause = causeNone
 		clu.SetNodeUp(id)
 		repaired = true
 	}
@@ -96,37 +197,158 @@ func (in *injector) taskFault(t *Task, total time.Duration) (at time.Duration, o
 	return in.spec.TaskFault(t.seed, t.Description.Name, t.Description.GPUs > 0, total)
 }
 
-// scheduleCrash arms node i's next crash.
+// detach removes node id's crash chain from this injector and returns it
+// for the receiving pilot — the fault half of an elastic transfer out.
+// The pending crash event is cancelled and its remaining delay travels
+// with the chain, so the crash fires at the same virtual instant on the
+// receiver. The slot becomes a tombstone; this pilot draws nothing more
+// for the node. Returns nil when the node carries no chain.
+func (in *injector) detach(id int) *fault.Chain {
+	if id < 0 || id >= len(in.chains) {
+		return nil
+	}
+	s := &in.chains[id]
+	if s.rng == nil {
+		return nil
+	}
+	ch := &fault.Chain{RNG: s.rng}
+	switch {
+	case s.ev.Pending():
+		if rem := s.ev.When().Sub(in.pilot.engine.Now()); rem > 0 {
+			ch.NextCrash = rem
+		}
+		in.pilot.engine.Cancel(s.ev)
+	case s.hasPending:
+		ch.NextCrash = s.pendingNext
+	}
+	*s = nodeChain{}
+	return ch
+}
+
+// adopt installs the fault state for a transferred-in node — the fault
+// half of an elastic transfer in. A migrated chain keeps its RNG stream
+// and fires its pending crash on schedule; a node arriving without one
+// (the donor ran no crash model) gets a fresh deterministic chain
+// derived from this pilot's seed and the node's ID. Pilots without the
+// MTBF model drop the chain: their failure models simply do not include
+// node crashes. The node's domain label joins the outage schedule either
+// way.
+func (in *injector) adopt(id int, ch *fault.Chain) {
+	s := in.slot(id)
+	if in.stopped {
+		return
+	}
+	if in.spec.NodeMTBF > 0 {
+		if ch != nil && ch.RNG != nil {
+			s.rng = ch.RNG
+			s.pendingNext = ch.NextCrash
+			s.hasPending = ch.NextCrash > 0
+		} else {
+			s.rng = xrand.New(xrand.Derive(in.pilot.desc.Seed, fmt.Sprintf("fault:node:%d", id)))
+			s.hasPending = false
+		}
+		if in.started && in.pilot.state == PilotActive {
+			in.armChain(id)
+		}
+	}
+	if in.spec.Domains.OutageMTBF > 0 {
+		if d := in.pilot.agent.cluster.NodeDomain(id); d != "" {
+			in.ensureDomain(d)
+		}
+	}
+}
+
+// armChain schedules node i's next crash: the delay an adopted chain
+// carried over, or a fresh draw from the node's stream.
+func (in *injector) armChain(i int) {
+	s := &in.chains[i]
+	if s.hasPending {
+		d := s.pendingNext
+		s.hasPending = false
+		s.ev = in.pilot.engine.AfterNamed(d, fmt.Sprintf("%s:node%d:crash", in.pilot.ID, i), func() {
+			in.crash(i)
+		})
+		return
+	}
+	in.scheduleCrash(i)
+}
+
+// scheduleCrash arms node i's next crash from its own MTBF stream.
 func (in *injector) scheduleCrash(i int) {
-	d := fault.CrashDelay(in.nodeRNG[i], in.spec.NodeMTBF)
-	in.nodeEvents[i] = in.pilot.engine.AfterNamed(d, fmt.Sprintf("%s:node%d:crash", in.pilot.ID, i), func() {
+	d := fault.CrashDelay(in.chains[i].rng, in.spec.NodeMTBF)
+	in.chains[i].ev = in.pilot.engine.AfterNamed(d, fmt.Sprintf("%s:node%d:crash", in.pilot.ID, i), func() {
 		in.crash(i)
 	})
 }
 
 // crash takes node i down: its capacity leaves the ledger first (so the
 // kill cascade cannot re-place work onto it), every resident task fails
-// with KindNodeCrash, and the repair is scheduled.
+// with KindNodeCrash, the repair is scheduled, and — with the cascade
+// model on — same-domain neighbors draw their hazard.
 func (in *injector) crash(i int) {
 	if in.stopped || in.pilot.state != PilotActive {
 		return
 	}
-	if in.pilot.agent.cluster.NodeIsRemoved(i) {
-		// The node was steered to another pilot; this pilot's crash model
-		// no longer owns the hardware. Keep the chain armed — the slot's
-		// MTBF stream stays deterministic whether or not the node left.
+	clu := in.pilot.agent.cluster
+	if clu.NodeIsRemoved(i) {
+		// The node was steered away and its chain migrated with it; a
+		// stale event firing here owns nothing. (Transfers detach the
+		// chain, so this is purely defensive.)
+		return
+	}
+	if clu.NodeIsDown(i) {
+		// Already down by an outage or maintenance window: the crash is
+		// absorbed by the ongoing one; re-arm the chain past it.
 		in.scheduleCrash(i)
 		return
 	}
-	in.crashes++
-	repair := in.spec.RepairWindow()
-	in.downSince[i] = in.pilot.engine.Now()
-	clu := in.pilot.agent.cluster
+	in.bookDown(i, causeCrash)
 	clu.SetNodeDown(i)
 	in.pilot.agent.failNode(i)
-	in.nodeEvents[i] = in.pilot.engine.AfterNamed(repair, fmt.Sprintf("%s:node%d:repair", in.pilot.ID, i), func() {
+	repair := in.spec.RepairWindow()
+	in.chains[i].ev = in.pilot.engine.AfterNamed(repair, fmt.Sprintf("%s:node%d:repair", in.pilot.ID, i), func() {
 		in.repair(i)
 	})
+	in.cascadeFrom(i)
+}
+
+// bookDown records a node-down transition that counts as a crash
+// (individual, cascade, or outage).
+func (in *injector) bookDown(i int, cause downCause) {
+	s := in.slot(i)
+	s.downAt = in.pilot.engine.Now()
+	s.cause = cause
+	in.crashes++
+	if in.crashesByDomain == nil {
+		in.crashesByDomain = make(map[string]int)
+	}
+	in.crashesByDomain[in.pilot.agent.cluster.NodeDomain(i)]++
+}
+
+// cascadeFrom rolls the cascade hazard for every up node sharing the
+// crashed node's failure domain: each hit neighbor's pending crash is
+// pulled forward into the cascade window. Draws advance the neighbors'
+// own chain streams, in node-ID order, so cascades stay deterministic.
+func (in *injector) cascadeFrom(i int) {
+	if in.spec.Domains.CascadeProb <= 0 {
+		return
+	}
+	clu := in.pilot.agent.cluster
+	dom := clu.NodeDomain(i)
+	for j := range in.chains {
+		s := &in.chains[j]
+		if j == i || s.rng == nil || clu.NodeIsRemoved(j) || clu.NodeIsDown(j) || clu.NodeDomain(j) != dom {
+			continue
+		}
+		delay, hit := in.spec.Domains.CascadeDelay(s.rng)
+		if !hit {
+			continue
+		}
+		in.pilot.engine.Cancel(s.ev)
+		s.ev = in.pilot.engine.AfterNamed(delay, fmt.Sprintf("%s:node%d:cascade", in.pilot.ID, j), func() {
+			in.crash(j)
+		})
+	}
 }
 
 // repair brings node i back and re-arms its crash chain; freed capacity
@@ -135,10 +357,167 @@ func (in *injector) repair(i int) {
 	if in.stopped {
 		return
 	}
-	in.downtime += in.pilot.engine.Now().Sub(in.downSince[i])
+	s := &in.chains[i]
+	in.downtime += in.pilot.engine.Now().Sub(s.downAt)
+	s.cause = causeNone
 	in.pilot.agent.cluster.SetNodeUp(i)
 	if in.pilot.state == PilotActive {
 		in.pilot.agent.schedule()
 	}
 	in.scheduleCrash(i)
+}
+
+// ensureDomain arms the outage chain for a failure-domain label the
+// pilot owns nodes of. The stream derives from the label, not from
+// arrival order, so a domain's schedule is the same whichever transfer
+// brought its first node.
+func (in *injector) ensureDomain(name string) {
+	for _, d := range in.domains {
+		if d.name == name {
+			return
+		}
+	}
+	d := &domainState{
+		name: name,
+		rng:  xrand.New(xrand.Derive(in.pilot.desc.Seed, "fault:domain:"+name)),
+	}
+	in.domains = append(in.domains, d)
+	if in.started && !in.stopped {
+		in.scheduleOutage(d)
+	}
+}
+
+// scheduleOutage arms domain d's next whole-domain outage.
+func (in *injector) scheduleOutage(d *domainState) {
+	delay := fault.CrashDelay(d.rng, in.spec.Domains.OutageMTBF)
+	d.ev = in.pilot.engine.AfterNamed(delay, fmt.Sprintf("%s:domain:%s:outage", in.pilot.ID, d.name), func() {
+		in.outage(d)
+	})
+}
+
+// outage takes every up node of the domain down together: all capacity
+// leaves the ledger first, then the kill cascade runs per node — so no
+// victim's work can be re-placed onto a sibling that is about to go down
+// in the same burst.
+func (in *injector) outage(d *domainState) {
+	if in.stopped || in.pilot.state != PilotActive {
+		return
+	}
+	in.outages++
+	clu := in.pilot.agent.cluster
+	d.victims = d.victims[:0]
+	for i := 0; i < clu.NodeCount(); i++ {
+		if clu.NodeIsRemoved(i) || clu.NodeIsDown(i) || clu.NodeDomain(i) != d.name {
+			continue
+		}
+		in.bookDown(i, causeOutage)
+		clu.SetNodeDown(i)
+		d.victims = append(d.victims, i)
+	}
+	for _, i := range d.victims {
+		in.pilot.agent.failNode(i)
+	}
+	dur := in.spec.Domains.OutageDuration
+	if dur <= 0 {
+		dur = in.spec.RepairWindow()
+	}
+	d.ev = in.pilot.engine.AfterNamed(dur, fmt.Sprintf("%s:domain:%s:restore", in.pilot.ID, d.name), func() {
+		in.restore(d)
+	})
+}
+
+// restore ends a domain outage: every node the outage took down comes
+// back, its downtime is booked, and the next outage is drawn.
+func (in *injector) restore(d *domainState) {
+	if in.stopped {
+		return
+	}
+	clu := in.pilot.agent.cluster
+	up := false
+	for _, i := range d.victims {
+		s := &in.chains[i]
+		if s.cause != causeOutage {
+			continue
+		}
+		in.downtime += in.pilot.engine.Now().Sub(s.downAt)
+		s.cause = causeNone
+		clu.SetNodeUp(i)
+		up = true
+	}
+	d.victims = d.victims[:0]
+	if up && in.pilot.state == PilotActive {
+		in.pilot.agent.schedule()
+	}
+	in.scheduleOutage(d)
+}
+
+// scheduleMaintOpen arms maintenance window idx's next opening.
+func (in *injector) scheduleMaintOpen(idx int, m fault.Maintenance, delay time.Duration) {
+	in.maintEvents[idx] = in.pilot.engine.AfterNamed(delay, fmt.Sprintf("%s:maint:%s:open", in.pilot.ID, m.Domain), func() {
+		in.maintOpen(idx, m)
+	})
+}
+
+// maintOpen closes a domain for scheduled maintenance: every up node of
+// the window's domain goes down (planned, so not counted as a crash) and
+// the window close is scheduled. Nodes already down — crashed or in an
+// outage — are left to their own up-transitions. A window is only
+// counted when it takes at least one of this pilot's nodes down: every
+// injector schedules every declared window, so windows for domains this
+// pilot does not host must stay invisible in its statistics.
+func (in *injector) maintOpen(idx int, m fault.Maintenance) {
+	if in.stopped || in.pilot.state != PilotActive {
+		return
+	}
+	clu := in.pilot.agent.cluster
+	victims := in.maintVictims[idx][:0]
+	for i := 0; i < clu.NodeCount(); i++ {
+		if clu.NodeIsRemoved(i) || clu.NodeIsDown(i) || clu.NodeDomain(i) != m.Domain {
+			continue
+		}
+		s := in.slot(i)
+		s.downAt = in.pilot.engine.Now()
+		s.cause = causeMaint
+		clu.SetNodeDown(i)
+		victims = append(victims, i)
+	}
+	in.maintVictims[idx] = victims
+	if len(victims) > 0 {
+		in.maintenances++
+	}
+	for _, i := range victims {
+		in.pilot.agent.failNode(i)
+	}
+	in.maintEvents[idx] = in.pilot.engine.AfterNamed(m.Duration, fmt.Sprintf("%s:maint:%s:close", in.pilot.ID, m.Domain), func() {
+		in.maintClose(idx, m)
+	})
+}
+
+// maintClose reopens the domain, books the planned downtime, and — for
+// periodic windows — arms the next opening.
+func (in *injector) maintClose(idx int, m fault.Maintenance) {
+	if in.stopped {
+		return
+	}
+	clu := in.pilot.agent.cluster
+	up := false
+	for _, i := range in.maintVictims[idx] {
+		s := &in.chains[i]
+		if s.cause != causeMaint {
+			continue
+		}
+		in.downtime += in.pilot.engine.Now().Sub(s.downAt)
+		s.cause = causeNone
+		clu.SetNodeUp(i)
+		up = true
+	}
+	in.maintVictims[idx] = in.maintVictims[idx][:0]
+	if up && in.pilot.state == PilotActive {
+		in.pilot.agent.schedule()
+	}
+	if m.Every > 0 {
+		// The next opening is Every after the previous one; the close ran
+		// Duration in.
+		in.scheduleMaintOpen(idx, m, m.Every-m.Duration)
+	}
 }

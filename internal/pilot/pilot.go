@@ -241,9 +241,16 @@ func (p *Pilot) QueuedRequests() []cluster.Request {
 // GrowNode transfers a node of the given capacity into the pilot's
 // ledger (an elastic steering transfer in) and returns its node ID. The
 // new capacity is offered to the queue immediately, with the same
-// freed-watermark discipline as a release or a node repair.
-func (p *Pilot) GrowNode(nc cluster.NodeCapacity) int {
+// freed-watermark discipline as a release or a node repair. ch is the
+// crash chain the donor's ShrinkNode detached (nil when the donor ran no
+// crash model): a fault-enabled pilot adopts it — or arms a fresh
+// deterministic chain — so steered-in hardware keeps failing; a pilot
+// without the node-crash model drops it.
+func (p *Pilot) GrowNode(nc cluster.NodeCapacity, ch *fault.Chain) int {
 	id := p.agent.cluster.AddNode(nc)
+	if p.injector != nil {
+		p.injector.adopt(id, ch)
+	}
 	if p.state == PilotActive {
 		p.agent.schedule()
 	}
@@ -251,23 +258,57 @@ func (p *Pilot) GrowNode(nc cluster.NodeCapacity) int {
 }
 
 // ShrinkNode transfers the identified node out of the pilot's ledger (an
-// elastic steering transfer out), returning its capacity for the
-// receiving pilot's GrowNode. Only idle nodes shrink: a node that is
-// down or carries in-flight allocations is refused, so — unlike cancel
-// and fault, which must unwind busy counters and allocations exactly —
-// a shrink never has anything to unwind. That asymmetry is deliberate:
-// steering moves capacity, never work.
-func (p *Pilot) ShrinkNode(id int) (cluster.NodeCapacity, error) {
-	return p.agent.cluster.RemoveNode(id)
+// elastic steering transfer out), returning its capacity and its crash
+// chain for the receiving pilot's GrowNode. Only idle nodes shrink: a
+// node that is down or carries in-flight allocations is refused, so —
+// unlike cancel and fault, which must unwind busy counters and
+// allocations exactly — a shrink never has anything to unwind. That
+// asymmetry is deliberate: steering moves capacity, never work. The
+// chain travels with the node: this pilot's injector stops drawing for
+// it the moment the transfer succeeds (nil chain without a crash model).
+func (p *Pilot) ShrinkNode(id int) (cluster.NodeCapacity, *fault.Chain, error) {
+	nc, err := p.agent.cluster.RemoveNode(id)
+	if err != nil {
+		return nc, nil, err
+	}
+	var ch *fault.Chain
+	if p.injector != nil {
+		ch = p.injector.detach(id)
+	}
+	return nc, ch, nil
 }
 
 // FaultCounts reports the fault injector's activity: node crashes fired
-// and total node downtime injected. Zero without fault injection.
+// and total node downtime injected, booked against the nodes this pilot
+// owned at the time (transferred nodes book on their receiver). Zero
+// without fault injection.
 func (p *Pilot) FaultCounts() (crashes int, downtime time.Duration) {
 	if p.injector == nil {
 		return 0, 0
 	}
 	return p.injector.crashes, p.injector.downtime
+}
+
+// FaultCountsByDomain returns the pilot's node crashes grouped by
+// failure-domain label ("" for unlabeled nodes); nil without any.
+func (p *Pilot) FaultCountsByDomain() map[string]int {
+	if p.injector == nil || len(p.injector.crashesByDomain) == 0 {
+		return nil
+	}
+	out := make(map[string]int, len(p.injector.crashesByDomain))
+	for d, n := range p.injector.crashesByDomain {
+		out[d] = n
+	}
+	return out
+}
+
+// DomainEventCounts reports the injector's correlated-failure activity:
+// whole-domain outages fired and maintenance windows opened.
+func (p *Pilot) DomainEventCounts() (outages, maintenances int) {
+	if p.injector == nil {
+		return 0, 0
+	}
+	return p.injector.outages, p.injector.maintenances
 }
 
 // StopFaultInjection retires the pilot's fault injector: pending crash,

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"impress/internal/cluster"
+	"impress/internal/fault"
 	"impress/internal/simclock"
 )
 
@@ -23,10 +24,13 @@ type Elastic interface {
 	QueuedRequests() []cluster.Request
 	// Cluster exposes the pilot's resource ledger.
 	Cluster() *cluster.Cluster
-	// ShrinkNode transfers the identified idle node out of the pilot.
-	ShrinkNode(id int) (cluster.NodeCapacity, error)
-	// GrowNode transfers a node of the given capacity into the pilot.
-	GrowNode(nc cluster.NodeCapacity) int
+	// ShrinkNode transfers the identified idle node out of the pilot,
+	// returning its capacity and its detached crash chain (nil without a
+	// crash model) — node fault ownership travels with the node.
+	ShrinkNode(id int) (cluster.NodeCapacity, *fault.Chain, error)
+	// GrowNode transfers a node of the given capacity into the pilot,
+	// handing the donor's crash chain to the receiver's fault injector.
+	GrowNode(nc cluster.NodeCapacity, ch *fault.Chain) int
 }
 
 // Move records one applied node transfer.
@@ -169,13 +173,13 @@ func (c *Controller) apply(tr Transfer) {
 	if !ok {
 		return
 	}
-	nc, err := from.ShrinkNode(id)
+	nc, ch, err := from.ShrinkNode(id)
 	if err != nil {
 		// The node stopped being idle between snapshot and application;
 		// skip rather than chase another.
 		return
 	}
-	to.GrowNode(nc)
+	to.GrowNode(nc, ch)
 	mv := Move{At: c.engine.Now(), From: tr.From, To: tr.To, Node: nc}
 	c.moves = append(c.moves, mv)
 	if c.onMove != nil {
