@@ -484,6 +484,60 @@ func BenchmarkKiloScreen(b *testing.B) {
 	benchKiloScreen(b)
 }
 
+// benchTelemetry is one telemetry-overhead cell, shared by
+// BenchmarkTelemetry and the BENCH_<n>.json emitter: the seed-42 pair
+// scenario (CONT-V + IM-RP, the golden workload) with the observability
+// recorder on or off. The off mode is the hot path the golden and
+// allocation guards pin; the on mode additionally records task spans,
+// per-pilot queue-depth and occupancy gauges, and instant events. The
+// delta between the two is the total price of observability.
+func benchTelemetry(b *testing.B, enabled bool) {
+	campaigns, err := impress.BuildScenario("pair", impress.ScenarioParams{
+		Seed:      42,
+		Telemetry: enabled,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var outs []impress.CampaignOutcome
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		outs = impress.RunCampaigns(campaigns, 1)
+		for _, o := range outs {
+			if o.Err != nil {
+				b.Fatalf("campaign %s failed: %v", o.Name, o.Err)
+			}
+		}
+	}
+	res := outs[1].Result
+	reportCampaign(b, res)
+	if enabled {
+		points := 0
+		for _, s := range res.Telemetry.Series {
+			points += len(s)
+		}
+		for _, s := range res.QueueSeries {
+			points += len(s)
+		}
+		b.ReportMetric(float64(points), "series-points")
+		b.ReportMetric(float64(len(res.Telemetry.Instants)), "instants")
+	}
+}
+
+// BenchmarkTelemetry is the observability on/off A/B on the pair
+// workload. The off cell must match the pre-telemetry pair numbers;
+// the on cell prices the recorder.
+func BenchmarkTelemetry(b *testing.B) {
+	for _, enabled := range []bool{false, true} {
+		name := "off"
+		if enabled {
+			name = "on"
+		}
+		b.Run(name, func(b *testing.B) { benchTelemetry(b, enabled) })
+	}
+}
+
 // BenchmarkFaultSweep runs a one-seed, single-rate resilience sweep —
 // the fault-free baseline plus every recovery policy at a 20% per-task
 // failure rate — on the campaign engine, reporting per-policy goodput.

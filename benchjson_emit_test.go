@@ -21,7 +21,7 @@ import (
 
 // benchJSONPR is this trajectory point's PR number; bump it (and the
 // committed artifact name) in each future perf PR.
-const benchJSONPR = 6
+const benchJSONPR = 8
 
 func TestEmitBenchJSON(t *testing.T) {
 	path := os.Getenv("IMPRESS_BENCH_JSON")
@@ -57,6 +57,15 @@ func TestEmitBenchJSON(t *testing.T) {
 		baseline = append(baseline, benchjson.FromBenchmark(name,
 			testing.Benchmark(func(b *testing.B) { benchAllocScaling(b, n, false) })))
 	}
+
+	// The telemetry A/B: the recorder-on measurement is this PR's result,
+	// the recorder-off run of the same pair workload is its baseline —
+	// the cell's delta is the price of observability.
+	t.Log("running BenchmarkTelemetry/pair (on + off baseline)")
+	results = append(results, benchjson.FromBenchmark("BenchmarkTelemetry/pair",
+		testing.Benchmark(func(b *testing.B) { benchTelemetry(b, true) })))
+	baseline = append(baseline, benchjson.FromBenchmark("BenchmarkTelemetry/pair",
+		testing.Benchmark(func(b *testing.B) { benchTelemetry(b, false) })))
 
 	f := benchjson.NewFile(benchJSONPR, results)
 	f.Baseline = baseline

@@ -82,7 +82,7 @@ func run() int {
 			Recovery: common.Recovery,
 			Steer:    common.Steer,
 			Fleet:    common.Fleet,
-		}, common.Parallel, csvPath)
+		}, common.Parallel, csvPath, common.ChromeTrace)
 	}
 	if impress.SteerEnabled(common.Steer) {
 		// The paper experiments run the single-pilot Amarel node; there is
@@ -94,6 +94,12 @@ func run() int {
 	if common.Fleet != "" {
 		// Same reasoning: generated fleets exist for fleet-driven scenarios.
 		fmt.Fprintln(os.Stderr, "-fleet applies only to -scenario runs (the paper experiments run the paper's machine)")
+		return 2
+	}
+	if common.ChromeTrace != "" {
+		// Same reasoning: the experiment harness owns its output set; the
+		// timeline exporter hangs off scenario runs.
+		fmt.Fprintln(os.Stderr, "-chrome-trace applies only to -scenario runs (the paper experiments write their own outputs)")
 		return 2
 	}
 	seed := &common.Seed

@@ -100,6 +100,9 @@ func run() int {
 			for _, name := range cliflags.FaultFlagNames() {
 				compat[name] = true
 			}
+			for _, name := range cliflags.TelemetryFlagNames() {
+				compat[name] = true
+			}
 			var ignored []string
 			flag.Visit(func(f *flag.Flag) {
 				if !compat[f.Name] {
@@ -122,7 +125,7 @@ func run() int {
 			Recovery:    common.Recovery,
 			Steer:       common.Steer,
 			Fleet:       common.Fleet,
-		}, common.Parallel, *csvPath)
+		}, common.Parallel, *csvPath, common.ChromeTrace)
 	}
 
 	// The protocol config fully encodes the execution policy here
@@ -168,6 +171,7 @@ func run() int {
 	}
 	cfg.Recovery = common.Recovery
 	cfg.Steer = common.Steer
+	cfg.Telemetry = common.ChromeTrace != ""
 	if *cycles > 0 {
 		cfg.Pipeline.Cycles = *cycles
 	}
@@ -261,6 +265,18 @@ func run() int {
 	if *gantt > 0 {
 		fmt.Println()
 		fmt.Print(impress.Gantt(res, *gantt))
+	}
+	if common.ChromeTrace != "" {
+		err := impress.WriteArtifact(common.ChromeTrace, func(w io.Writer) error {
+			return impress.WriteChromeTrace(w, []*impress.Result{res}, []string{c.Name})
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		fmt.Printf("\nwrote %s\n", common.ChromeTrace)
+		fmt.Println()
+		fmt.Print(impress.CriticalPathReport(res))
 	}
 	if *jsonPath != "" {
 		err := impress.WriteArtifact(*jsonPath, func(w io.Writer) error {

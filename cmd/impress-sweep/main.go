@@ -71,13 +71,14 @@ func run() int {
 		Recovery:    common.Recovery,
 		Steer:       common.Steer,
 		Fleet:       common.Fleet,
+		Telemetry:   common.ChromeTrace != "",
 	}
 
 	if *scenario != "" {
 		p := params
 		p.Seed = common.Seed
 		p.Seeds = *nSeeds
-		return scenariorun.Run(os.Stdout, os.Stderr, *scenario, p, common.Parallel, *csvPath)
+		return scenariorun.Run(os.Stdout, os.Stderr, *scenario, p, common.Parallel, *csvPath, common.ChromeTrace)
 	}
 
 	// Build the sweep as campaign data: a CONT-V/IM-RP pair per seed.
@@ -186,6 +187,24 @@ func run() int {
 			return 1
 		}
 		fmt.Printf("\nwrote %s\n", *csvPath)
+	}
+
+	if common.ChromeTrace != "" {
+		var results []*impress.Result
+		var labels []string
+		for _, r := range rows {
+			results = append(results, r.ctrl, r.adpt)
+			labels = append(labels,
+				fmt.Sprintf("contv/seed%d", r.seed), fmt.Sprintf("imrp/seed%d", r.seed))
+		}
+		err := impress.WriteArtifact(common.ChromeTrace, func(w io.Writer) error {
+			return impress.WriteChromeTrace(w, results, labels)
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		fmt.Printf("\nwrote %s\n", common.ChromeTrace)
 	}
 
 	if failures > 0 {

@@ -34,6 +34,7 @@ import (
 	"impress/internal/report"
 	"impress/internal/sched"
 	"impress/internal/steer"
+	"impress/internal/telemetry"
 	"impress/internal/workload"
 )
 
@@ -100,6 +101,13 @@ type (
 	// FaultStats is a campaign's fault-injection and recovery record
 	// (Result.Faults; nil without failure models).
 	FaultStats = core.FaultStats
+	// CriticalPath is the makespan critical-path analysis of a campaign
+	// (Result.CriticalPath): the attempt chain whose gap + wait + setup +
+	// run sums to the makespan, plus per-stage slack.
+	CriticalPath = telemetry.CriticalPath
+	// TelemetryData is a campaign's observability record
+	// (Result.Telemetry; nil unless Config.Telemetry was set).
+	TelemetryData = telemetry.Data
 )
 
 // Resource classes for PilotSpec.Serves.
@@ -321,3 +329,46 @@ func Chaos(results []*Result) string { return report.Chaos(results) }
 func ChaosCSV(w io.Writer, results []*Result) error {
 	return report.ChaosCSV(w, results)
 }
+
+// CriticalPathReport renders a campaign's critical path — the segment
+// chain accounting for the whole makespan — and its per-stage slack
+// table.
+func CriticalPathReport(r *Result) string { return report.CriticalPath(r) }
+
+// CriticalPathCSV writes one CSV row per critical-path segment for each
+// result.
+func CriticalPathCSV(w io.Writer, results []*Result) error {
+	return report.CriticalPathCSV(w, results)
+}
+
+// StageSlackCSV writes the per-stage slack rows of each result's
+// critical-path analysis.
+func StageSlackCSV(w io.Writer, results []*Result) error {
+	return report.StageSlackCSV(w, results)
+}
+
+// WriteChromeTrace writes the results' timelines in Chrome Trace Event
+// Format (view in Perfetto or chrome://tracing): task spans and per-node
+// run slices per pilot, queue-depth and gauge counters, and instant
+// markers for faults, transfers, and steering decisions. labels names
+// each result's campaign; a nil labels falls back to each result's
+// approach.
+func WriteChromeTrace(w io.Writer, results []*Result, labels []string) error {
+	cts := make([]telemetry.CampaignTrace, 0, len(results))
+	for i, r := range results {
+		if r == nil {
+			continue
+		}
+		label := r.Approach
+		if i < len(labels) {
+			label = labels[i]
+		}
+		cts = append(cts, r.CampaignTrace(label))
+	}
+	return telemetry.WriteChromeTrace(w, cts)
+}
+
+// ValidateChromeTrace checks that data parses as Chrome Trace Event
+// Format with balanced, properly nested spans — the validation CI runs
+// on every emitted trace.
+func ValidateChromeTrace(data []byte) error { return telemetry.ValidateChromeTrace(data) }

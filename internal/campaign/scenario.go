@@ -66,6 +66,11 @@ type Params struct {
 	// kilo-screen and chaos-sweep scenarios consume it — like Targets
 	// for pair, other scenarios ignore it.
 	Fleet string
+	// Telemetry turns the observability recorder on in every campaign:
+	// instants, steering ticks, and gauge series land in each Result's
+	// Telemetry field (the -chrome-trace exporter's raw material).
+	// Recording never alters virtual-time behavior.
+	Telemetry bool
 }
 
 func (p Params) withDefaults() Params {
@@ -192,6 +197,9 @@ func applyExecution(cfg core.Config, p Params) (core.Config, error) {
 			return cfg, err
 		}
 		cfg.Steer = p.Steer
+	}
+	if p.Telemetry {
+		cfg.Telemetry = true
 	}
 	return cfg, nil
 }

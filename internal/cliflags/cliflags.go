@@ -86,6 +86,10 @@ type Common struct {
 	// fleet-driven scenarios like kilo-screen ("" = the scenario's
 	// default fleet).
 	Fleet string
+	// ChromeTrace, when set, is the path the campaign's Chrome Trace
+	// Event Format timeline is written to (open in Perfetto or
+	// chrome://tracing). Setting it also turns the telemetry recorder on.
+	ChromeTrace string
 	// CPUProfile, when set, is the path a pprof CPU profile is written to
 	// for the whole command run.
 	CPUProfile string
@@ -130,6 +134,8 @@ func Register(fs *flag.FlagSet, o Options) *Common {
 		"elastic steering policy for multi-pilot campaigns: "+strings.Join(steer.Names(), ", ")+" (empty = none: partitions stay frozen)")
 	fs.StringVar(&c.Fleet, "fleet", "",
 		"fleet template spec for fleet-driven scenarios, e.g. cpu:28c0g128m*900+gpu:8c4g32m*100 (empty = scenario default)")
+	fs.StringVar(&c.ChromeTrace, "chrome-trace", "",
+		"write the campaign timeline in Chrome Trace Event Format to this path (view in Perfetto; also enables telemetry)")
 	fs.StringVar(&c.CPUProfile, "cpuprofile", "", "write a pprof CPU profile of the run to this path")
 	fs.StringVar(&c.MemProfile, "memprofile", "", "write a pprof allocation profile to this path at exit")
 	return c
@@ -246,4 +252,10 @@ func FaultFlagNames() []string {
 		"fault", "mtbf", "repair", "recovery",
 		"outage-mtbf", "outage-dur", "cascade", "cascade-window", "maintenance",
 	}
+}
+
+// TelemetryFlagNames lists the observability flags this package
+// registers — the scenario-only allowlist companion of FaultFlagNames.
+func TelemetryFlagNames() []string {
+	return []string{"chrome-trace"}
 }

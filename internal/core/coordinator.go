@@ -27,6 +27,7 @@ import (
 	"impress/internal/sched"
 	"impress/internal/simclock"
 	"impress/internal/steer"
+	"impress/internal/telemetry"
 	"impress/internal/trace"
 	"impress/internal/workload"
 	"impress/internal/xrand"
@@ -118,6 +119,13 @@ type Config struct {
 	// (internal/fault: none, retry, backoff, elsewhere). Empty means
 	// "none". Individual PilotSpec entries may override it per pilot.
 	Recovery string
+	// Telemetry enables the campaign's observability layer
+	// (internal/telemetry): instant events from the fault injector and
+	// steering controller, per-pilot occupancy gauges, and steering-tick
+	// logs, all riding on the Result for Chrome-trace export. Off (the
+	// default) the recorder is nil and the campaign is byte-identical to
+	// a runtime without the subsystem.
+	Telemetry bool
 	// Steer names the campaign's elastic-steering policy
 	// (internal/steer: none, greedy, hysteresis). Empty means "none":
 	// pilot partitions stay frozen at campaign start, bit-identical to
@@ -167,6 +175,7 @@ type Coordinator struct {
 
 	engine  *simclock.Engine
 	rec     *trace.Recorder
+	tel     *telemetry.Recorder
 	specs   []PilotSpec
 	pilots  []*pilot.Pilot
 	tm      *pilot.TaskManager
@@ -273,6 +282,10 @@ func (c *Coordinator) Run() (*Result, error) {
 	}
 	c.rec = trace.NewRecorder(totalCores, totalGPUs, 0)
 	pm := pilot.NewPilotManager(c.engine, c.rec)
+	if c.cfg.Telemetry {
+		c.tel = telemetry.NewRecorder()
+		pm.SetTelemetry(c.tel)
+	}
 	for _, ps := range c.specs {
 		p, err := pm.Submit(pilot.PilotDescription{
 			Machine:  ps.Machine,
@@ -456,6 +469,7 @@ func (c *Coordinator) killPipeline(plID string, t *pilot.Task, s pilot.TaskState
 	c.killed[plID] = true
 	c.publish(EventPipelineKilled, pl, nil,
 		fmt.Sprintf("task %s (%s) ended %v after %d attempt(s): %v", t.ID, t.Description.Name, s, t.Attempt, t.Err))
+	c.tel.Instant(c.engine.Now(), telemetry.KindPipelineKill, -1, -1, plID)
 	// Abort the pipeline's other in-flight work (e.g. the surviving half
 	// of a split fold): its results have nowhere to go, so every further
 	// core-hour would be waste.
@@ -506,6 +520,7 @@ func (c *Coordinator) startSteering() {
 		frozen[i] = !steer.Enabled(p.Steer())
 	}
 	c.steerer = steer.NewController(c.engine, elastics, frozen, pol, steer.DefaultPeriod, c.onNodeTransfer)
+	c.steerer.SetTelemetry(c.tel)
 	c.steerer.Start()
 }
 
@@ -515,6 +530,10 @@ func (c *Coordinator) onNodeTransfer(mv steer.Move) {
 	c.publish(EventNodeTransferred, nil, nil,
 		fmt.Sprintf("%s -> %s (%dc/%dg/%dGB)",
 			c.specs[mv.From].Name, c.specs[mv.To].Name, mv.Node.Cores, mv.Node.GPUs, mv.Node.MemGB))
+	if c.tel.Enabled() {
+		c.tel.Instant(mv.At, telemetry.KindTransfer, mv.To, -1,
+			fmt.Sprintf("%s -> %s", c.specs[mv.From].Name, c.specs[mv.To].Name))
+	}
 }
 
 // quiesce retires the campaign's standing runtime machinery — every

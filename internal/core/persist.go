@@ -10,6 +10,7 @@ import (
 	"impress/internal/landscape"
 	"impress/internal/pipeline"
 	"impress/internal/protein"
+	"impress/internal/telemetry"
 	"impress/internal/trace"
 )
 
@@ -111,11 +112,15 @@ type resultJSON struct {
 	Steerings         []string                     `json:"steerings,omitempty"`
 	Steer             string                       `json:"steer,omitempty"`
 	NodeTransfers     int                          `json:"node_transfers,omitempty"`
+	SteerVetoes       int                          `json:"steer_vetoes,omitempty"`
+	SteerVetoReasons  map[string]int               `json:"steer_veto_reasons,omitempty"`
 	Faults            *FaultStats                  `json:"faults,omitempty"`
 	Starting          map[string]landscape.Metrics `json:"starting"`
 	FinalBest         map[string]landscape.Metrics `json:"final_best"`
 	FinalDesigns      map[string]*structureJSON    `json:"final_designs"`
 	TaskRecords       []trace.TaskRecord           `json:"task_records,omitempty"`
+	QueueSeries       [][]trace.Point              `json:"queue_series,omitempty"`
+	Telemetry         *telemetry.Data              `json:"telemetry,omitempty"`
 	IncludeTaskDetail bool                         `json:"include_task_detail"`
 }
 
@@ -149,9 +154,13 @@ func (r *Result) WriteJSON(w io.Writer, includeTasks bool) error {
 		Steerings:         r.Steerings,
 		Steer:             r.Steer,
 		NodeTransfers:     r.NodeTransfers,
+		SteerVetoes:       r.SteerVetoes,
+		SteerVetoReasons:  r.SteerVetoReasons,
 		Faults:            r.Faults,
 		Starting:          r.Starting,
 		FinalBest:         r.FinalBest,
+		QueueSeries:       r.QueueSeries,
+		Telemetry:         r.Telemetry,
 		FinalDesigns:      make(map[string]*structureJSON, len(r.FinalDesigns)),
 		IncludeTaskDetail: includeTasks,
 	}
@@ -216,11 +225,15 @@ func ReadResultJSON(rd io.Reader) (*Result, error) {
 		Steerings:         dto.Steerings,
 		Steer:             dto.Steer,
 		NodeTransfers:     dto.NodeTransfers,
+		SteerVetoes:       dto.SteerVetoes,
+		SteerVetoReasons:  dto.SteerVetoReasons,
 		Faults:            dto.Faults,
 		Starting:          dto.Starting,
 		FinalBest:         dto.FinalBest,
 		FinalDesigns:      make(map[string]*protein.Structure, len(dto.FinalDesigns)),
 		TaskRecords:       dto.TaskRecords,
+		QueueSeries:       dto.QueueSeries,
+		Telemetry:         dto.Telemetry,
 	}
 	for _, e := range dto.PoolEntries {
 		res.Pool.Add(e)

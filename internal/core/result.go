@@ -12,6 +12,7 @@ import (
 	"impress/internal/protein"
 	"impress/internal/stats"
 	"impress/internal/steer"
+	"impress/internal/telemetry"
 	"impress/internal/trace"
 )
 
@@ -81,6 +82,11 @@ type Result struct {
 	// NodeTransfers counts the nodes the steering controller moved
 	// between pilots mid-campaign (0 with steering off).
 	NodeTransfers int
+	// SteerVetoes counts the transfer proposals the controller rejected,
+	// and SteerVetoReasons breaks them down by veto reason (nil when
+	// nothing was vetoed).
+	SteerVetoes      int
+	SteerVetoReasons map[string]int
 	// Faults carries the fault-injection accounting; nil when the
 	// campaign ran without failure models.
 	Faults *FaultStats
@@ -94,6 +100,13 @@ type Result struct {
 	// TaskRecords holds the per-task timeline (sorted by submission),
 	// for Gantt-style inspection.
 	TaskRecords []trace.TaskRecord
+	// QueueSeries holds each pilot's queue-depth step function, parallel
+	// to Pilots (nil entries for pilots that never queued).
+	QueueSeries [][]trace.Point
+	// Telemetry carries the campaign's observability record — instants,
+	// steering ticks, counters, and gauge series. Nil unless the campaign
+	// ran with Config.Telemetry set.
+	Telemetry *telemetry.Data
 }
 
 // FaultStats is a campaign's fault-injection and recovery record — the
@@ -201,6 +214,19 @@ func (c *Coordinator) buildResult() *Result {
 	}
 	if c.steerer != nil {
 		res.NodeTransfers = c.steerer.Transfers()
+		res.SteerVetoes = c.steerer.VetoCount()
+		for _, v := range c.steerer.Vetoes() {
+			if res.SteerVetoReasons == nil {
+				res.SteerVetoReasons = make(map[string]int)
+			}
+			res.SteerVetoReasons[v.Reason]++
+		}
+	}
+	for i := range c.specs {
+		res.QueueSeries = append(res.QueueSeries, c.rec.QueueSeries(i))
+	}
+	if c.tel.Enabled() {
+		res.Telemetry = c.tel.Data()
 	}
 	if c.cfg.Fault.Enabled() {
 		res.Faults = c.buildFaultStats(res)
@@ -274,6 +300,25 @@ func labelOf(names []string) string {
 // TrajectoryCount returns the number of concluded design cycles — the
 // paper's "Trajectories" column.
 func (r *Result) TrajectoryCount() int { return len(r.Trajectories) }
+
+// CampaignTrace adapts the result into the telemetry exporter's view of
+// one campaign — its pilots, task timeline, queue-depth series, and (when
+// the campaign ran with telemetry on) its instants, ticks, and gauges.
+func (r *Result) CampaignTrace(label string) telemetry.CampaignTrace {
+	return telemetry.CampaignTrace{
+		Label:       label,
+		Pilots:      r.Pilots,
+		Tasks:       r.TaskRecords,
+		QueueSeries: r.QueueSeries,
+		Data:        r.Telemetry,
+	}
+}
+
+// CriticalPath runs the critical-path analysis over the campaign's task
+// records.
+func (r *Result) CriticalPath() telemetry.CriticalPath {
+	return telemetry.ComputeCriticalPath(r.TaskRecords)
+}
 
 // usefulWasted splits the campaign's consumed allocation time
 // (core-hours, setup through end, placed attempts only) into attempts

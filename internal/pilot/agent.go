@@ -50,6 +50,12 @@ type agent struct {
 	scratchStarted []bool
 	scratchOffered []bool
 	scratchNodes   []cluster.Request
+
+	// Telemetry gauge names, concatenated once at construction so the
+	// per-event gauge updates allocate nothing.
+	gaugeRunning   string
+	gaugeFreeCores string
+	gaugeFreeGPUs  string
 }
 
 // execution tracks one placed task: its allocation, its pending timeline
@@ -66,12 +72,37 @@ type execution struct {
 
 func newAgent(p *Pilot, clu *cluster.Cluster, rec *trace.Recorder, pol sched.Policy) *agent {
 	return &agent{
-		pilot:   p,
-		cluster: clu,
-		rec:     rec,
-		policy:  pol,
-		running: make(map[string]*execution),
+		pilot:          p,
+		cluster:        clu,
+		rec:            rec,
+		policy:         pol,
+		running:        make(map[string]*execution),
+		gaugeRunning:   p.ID + "/running",
+		gaugeFreeCores: p.ID + "/free-cores",
+		gaugeFreeGPUs:  p.ID + "/free-gpus",
 	}
+}
+
+// noteQueueDepth records the pilot's current queue depth in the trace
+// recorder's per-pilot series. Unchanged depths return without touching
+// recorder state, so blocked scheduling passes stay allocation-free.
+func (a *agent) noteQueueDepth() {
+	if a.rec != nil {
+		a.rec.SetQueueDepth(a.pilot.ordinal, a.pilot.engine.Now(), len(a.queue))
+	}
+}
+
+// noteOccupancy samples the telemetry gauges that track the pilot's
+// placement state. No-op (one nil check) when telemetry is off.
+func (a *agent) noteOccupancy() {
+	tel := a.pilot.tel
+	if tel == nil {
+		return
+	}
+	now := a.pilot.engine.Now()
+	tel.SetGauge(a.gaugeRunning, now, len(a.running))
+	tel.SetGauge(a.gaugeFreeCores, now, a.cluster.FreeCores())
+	tel.SetGauge(a.gaugeFreeGPUs, now, a.cluster.FreeGPUs())
 }
 
 // enqueue accepts a task from the TaskManager and tries to place it. A
@@ -81,6 +112,7 @@ func (a *agent) enqueue(t *Task) {
 	a.tm.transition(t, StateScheduling)
 	a.queue = append(a.queue, t)
 	a.blocked = false
+	a.noteQueueDepth()
 	if a.pilot.state == PilotActive {
 		a.schedule()
 	}
@@ -215,6 +247,7 @@ func (a *agent) finishPass(n int, remaining []*Task) {
 		a.blocked = true
 		a.blockedStamp = a.cluster.FreedStamp()
 	}
+	a.noteQueueDepth()
 }
 
 // resetBools returns a zeroed length-n bool slice, reusing *buf's backing
@@ -264,6 +297,7 @@ func (a *agent) startSetup(t *Task, alloc *cluster.Alloc) {
 	if a.rec != nil {
 		a.rec.AddPhase(trace.PhaseExecSetup, d)
 	}
+	a.noteOccupancy()
 	ev := a.pilot.engine.AfterTagged(d, t.ID, ":setup", "", func() {
 		a.activeSetups--
 		ex.inSetup = false
@@ -360,6 +394,7 @@ func (a *agent) finish(ex *execution, state TaskState, err error) {
 	}
 	a.cluster.Release(ex.alloc)
 	delete(a.running, t.ID)
+	a.noteOccupancy()
 	t.EndedAt = now
 	t.Err = err
 	if a.rec != nil {
@@ -391,6 +426,10 @@ func (a *agent) record(t *Task, state TaskState, placed bool) trace.TaskRecord {
 		Attempt:   t.Attempt,
 		Node:      t.Node(),
 		Fault:     faultName,
+		Pilot:     t.PilotID,
+		Pipeline:  t.Tag("pipeline"),
+		Stage:     t.Tag("stage"),
+		Origin:    t.Origin,
 	}
 }
 
@@ -414,6 +453,7 @@ func (a *agent) failWithFault(t *Task, kind fault.Kind, err error) {
 				break
 			}
 		}
+		a.noteQueueDepth()
 		t.EndedAt = a.pilot.engine.Now()
 		t.Err = err
 		if a.rec != nil {
@@ -476,6 +516,7 @@ func (a *agent) cancel(t *Task, reason string) {
 				break
 			}
 		}
+		a.noteQueueDepth()
 		t.EndedAt = a.pilot.engine.Now()
 		t.Err = fmt.Errorf("pilot: %s", reason)
 		if a.rec != nil {

@@ -7,6 +7,7 @@ import (
 
 	"impress/internal/fault"
 	"impress/internal/simclock"
+	"impress/internal/telemetry"
 	"impress/internal/xrand"
 )
 
@@ -304,6 +305,7 @@ func (in *injector) crash(i int) {
 	}
 	in.bookDown(i, causeCrash)
 	clu.SetNodeDown(i)
+	in.pilot.tel.Instant(in.pilot.engine.Now(), telemetry.KindNodeCrash, in.pilot.ordinal, i, clu.NodeDomain(i))
 	in.pilot.agent.failNode(i)
 	repair := in.spec.RepairWindow()
 	in.chains[i].ev = in.pilot.engine.AfterNamed(repair, fmt.Sprintf("%s:node%d:repair", in.pilot.ID, i), func() {
@@ -361,6 +363,7 @@ func (in *injector) repair(i int) {
 	in.downtime += in.pilot.engine.Now().Sub(s.downAt)
 	s.cause = causeNone
 	in.pilot.agent.cluster.SetNodeUp(i)
+	in.pilot.tel.Instant(in.pilot.engine.Now(), telemetry.KindNodeRepair, in.pilot.ordinal, i, "")
 	if in.pilot.state == PilotActive {
 		in.pilot.agent.schedule()
 	}
@@ -405,6 +408,7 @@ func (in *injector) outage(d *domainState) {
 	}
 	in.outages++
 	clu := in.pilot.agent.cluster
+	in.pilot.tel.Instant(in.pilot.engine.Now(), telemetry.KindOutage, in.pilot.ordinal, -1, d.name)
 	d.victims = d.victims[:0]
 	for i := 0; i < clu.NodeCount(); i++ {
 		if clu.NodeIsRemoved(i) || clu.NodeIsDown(i) || clu.NodeDomain(i) != d.name {
@@ -445,6 +449,9 @@ func (in *injector) restore(d *domainState) {
 		up = true
 	}
 	d.victims = d.victims[:0]
+	if up {
+		in.pilot.tel.Instant(in.pilot.engine.Now(), telemetry.KindRestore, in.pilot.ordinal, -1, d.name)
+	}
 	if up && in.pilot.state == PilotActive {
 		in.pilot.agent.schedule()
 	}
@@ -484,6 +491,7 @@ func (in *injector) maintOpen(idx int, m fault.Maintenance) {
 	in.maintVictims[idx] = victims
 	if len(victims) > 0 {
 		in.maintenances++
+		in.pilot.tel.Instant(in.pilot.engine.Now(), telemetry.KindMaintOpen, in.pilot.ordinal, -1, m.Domain)
 	}
 	for _, i := range victims {
 		in.pilot.agent.failNode(i)
@@ -512,6 +520,9 @@ func (in *injector) maintClose(idx int, m fault.Maintenance) {
 		up = true
 	}
 	in.maintVictims[idx] = in.maintVictims[idx][:0]
+	if up {
+		in.pilot.tel.Instant(in.pilot.engine.Now(), telemetry.KindMaintClose, in.pilot.ordinal, -1, m.Domain)
+	}
 	if up && in.pilot.state == PilotActive {
 		in.pilot.agent.schedule()
 	}

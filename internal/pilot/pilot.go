@@ -10,6 +10,7 @@ import (
 	"impress/internal/sched"
 	"impress/internal/simclock"
 	"impress/internal/steer"
+	"impress/internal/telemetry"
 	"impress/internal/trace"
 )
 
@@ -87,6 +88,7 @@ type PilotDescription struct {
 type PilotManager struct {
 	engine *simclock.Engine
 	rec    *trace.Recorder
+	tel    *telemetry.Recorder
 	nextID int
 }
 
@@ -98,6 +100,11 @@ func NewPilotManager(engine *simclock.Engine, rec *trace.Recorder) *PilotManager
 	}
 	return &PilotManager{engine: engine, rec: rec}
 }
+
+// SetTelemetry attaches the campaign's telemetry recorder. Pilots
+// submitted afterwards thread it through their agent and fault injector.
+// A nil recorder (the default) disables the whole layer.
+func (pm *PilotManager) SetTelemetry(tel *telemetry.Recorder) { pm.tel = tel }
 
 // Submit launches a pilot. The pilot becomes active after the bootstrap
 // delay; tasks submitted earlier queue in the agent.
@@ -146,11 +153,13 @@ func (pm *PilotManager) Submit(pd PilotDescription) (*Pilot, error) {
 	pm.nextID++
 	p := &Pilot{
 		ID:       fmt.Sprintf("pilot.%04d", pm.nextID),
+		ordinal:  pm.nextID - 1,
 		desc:     pd,
 		engine:   pm.engine,
 		state:    PilotLaunching,
 		recovery: rec,
 		steer:    steerName,
+		tel:      pm.tel,
 	}
 	p.agent = newAgent(p, clu, pm.rec, pol)
 	if pd.Fault.Enabled() {
@@ -183,10 +192,13 @@ func (pm *PilotManager) Submit(pd PilotDescription) (*Pilot, error) {
 // Pilot is a live pilot job: a resource allocation plus the agent running
 // on it.
 type Pilot struct {
-	ID     string
-	desc   PilotDescription
-	engine *simclock.Engine
-	agent  *agent
+	ID string
+	// ordinal is the zero-based launch index — the pilot's row in the
+	// trace recorder's queue series and the telemetry track layout.
+	ordinal int
+	desc    PilotDescription
+	engine  *simclock.Engine
+	agent   *agent
 
 	state     PilotState
 	activeAt  simclock.Time
@@ -195,7 +207,13 @@ type Pilot struct {
 	recovery fault.Policy
 	steer    string
 	injector *injector
+	// tel is the campaign's telemetry recorder; nil (the default)
+	// disables instant events and gauges for this pilot.
+	tel *telemetry.Recorder
 }
+
+// Ordinal returns the pilot's zero-based launch index.
+func (p *Pilot) Ordinal() int { return p.ordinal }
 
 // State returns the pilot lifecycle state.
 func (p *Pilot) State() PilotState { return p.state }

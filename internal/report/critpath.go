@@ -1,0 +1,111 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"impress/internal/core"
+)
+
+// CriticalPath renders the critical-path analysis of one campaign: the
+// chain of task attempts whose waits, setups, and runs account for the
+// entire makespan, followed by the per-stage slack table. A stage with
+// near-zero slack is the campaign's bottleneck — shortening anything
+// else cannot shorten the campaign.
+func CriticalPath(r *core.Result) string {
+	cp := r.CriticalPath()
+	var sb strings.Builder
+	label := r.Approach
+	if label == "" {
+		label = "campaign"
+	}
+	fmt.Fprintf(&sb, "Critical path (%s, seed %d): %d segment(s) spanning %.2f h\n",
+		label, r.Seed, len(cp.Segments), cp.Makespan.Hours())
+	sb.WriteString("(gap + wait + setup + run over the path sums to the makespan)\n")
+
+	t := NewTable("#", "Task", "Stage", "Pilot", "Att", "Gap", "Wait", "Setup", "Run", "End (h)")
+	for i, seg := range cp.Segments {
+		stage := seg.Stage
+		if stage == "" {
+			stage = seg.Name
+		}
+		t.AddRow(
+			fmt.Sprintf("%d", i+1),
+			seg.ID,
+			stage,
+			seg.Pilot,
+			fmt.Sprintf("%d", seg.Attempt),
+			fmtWait(seg.Gap),
+			fmtWait(seg.Wait),
+			fmtWait(seg.Setup),
+			fmtWait(seg.Run),
+			fmt.Sprintf("%.2f", seg.EndedAt.Hours()),
+		)
+	}
+	sb.WriteString(t.String())
+
+	sb.WriteString("\nPer-stage slack (min over attempts; 0 = on the critical path)\n")
+	st := NewTable("Stage", "Attempts", "On path", "Busy (h)", "Path time", "Slack")
+	for _, s := range cp.Stages {
+		st.AddRow(
+			s.Stage,
+			fmt.Sprintf("%d", s.Attempts),
+			fmt.Sprintf("%d", s.OnPath),
+			fmt.Sprintf("%.2f", s.Busy.Hours()),
+			fmtWait(s.PathTime),
+			fmtWait(s.Slack),
+		)
+	}
+	sb.WriteString(st.String())
+	return sb.String()
+}
+
+// CriticalPathCSV writes one row per critical-path segment for each
+// campaign — the machine-readable companion of CriticalPath.
+func CriticalPathCSV(w io.Writer, results []*core.Result) error {
+	if _, err := fmt.Fprintln(w, "approach,seed,segment,task,stage,pilot,attempt,"+
+		"gap_m,wait_m,setup_m,run_m,end_h"); err != nil {
+		return err
+	}
+	for _, r := range results {
+		if r == nil {
+			continue
+		}
+		cp := r.CriticalPath()
+		for i, seg := range cp.Segments {
+			stage := seg.Stage
+			if stage == "" {
+				stage = seg.Name
+			}
+			if _, err := fmt.Fprintf(w, "%s,%d,%d,%s,%s,%s,%d,%.4f,%.4f,%.4f,%.4f,%.4f\n",
+				r.Approach, r.Seed, i+1, seg.ID, stage, seg.Pilot, seg.Attempt,
+				seg.Gap.Minutes(), seg.Wait.Minutes(), seg.Setup.Minutes(),
+				seg.Run.Minutes(), seg.EndedAt.Hours()); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// StageSlackCSV writes the per-stage slack rows for each campaign.
+func StageSlackCSV(w io.Writer, results []*core.Result) error {
+	if _, err := fmt.Fprintln(w, "approach,seed,stage,attempts,on_path,busy_h,path_time_m,slack_m"); err != nil {
+		return err
+	}
+	for _, r := range results {
+		if r == nil {
+			continue
+		}
+		cp := r.CriticalPath()
+		for _, s := range cp.Stages {
+			if _, err := fmt.Fprintf(w, "%s,%d,%s,%d,%d,%.4f,%.4f,%.4f\n",
+				r.Approach, r.Seed, s.Stage, s.Attempts, s.OnPath,
+				s.Busy.Hours(), s.PathTime.Minutes(), s.Slack.Minutes()); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

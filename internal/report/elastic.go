@@ -21,7 +21,7 @@ func Elastic(results []*core.Result) string {
 	baselines, groups, names := groupElastic(results)
 
 	t := NewTable("Steer", "Runs", "Makespan (h)", "Speedup ×", "Queue wait", "Max wait",
-		"CPU %", "GPU %", "Transfers", "Traj", "ΔpLDDT")
+		"CPU %", "GPU %", "Transfers", "Vetoes", "Traj", "ΔpLDDT")
 	for _, name := range names {
 		rs := groups[name]
 		collect := func(f func(*core.Result) float64) []float64 {
@@ -42,7 +42,7 @@ func Elastic(results []*core.Result) string {
 			speedup = fmt.Sprintf("%.3f", stats.Median(speedups))
 		}
 		var meanWait, maxWait time.Duration
-		transfers := 0
+		transfers, vetoes := 0, 0
 		for _, r := range rs {
 			m, x := r.QueueWait()
 			meanWait += m
@@ -50,6 +50,7 @@ func Elastic(results []*core.Result) string {
 				maxWait = x
 			}
 			transfers += r.NodeTransfers
+			vetoes += r.SteerVetoes
 		}
 		meanWait /= time.Duration(len(rs))
 		t.AddRow(
@@ -62,6 +63,7 @@ func Elastic(results []*core.Result) string {
 			fmt.Sprintf("%.1f", 100*stats.Median(collect(func(r *core.Result) float64 { return r.CPUUtilization }))),
 			fmt.Sprintf("%.1f", 100*stats.Median(collect(func(r *core.Result) float64 { return r.GPUUtilization }))),
 			fmt.Sprintf("%d", transfers),
+			fmt.Sprintf("%d", vetoes),
 			fmt.Sprintf("%.1f", stats.Median(collect(func(r *core.Result) float64 { return float64(r.TrajectoryCount()) }))),
 			fmt.Sprintf("%+.2f", stats.Median(collect(func(r *core.Result) float64 { return r.NetDelta(core.PLDDTOf) }))),
 		)
@@ -105,7 +107,7 @@ func groupElastic(results []*core.Result) (map[uint64]float64, map[string][]*cor
 // machine-readable companion of Elastic.
 func ElasticCSV(w io.Writer, results []*core.Result) error {
 	if _, err := fmt.Fprintln(w, "steer,seed,approach,makespan_h,speedup,queue_wait_mean_m,queue_wait_max_m,"+
-		"cpu_util,gpu_util,node_transfers,trajectories,dplddt"); err != nil {
+		"cpu_util,gpu_util,node_transfers,steer_vetoes,trajectories,dplddt"); err != nil {
 		return err
 	}
 	baselines, _, _ := groupElastic(results)
@@ -118,10 +120,10 @@ func ElasticCSV(w io.Writer, results []*core.Result) error {
 			speedup = fmt.Sprintf("%.4f", base/r.Makespan.Hours())
 		}
 		mean, max := r.QueueWait()
-		if _, err := fmt.Fprintf(w, "%s,%d,%s,%.4f,%s,%.4f,%.4f,%.4f,%.4f,%d,%d,%.4f\n",
+		if _, err := fmt.Fprintf(w, "%s,%d,%s,%.4f,%s,%.4f,%.4f,%.4f,%.4f,%d,%d,%d,%.4f\n",
 			r.SteerLabel(), r.Seed, r.Approach, r.Makespan.Hours(), speedup,
 			mean.Minutes(), max.Minutes(), r.CPUUtilization, r.GPUUtilization,
-			r.NodeTransfers, r.TrajectoryCount(), r.NetDelta(core.PLDDTOf)); err != nil {
+			r.NodeTransfers, r.SteerVetoes, r.TrajectoryCount(), r.NetDelta(core.PLDDTOf)); err != nil {
 			return err
 		}
 	}

@@ -17,14 +17,21 @@ import (
 	"impress/internal/campaign"
 	"impress/internal/core"
 	"impress/internal/report"
+	"impress/internal/telemetry"
 )
 
 // Run builds the named scenario with p, executes it on workers engine
 // workers, and writes human-readable output to stdout and failures to
 // stderr. When csvPath is non-empty and the scenario declares a CSV
-// report, it is written there. The return value is the process exit code:
-// 0 on full success, 1 when any campaign failed, 2 on a build error.
-func Run(stdout, stderr io.Writer, name string, p campaign.Params, workers int, csvPath string) int {
+// report, it is written there. When chromePath is non-empty, telemetry
+// is switched on and every completed campaign's timeline is written
+// there in Chrome Trace Event Format (one Perfetto process track per
+// pilot). The return value is the process exit code: 0 on full success,
+// 1 when any campaign failed, 2 on a build error.
+func Run(stdout, stderr io.Writer, name string, p campaign.Params, workers int, csvPath, chromePath string) int {
+	if chromePath != "" {
+		p.Telemetry = true
+	}
 	campaigns, err := campaign.Build(name, p)
 	if err != nil {
 		fmt.Fprintln(stderr, err)
@@ -36,6 +43,7 @@ func Run(stdout, stderr io.Writer, name string, p campaign.Params, workers int, 
 	outs := campaign.Run(campaigns, workers)
 	failed := 0
 	var results []*core.Result
+	var labels []string
 	for _, o := range outs {
 		if o.Err != nil {
 			failed++
@@ -43,6 +51,7 @@ func Run(stdout, stderr io.Writer, name string, p campaign.Params, workers int, 
 			continue
 		}
 		results = append(results, o.Result)
+		labels = append(labels, o.Name)
 		fmt.Fprintf(stdout, "%-20s %s\n\n", o.Name, report.Summary(o.Result))
 	}
 	if sc.Report != nil && len(results) > 0 {
@@ -66,6 +75,25 @@ func Run(stdout, stderr io.Writer, name string, p campaign.Params, workers int, 
 				return 1
 			}
 			fmt.Fprintf(stdout, "wrote %s\n", csvPath)
+		}
+	}
+	if chromePath != "" {
+		// Same artifact discipline as the CSV: a requested trace is never
+		// silently missing.
+		if len(results) == 0 {
+			fmt.Fprintf(stderr, "warning: no campaign completed; %s not written\n", chromePath)
+		} else {
+			cts := make([]telemetry.CampaignTrace, len(results))
+			for i, r := range results {
+				cts[i] = r.CampaignTrace(labels[i])
+			}
+			if err := artifact.WriteFile(chromePath, func(w io.Writer) error {
+				return telemetry.WriteChromeTrace(w, cts)
+			}); err != nil {
+				fmt.Fprintln(stderr, err)
+				return 1
+			}
+			fmt.Fprintf(stdout, "wrote %s\n", chromePath)
 		}
 	}
 	if failed > 0 {

@@ -46,7 +46,7 @@ func TestRunWarnsWhenScenarioHasNoCSVReport(t *testing.T) {
 	})
 	csv := filepath.Join(t.TempDir(), "out.csv")
 	var stdout, stderr strings.Builder
-	code := Run(&stdout, &stderr, "srun-nocsv", campaign.Params{}, 1, csv)
+	code := Run(&stdout, &stderr, "srun-nocsv", campaign.Params{}, 1, csv, "")
 	if code != 0 {
 		t.Fatalf("exit %d, stderr: %s", code, stderr.String())
 	}
@@ -73,7 +73,7 @@ func TestRunWarnsWhenEveryCampaignFailed(t *testing.T) {
 	})
 	csv := filepath.Join(t.TempDir(), "out.csv")
 	var stdout, stderr strings.Builder
-	code := Run(&stdout, &stderr, "srun-allfail", campaign.Params{}, 1, csv)
+	code := Run(&stdout, &stderr, "srun-allfail", campaign.Params{}, 1, csv, "")
 	if code != 1 {
 		t.Fatalf("exit %d, want 1 (a campaign failed)", code)
 	}
@@ -98,7 +98,7 @@ func TestRunWritesDeclaredCSV(t *testing.T) {
 	})
 	csv := filepath.Join(t.TempDir(), "out.csv")
 	var stdout, stderr strings.Builder
-	code := Run(&stdout, &stderr, "srun-ok", campaign.Params{}, 1, csv)
+	code := Run(&stdout, &stderr, "srun-ok", campaign.Params{}, 1, csv, "")
 	if code != 0 {
 		t.Fatalf("exit %d, stderr: %s", code, stderr.String())
 	}
@@ -129,7 +129,7 @@ func TestRunFailsOnUnwritableCSV(t *testing.T) {
 	})
 	csv := filepath.Join(t.TempDir(), "missing-dir", "out.csv")
 	var stdout, stderr strings.Builder
-	code := Run(&stdout, &stderr, "srun-unwritable", campaign.Params{}, 1, csv)
+	code := Run(&stdout, &stderr, "srun-unwritable", campaign.Params{}, 1, csv, "")
 	if code != 1 {
 		t.Fatalf("exit %d, want 1 for an unwritable CSV", code)
 	}

@@ -1,11 +1,13 @@
 package steer
 
 import (
+	"fmt"
 	"time"
 
 	"impress/internal/cluster"
 	"impress/internal/fault"
 	"impress/internal/simclock"
+	"impress/internal/telemetry"
 )
 
 // Elastic is the slice of the pilot mechanism the controller drives.
@@ -43,6 +45,28 @@ type Move struct {
 	Node cluster.NodeCapacity
 }
 
+// Veto reasons: why the controller rejected a policy's proposed
+// transfer. Stable strings — they appear in reports and telemetry.
+const (
+	VetoBadProposal = "bad-proposal"
+	VetoFrozen      = "frozen"
+	VetoInactive    = "inactive"
+	VetoLastNode    = "last-node"
+	VetoNoCapacity  = "no-fitting-capacity"
+	VetoNonIdle     = "non-idle"
+)
+
+// Veto records one rejected transfer proposal and why.
+type Veto struct {
+	// At is the virtual time of the observation that vetoed the move.
+	At simclock.Time
+	// From and To are pilot indices as the policy proposed them (possibly
+	// out of range, for bad-proposal vetoes).
+	From, To int
+	// Reason is one of the Veto* constants.
+	Reason string
+}
+
 // Controller samples per-pilot pressure on the virtual timeline and
 // applies the steering policy's transfers through the pilots'
 // grow/shrink mechanism. It enforces, independently of the policy:
@@ -62,11 +86,28 @@ type Controller struct {
 
 	ticker *simclock.Ticker
 	moves  []Move
+	vetoes []Veto
 	onMove func(Move)
 
-	stats   []Stat // scratch, reused per observation
+	stats []Stat // scratch, reused per observation
+
+	// Derivative state feeding Stat's windowed signals, maintained
+	// incrementally across observations (one float and one int per
+	// pilot — no history kept).
+	utilWin   []float64
+	prevQueue []int
+	observed  bool
+
+	// tel, when set, receives a log of every tick's stats and each
+	// decision or veto; nil keeps the controller telemetry-free.
+	tel *telemetry.Recorder
+
 	stopped bool
 }
+
+// SetTelemetry attaches a telemetry recorder; every subsequent tick logs
+// its observed stats, applied moves, and vetoes into it.
+func (c *Controller) SetTelemetry(tel *telemetry.Recorder) { c.tel = tel }
 
 // NewController builds a controller over the pilots. frozen marks
 // pilots that opted out of steering (nil means all participate); onMove
@@ -88,13 +129,15 @@ func NewController(engine *simclock.Engine, pilots []Elastic, frozen []bool, pol
 		period = DefaultPeriod
 	}
 	return &Controller{
-		engine: engine,
-		pilots: pilots,
-		frozen: frozen,
-		pol:    pol,
-		period: period,
-		onMove: onMove,
-		stats:  make([]Stat, len(pilots)),
+		engine:    engine,
+		pilots:    pilots,
+		frozen:    frozen,
+		pol:       pol,
+		period:    period,
+		onMove:    onMove,
+		stats:     make([]Stat, len(pilots)),
+		utilWin:   make([]float64, len(pilots)),
+		prevQueue: make([]int, len(pilots)),
 	}
 }
 
@@ -125,6 +168,12 @@ func (c *Controller) Transfers() int { return len(c.moves) }
 // Moves returns a copy of the applied transfer log.
 func (c *Controller) Moves() []Move { return append([]Move(nil), c.moves...) }
 
+// Vetoes returns a copy of the rejected-proposal log.
+func (c *Controller) Vetoes() []Veto { return append([]Veto(nil), c.vetoes...) }
+
+// VetoCount returns the number of proposals vetoed so far.
+func (c *Controller) VetoCount() int { return len(c.vetoes) }
+
 // observe is one steering decision point: snapshot pressure, ask the
 // policy, apply what survives validation.
 func (c *Controller) observe() {
@@ -139,11 +188,47 @@ func (c *Controller) observe() {
 			st.Running = p.RunningCount()
 			st.Nodes = clu.UpNodeCount()
 			st.Idle = len(clu.TransferableNodes())
+			if cores := clu.CapCores(); cores > 0 {
+				st.Util = float64(cores-clu.FreeCores()) / float64(cores)
+			}
 		}
+		// Windowed derivatives, maintained incrementally. The first
+		// observation seeds the EWMA and reports a zero delta.
+		if c.observed {
+			c.utilWin[i] = 0.5*c.utilWin[i] + 0.5*st.Util
+			st.QueueDelta = st.Queue - c.prevQueue[i]
+		} else {
+			c.utilWin[i] = st.Util
+		}
+		st.UtilWindow = c.utilWin[i]
+		c.prevQueue[i] = st.Queue
 		c.stats[i] = st
 	}
+	c.observed = true
+
+	movesBefore, vetoesBefore := len(c.moves), len(c.vetoes)
 	for _, tr := range c.pol.Decide(c.stats) {
 		c.apply(tr)
+	}
+
+	if c.tel.Enabled() {
+		samples := make([]telemetry.PilotSample, len(c.stats))
+		for i, st := range c.stats {
+			samples[i] = telemetry.PilotSample{
+				Queue: st.Queue, Running: st.Running, Nodes: st.Nodes,
+				Idle: st.Idle, Frozen: st.Frozen, Util: st.Util,
+				UtilWindow: st.UtilWindow, QueueDelta: st.QueueDelta,
+			}
+		}
+		var actions []string
+		for _, mv := range c.moves[movesBefore:] {
+			actions = append(actions, fmt.Sprintf("move %d->%d (%dc/%dg/%dGB)",
+				mv.From, mv.To, mv.Node.Cores, mv.Node.GPUs, mv.Node.MemGB))
+		}
+		for _, v := range c.vetoes[vetoesBefore:] {
+			actions = append(actions, fmt.Sprintf("veto %d->%d: %s", v.From, v.To, v.Reason))
+		}
+		c.tel.Tick(c.engine.Now(), samples, actions)
 	}
 }
 
@@ -153,13 +238,16 @@ func (c *Controller) observe() {
 // mechanism may not.
 func (c *Controller) apply(tr Transfer) {
 	if tr.From < 0 || tr.From >= len(c.pilots) || tr.To < 0 || tr.To >= len(c.pilots) || tr.From == tr.To {
+		c.veto(tr, VetoBadProposal)
 		return
 	}
 	if c.frozen[tr.From] || c.frozen[tr.To] {
+		c.veto(tr, VetoFrozen)
 		return
 	}
 	from, to := c.pilots[tr.From], c.pilots[tr.To]
 	if !from.Active() || !to.Active() {
+		c.veto(tr, VetoInactive)
 		return
 	}
 	clu := from.Cluster()
@@ -167,23 +255,44 @@ func (c *Controller) apply(tr Transfer) {
 		// Donating the last operational node would leave the pilot with
 		// zero schedulable capacity (a crashed node still "belonging" to
 		// it does not count until repair).
+		c.veto(tr, VetoLastNode)
 		return
 	}
 	id, ok := c.usefulNode(clu, to)
 	if !ok {
+		c.veto(tr, VetoNoCapacity)
 		return
 	}
 	nc, ch, err := from.ShrinkNode(id)
 	if err != nil {
 		// The node stopped being idle between snapshot and application;
 		// skip rather than chase another.
+		c.veto(tr, VetoNonIdle)
 		return
 	}
 	to.GrowNode(nc, ch)
 	mv := Move{At: c.engine.Now(), From: tr.From, To: tr.To, Node: nc}
 	c.moves = append(c.moves, mv)
+	if c.tel.Enabled() {
+		c.tel.Instant(mv.At, telemetry.KindSteerMove, tr.To, -1,
+			fmt.Sprintf("%d->%d %dc/%dg/%dGB", tr.From, tr.To, nc.Cores, nc.GPUs, nc.MemGB))
+	}
 	if c.onMove != nil {
 		c.onMove(mv)
+	}
+}
+
+// veto logs one rejected proposal.
+func (c *Controller) veto(tr Transfer, reason string) {
+	v := Veto{At: c.engine.Now(), From: tr.From, To: tr.To, Reason: reason}
+	c.vetoes = append(c.vetoes, v)
+	if c.tel.Enabled() {
+		pilot := tr.To
+		if pilot < 0 || pilot >= len(c.pilots) {
+			pilot = -1
+		}
+		c.tel.Instant(v.At, telemetry.KindSteerVeto, pilot, -1,
+			fmt.Sprintf("%d->%d: %s", tr.From, tr.To, reason))
 	}
 }
 

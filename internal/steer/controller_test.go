@@ -13,6 +13,7 @@ import (
 	"impress/internal/pilot"
 	"impress/internal/simclock"
 	"impress/internal/steer"
+	"impress/internal/telemetry"
 	"impress/internal/trace"
 )
 
@@ -204,5 +205,133 @@ func TestControllerKeepsLastOperationalNode(t *testing.T) {
 	}
 	if got := r.pilots[1].Cluster().ActiveNodeCount(); got != 2 {
 		t.Fatalf("GPU pilot has %d nodes", got)
+	}
+}
+
+// capturePolicy records every stats snapshot it is shown and proposes a
+// fixed transfer list each observation.
+type capturePolicy struct {
+	snaps    [][]steer.Stat
+	proposal []steer.Transfer
+}
+
+func (p *capturePolicy) Name() string { return "capture" }
+func (p *capturePolicy) Decide(stats []steer.Stat) []steer.Transfer {
+	p.snaps = append(p.snaps, append([]steer.Stat(nil), stats...))
+	return p.proposal
+}
+
+// TestControllerRecordsVetoes: every rejected proposal lands in the veto
+// log with the mechanism's reason, and applied-move counting stays
+// separate.
+func TestControllerRecordsVetoes(t *testing.T) {
+	r := newRig(t, 2)
+	pol := &capturePolicy{proposal: []steer.Transfer{
+		{From: 5, To: 0}, // out of range
+		{From: 1, To: 1}, // self-transfer
+		{From: 1, To: 0}, // no queued CPU work fits nothing -> no-fitting-capacity
+	}}
+	ctl := steer.NewController(r.engine, elastics(r.pilots), nil, pol, steer.DefaultPeriod, nil)
+	ctl.Start()
+	// One short task keeps the engine alive past a few observations.
+	r.tm.MustSubmit(pilot.TaskDescription{
+		Name: "cpu", Cores: 2, Pilot: r.pilots[0].ID, Work: cpuWork(time.Hour, 2),
+	})
+	r.engine.RunUntil(simclock.FromHours(1))
+	ctl.Stop()
+	r.engine.Run()
+
+	if ctl.Transfers() != 0 {
+		t.Fatalf("%d transfers applied from invalid proposals", ctl.Transfers())
+	}
+	vetoes := ctl.Vetoes()
+	if len(vetoes) == 0 || ctl.VetoCount() != len(vetoes) {
+		t.Fatalf("veto log empty or miscounted: %d vs %d", len(vetoes), ctl.VetoCount())
+	}
+	reasons := make(map[string]int)
+	for _, v := range vetoes {
+		reasons[v.Reason]++
+	}
+	if reasons[steer.VetoBadProposal] == 0 {
+		t.Fatalf("no bad-proposal vetoes in %v", reasons)
+	}
+	if reasons[steer.VetoNoCapacity] == 0 {
+		t.Fatalf("no no-fitting-capacity vetoes in %v", reasons)
+	}
+	// The returned log is a copy.
+	vetoes[0].Reason = "mutated"
+	if ctl.Vetoes()[0].Reason == "mutated" {
+		t.Fatal("Vetoes exposed internal slice")
+	}
+}
+
+// TestControllerStatDerivatives pins the windowed telemetry signals the
+// controller maintains for predictive policies: Util reflects allocated
+// capacity, UtilWindow is seeded by the first sample, and QueueDelta is
+// zero first and tracks queue growth afterwards.
+func TestControllerStatDerivatives(t *testing.T) {
+	r := newRig(t, 2)
+	pol := &capturePolicy{}
+	ctl := steer.NewController(r.engine, elastics(r.pilots), nil, pol, steer.DefaultPeriod, nil)
+	ctl.Start()
+	for i := 0; i < 16; i++ {
+		r.tm.MustSubmit(pilot.TaskDescription{
+			Name: "cpu", Cores: 8, Pilot: r.pilots[0].ID, Work: cpuWork(4*time.Hour, 8),
+		})
+	}
+	r.engine.RunUntil(simclock.FromHours(2))
+	ctl.Stop()
+	r.engine.Run()
+
+	if len(pol.snaps) < 2 {
+		t.Fatalf("only %d observations", len(pol.snaps))
+	}
+	first, second := pol.snaps[0], pol.snaps[1]
+	if first[0].QueueDelta != 0 {
+		t.Fatalf("first QueueDelta = %d, want 0", first[0].QueueDelta)
+	}
+	if first[0].UtilWindow != first[0].Util {
+		t.Fatalf("first UtilWindow = %v, want seeded to Util %v", first[0].UtilWindow, first[0].Util)
+	}
+	if first[0].Util <= 0 || first[0].Util > 1 {
+		t.Fatalf("flooded pilot Util = %v", first[0].Util)
+	}
+	wantWin := 0.5*first[0].UtilWindow + 0.5*second[0].Util
+	if diff := second[0].UtilWindow - wantWin; diff > 1e-12 || diff < -1e-12 {
+		t.Fatalf("second UtilWindow = %v, want EWMA %v", second[0].UtilWindow, wantWin)
+	}
+	if second[0].QueueDelta != second[0].Queue-first[0].Queue {
+		t.Fatalf("QueueDelta = %d, want %d", second[0].QueueDelta, second[0].Queue-first[0].Queue)
+	}
+}
+
+// TestControllerTelemetryLog: with a recorder attached, every tick lands
+// in the timeline with its per-pilot samples, and vetoes emit instants.
+func TestControllerTelemetryLog(t *testing.T) {
+	r := newRig(t, 2)
+	pol := &capturePolicy{proposal: []steer.Transfer{{From: 9, To: 9}}}
+	ctl := steer.NewController(r.engine, elastics(r.pilots), nil, pol, steer.DefaultPeriod, nil)
+	tel := telemetry.NewRecorder()
+	ctl.SetTelemetry(tel)
+	ctl.Start()
+	r.tm.MustSubmit(pilot.TaskDescription{
+		Name: "cpu", Cores: 2, Pilot: r.pilots[0].ID, Work: cpuWork(time.Hour, 2),
+	})
+	r.engine.RunUntil(simclock.FromHours(1))
+	ctl.Stop()
+	r.engine.Run()
+
+	d := tel.Data()
+	if len(d.Ticks) != len(pol.snaps) {
+		t.Fatalf("%d ticks logged for %d observations", len(d.Ticks), len(pol.snaps))
+	}
+	if len(d.Ticks[0].Pilots) != 2 {
+		t.Fatalf("tick samples = %d pilots, want 2", len(d.Ticks[0].Pilots))
+	}
+	if len(d.Ticks[0].Actions) == 0 {
+		t.Fatal("vetoed observation logged no actions")
+	}
+	if tel.Counter(telemetry.KindSteerVeto) == 0 {
+		t.Fatal("no steer-veto instants recorded")
 	}
 }

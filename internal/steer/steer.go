@@ -47,6 +47,21 @@ type Stat struct {
 	// Frozen marks a pilot that opted out of steering; it neither
 	// donates nor receives nodes, whatever the policy proposes.
 	Frozen bool
+
+	// Derivative signals, maintained incrementally by the controller
+	// across observations (the telemetry layer's cheap windowed
+	// aggregates). Existing policies ignore them; they exist so
+	// predictive policies can move capacity before a queue forms.
+
+	// Util is the fraction of the pilot's core capacity currently
+	// allocated (0..1; 0 when the pilot has no capacity).
+	Util float64
+	// UtilWindow is an exponentially weighted moving average of Util
+	// over past observations (alpha 0.5; seeded with the first sample).
+	UtilWindow float64
+	// QueueDelta is the queue-length change since the previous
+	// observation (0 at the first).
+	QueueDelta int
 }
 
 // Transfer proposes moving one node between pilots, by index into the
@@ -73,7 +88,7 @@ type Policy interface {
 // pre-steering runtime.
 type nonePolicy struct{}
 
-func (nonePolicy) Name() string                { return "none" }
+func (nonePolicy) Name() string                   { return "none" }
 func (nonePolicy) Decide(stats []Stat) []Transfer { return nil }
 
 // greedyPolicy rebalances the moment pressure appears: every observation,

@@ -1,0 +1,265 @@
+package telemetry
+
+import (
+	"sort"
+	"time"
+
+	"impress/internal/simclock"
+	"impress/internal/trace"
+)
+
+// PathSegment is one attempt on the critical path, with its time budget
+// split into the gap before submission (waiting on a predecessor-free
+// decision point), queue wait, exec setup, and run phases. Gap + Wait +
+// Setup + Run spans [prevEnd, EndedAt] exactly, so the segments of a
+// path partition [0, makespan].
+type PathSegment struct {
+	ID        string        `json:"id"`
+	Name      string        `json:"name"`
+	Stage     string        `json:"stage,omitempty"`
+	Pilot     string        `json:"pilot,omitempty"`
+	Attempt   int           `json:"attempt"`
+	Submitted simclock.Time `json:"submitted"`
+	EndedAt   simclock.Time `json:"ended"`
+	Gap       time.Duration `json:"gap"`
+	Wait      time.Duration `json:"wait"`
+	Setup     time.Duration `json:"setup"`
+	Run       time.Duration `json:"run"`
+}
+
+// Total returns the span of virtual time this segment accounts for.
+func (s PathSegment) Total() time.Duration { return s.Gap + s.Wait + s.Setup + s.Run }
+
+// StageSlack aggregates critical-path exposure per pipeline stage.
+type StageSlack struct {
+	Stage string `json:"stage"`
+	// Attempts counts all recorded attempts of the stage.
+	Attempts int `json:"attempts"`
+	// OnPath counts the stage's attempts on the critical path.
+	OnPath int `json:"on_path"`
+	// Busy is total running-phase time across all attempts.
+	Busy time.Duration `json:"busy"`
+	// PathTime is occupied time (wait+setup+run) of the stage's
+	// critical-path segments.
+	PathTime time.Duration `json:"path_time"`
+	// Slack is the minimum CPM slack among the stage's attempts — how
+	// far the tightest attempt could slip without growing the makespan.
+	// Critical stages have zero slack.
+	Slack time.Duration `json:"slack"`
+}
+
+// CriticalPath is the longest dependency-ordered chain of task attempts
+// in a campaign, reconstructed from the recorded timeline.
+type CriticalPath struct {
+	// Makespan is the virtual time from campaign start (t=0) to the last
+	// attempt's end; the segments' Total() durations sum to it exactly.
+	Makespan time.Duration `json:"makespan"`
+	Segments []PathSegment `json:"segments"`
+	Stages   []StageSlack  `json:"stages"`
+}
+
+// splitPhases partitions an attempt's occupied span [Submitted, EndedAt]
+// into wait/setup/run, tolerating attempts that never reached setup or
+// run (crashed mid-setup, cancelled while queued).
+func splitPhases(t trace.TaskRecord) (wait, setup, run time.Duration) {
+	switch {
+	case t.RunAt > 0 || (t.Placed && t.SetupAt >= 0 && t.RunAt > t.SetupAt):
+		return t.SetupAt.Sub(t.Submitted), t.RunAt.Sub(t.SetupAt), t.EndedAt.Sub(t.RunAt)
+	case t.SetupAt > 0 || t.Placed:
+		return t.SetupAt.Sub(t.Submitted), t.EndedAt.Sub(t.SetupAt), 0
+	default:
+		return t.EndedAt.Sub(t.Submitted), 0, 0
+	}
+}
+
+// ComputeCriticalPath reconstructs the campaign's dependency chain from
+// task records. Edges come from two deterministic sources: retry chains
+// (attempts sharing an Origin, ordered by Attempt) and virtual-time
+// causality (an attempt submitted at exactly the instant a predecessor
+// ended — the coordinator submits follow-on stages synchronously, so in
+// simulated time the match is exact, not heuristic). The returned
+// segments walk back from the attempt that ends last; gaps with no exact
+// predecessor are charged to the segment's Gap.
+func ComputeCriticalPath(tasks []trace.TaskRecord) CriticalPath {
+	if len(tasks) == 0 {
+		return CriticalPath{}
+	}
+	recs := append([]trace.TaskRecord(nil), tasks...)
+	sort.Slice(recs, func(i, j int) bool {
+		if recs[i].Submitted != recs[j].Submitted {
+			return recs[i].Submitted < recs[j].Submitted
+		}
+		return recs[i].ID < recs[j].ID
+	})
+
+	// Indexes for predecessor lookup.
+	byEnd := make(map[simclock.Time][]int, len(recs))  // EndedAt -> record indices
+	byChain := make(map[string]map[int]int, len(recs)) // Origin -> Attempt -> index
+	last := 0
+	for i, r := range recs {
+		byEnd[r.EndedAt] = append(byEnd[r.EndedAt], i)
+		if r.Origin != "" {
+			m := byChain[r.Origin]
+			if m == nil {
+				m = make(map[int]int, 2)
+				byChain[r.Origin] = m
+			}
+			m[r.Attempt] = i
+		}
+		if r.EndedAt > recs[last].EndedAt ||
+			(r.EndedAt == recs[last].EndedAt && r.ID < recs[last].ID) {
+			last = i
+		}
+	}
+	makespanEnd := recs[last].EndedAt
+
+	// pred picks the deterministic predecessor of attempt i, or -1.
+	pred := func(i int) int {
+		r := recs[i]
+		if r.Attempt > 1 && r.Origin != "" {
+			if j, ok := byChain[r.Origin][r.Attempt-1]; ok {
+				return j
+			}
+		}
+		// Exact-time causality: prefer a same-pipeline predecessor, then
+		// any exact match (sub-pipeline spawns cross pipeline IDs);
+		// lowest ID breaks ties for determinism.
+		best, bestSame := -1, -1
+		for _, j := range byEnd[r.Submitted] {
+			if j == i {
+				continue
+			}
+			p := recs[j]
+			if p.Pipeline != "" && p.Pipeline == r.Pipeline {
+				if bestSame < 0 || p.ID < recs[bestSame].ID {
+					bestSame = j
+				}
+			}
+			if best < 0 || p.ID < recs[best].ID {
+				best = j
+			}
+		}
+		if bestSame >= 0 {
+			return bestSame
+		}
+		return best
+	}
+
+	// Backward walk from the last-ending attempt.
+	var chain []int
+	onPath := make(map[int]bool)
+	for i := last; i >= 0 && !onPath[i]; {
+		onPath[i] = true
+		chain = append(chain, i)
+		j := pred(i)
+		if j < 0 || recs[j].EndedAt > recs[i].Submitted {
+			// No usable predecessor (or a cycle-breaking guard tripped):
+			// the walk falls back to the latest attempt ending strictly
+			// before this submission, charging the difference to Gap.
+			j = -1
+			for k, p := range recs {
+				if onPath[k] || p.EndedAt >= recs[i].Submitted || recs[i].Submitted == 0 {
+					continue
+				}
+				if j < 0 || p.EndedAt > recs[j].EndedAt ||
+					(p.EndedAt == recs[j].EndedAt && p.ID < recs[j].ID) {
+					j = k
+				}
+			}
+		}
+		if j < 0 {
+			break
+		}
+		i = j
+	}
+	// chain is end-to-start; reverse it and build segments.
+	segs := make([]PathSegment, 0, len(chain))
+	prevEnd := simclock.Time(0)
+	for k := len(chain) - 1; k >= 0; k-- {
+		r := recs[chain[k]]
+		wait, setup, run := splitPhases(r)
+		segs = append(segs, PathSegment{
+			ID:        r.ID,
+			Name:      r.Name,
+			Stage:     stageOf(r),
+			Pilot:     r.Pilot,
+			Attempt:   r.Attempt,
+			Submitted: r.Submitted,
+			EndedAt:   r.EndedAt,
+			Gap:       r.Submitted.Sub(prevEnd),
+			Wait:      wait,
+			Setup:     setup,
+			Run:       run,
+		})
+		prevEnd = r.EndedAt
+	}
+
+	// CPM backward pass for per-attempt slack. Successor edges mirror
+	// pred()'s exact-time and retry-chain sources.
+	lf := make([]simclock.Time, len(recs))
+	for i := range lf {
+		lf[i] = makespanEnd
+	}
+	// Process in descending submission order so every successor's latest
+	// finish is final before its predecessors read it.
+	for i := len(recs) - 1; i >= 0; i-- {
+		r := recs[i]
+		ls := lf[i] - (r.EndedAt - r.Submitted) // latest start of attempt i
+		// Retry edge: previous attempt must finish before this starts.
+		if r.Attempt > 1 && r.Origin != "" {
+			if j, ok := byChain[r.Origin][r.Attempt-1]; ok && lf[j] > ls {
+				lf[j] = ls
+			}
+		}
+		// Exact-time edges: anything ending at this submission instant.
+		for _, j := range byEnd[r.Submitted] {
+			if j != i && lf[j] > ls {
+				lf[j] = ls
+			}
+		}
+	}
+
+	// Per-stage aggregation.
+	agg := make(map[string]*StageSlack)
+	order := []string{}
+	for i, r := range recs {
+		st := stageOf(r)
+		s := agg[st]
+		if s == nil {
+			s = &StageSlack{Stage: st, Slack: time.Duration(1<<62 - 1)}
+			agg[st] = s
+			order = append(order, st)
+		}
+		s.Attempts++
+		_, _, run := splitPhases(r)
+		s.Busy += run
+		if sl := lf[i].Sub(r.EndedAt); sl < s.Slack {
+			s.Slack = sl
+		}
+		if onPath[i] {
+			s.OnPath++
+			wait, setup, run := splitPhases(r)
+			s.PathTime += wait + setup + run
+		}
+	}
+	sort.Strings(order)
+	stages := make([]StageSlack, 0, len(order))
+	for _, st := range order {
+		stages = append(stages, *agg[st])
+	}
+
+	return CriticalPath{
+		Makespan: time.Duration(makespanEnd),
+		Segments: segs,
+		Stages:   stages,
+	}
+}
+
+// stageOf labels a record by its pipeline stage, falling back to the
+// task name for records written before stage tagging existed.
+func stageOf(r trace.TaskRecord) string {
+	if r.Stage != "" {
+		return r.Stage
+	}
+	return r.Name
+}

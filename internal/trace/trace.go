@@ -55,6 +55,16 @@ type TaskRecord struct {
 	Node int
 	// Fault names what killed a failed attempt ("" while healthy).
 	Fault string
+	// Pilot is the ID of the pilot the attempt was routed to ("" in
+	// records written before the telemetry layer).
+	Pilot string
+	// Pipeline and Stage carry the protocol routing tags ("" when the
+	// task was submitted outside a pipeline).
+	Pipeline string
+	Stage    string
+	// Origin is the logical task identity shared by every attempt of a
+	// retry chain (the first attempt's ID; "" in old records).
+	Origin string
 }
 
 // Wait returns time from submission to the start of exec setup.
@@ -77,6 +87,11 @@ type Recorder struct {
 
 	cpuSeries []Point
 	gpuSeries []Point
+
+	// queueSeries holds one step series per pilot ordinal: the pilot's
+	// queue depth over virtual time. Grown lazily the first time a pilot
+	// reports; same coalescing discipline as the busy-series.
+	queueSeries [][]Point
 
 	phases map[string]time.Duration
 	tasks  []TaskRecord
@@ -146,6 +161,41 @@ func (r *Recorder) AddBusy(t simclock.Time, dCores, dGPUs int) {
 		r.end = t
 	}
 }
+
+// SetQueueDepth records pilot's queue depth at time t. Pilot is the
+// zero-based pilot ordinal. Unchanged depths return without touching the
+// series, so scheduling passes that move nothing stay allocation-free.
+func (r *Recorder) SetQueueDepth(pilot int, t simclock.Time, depth int) {
+	if pilot < 0 {
+		panic("trace: negative pilot ordinal")
+	}
+	if r.closed {
+		panic("trace: SetQueueDepth after Close")
+	}
+	for len(r.queueSeries) <= pilot {
+		r.queueSeries = append(r.queueSeries, nil)
+	}
+	s := r.queueSeries[pilot]
+	if len(s) > 0 && s[len(s)-1].Value == depth {
+		return
+	}
+	r.appendPoint(&r.queueSeries[pilot], t, depth)
+	if t > r.end {
+		r.end = t
+	}
+}
+
+// QueueSeries returns a copy of the queue-depth step series for the
+// given pilot ordinal (nil when the pilot never reported).
+func (r *Recorder) QueueSeries(pilot int) []Point {
+	if pilot < 0 || pilot >= len(r.queueSeries) {
+		return nil
+	}
+	return append([]Point(nil), r.queueSeries[pilot]...)
+}
+
+// QueuePilots returns how many pilot queue series have been started.
+func (r *Recorder) QueuePilots() int { return len(r.queueSeries) }
 
 func (r *Recorder) appendPoint(series *[]Point, t simclock.Time, v int) {
 	s := *series

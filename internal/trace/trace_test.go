@@ -206,3 +206,86 @@ func TestEmptySpanUtilization(t *testing.T) {
 		t.Fatal("utilization of empty span should be 0")
 	}
 }
+
+func TestQueueDepthSeries(t *testing.T) {
+	r := NewRecorder(8, 1, 0)
+	r.SetQueueDepth(0, hour(1), 3)
+	r.SetQueueDepth(0, hour(2), 3) // unchanged: no new point
+	r.SetQueueDepth(0, hour(3), 1)
+	r.SetQueueDepth(2, hour(3), 5) // sparse pilot index grows the slice
+	s := r.QueueSeries(0)
+	if len(s) != 2 || s[0] != (Point{T: hour(1), Value: 3}) || s[1] != (Point{T: hour(3), Value: 1}) {
+		t.Fatalf("queue series = %+v", s)
+	}
+	if r.QueuePilots() != 3 {
+		t.Fatalf("QueuePilots = %d, want 3", r.QueuePilots())
+	}
+	if got := r.QueueSeries(1); got != nil {
+		t.Fatalf("pilot 1 series = %+v, want nil", got)
+	}
+	if got := r.QueueSeries(9); got != nil {
+		t.Fatalf("out-of-range pilot series = %+v, want nil", got)
+	}
+	// The returned series is a copy.
+	s[0].Value = 99
+	if r.QueueSeries(0)[0].Value != 3 {
+		t.Fatal("QueueSeries exposed internal slice")
+	}
+}
+
+func TestQueueDepthSameTimestampCoalesces(t *testing.T) {
+	r := NewRecorder(8, 1, 0)
+	r.SetQueueDepth(0, hour(1), 2)
+	r.SetQueueDepth(0, hour(1), 4)
+	s := r.QueueSeries(0)
+	if len(s) != 1 || s[0].Value != 4 {
+		t.Fatalf("series = %+v", s)
+	}
+}
+
+func TestQueueDepthSampleResample(t *testing.T) {
+	r := NewRecorder(8, 1, 0)
+	r.SetQueueDepth(0, 0, 0)
+	r.SetQueueDepth(0, hour(1), 6)
+	r.SetQueueDepth(0, hour(2), 2)
+	s := r.QueueSeries(0)
+	if Sample(s, hour(1.5)) != 6 {
+		t.Fatalf("Sample = %v, want 6", Sample(s, hour(1.5)))
+	}
+	rs := Resample(s, 0, hour(2), 5)
+	want := []float64{0, 0, 6, 6, 2}
+	for i := range want {
+		if rs[i] != want[i] {
+			t.Fatalf("Resample = %v, want %v", rs, want)
+		}
+	}
+}
+
+func TestQueueDepthNegativePilotPanics(t *testing.T) {
+	r := NewRecorder(8, 1, 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for a negative pilot ordinal")
+		}
+	}()
+	r.SetQueueDepth(-1, hour(1), 1)
+}
+
+func TestQueueDepthAfterClosePanics(t *testing.T) {
+	r := NewRecorder(8, 1, 0)
+	r.Close(hour(1))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for SetQueueDepth after Close")
+		}
+	}()
+	r.SetQueueDepth(0, hour(2), 1)
+}
+
+func TestQueueDepthExtendsMakespan(t *testing.T) {
+	r := NewRecorder(8, 1, 0)
+	r.SetQueueDepth(0, hour(3), 1)
+	if r.Makespan() != 3*time.Hour {
+		t.Fatalf("Makespan = %v, want 3h", r.Makespan())
+	}
+}

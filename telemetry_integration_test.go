@@ -1,0 +1,112 @@
+package impress_test
+
+// End-to-end telemetry regression layer, pinned against the same seed-42
+// pair scenario as the golden trace: the Chrome-trace export must be valid
+// and deterministic, the result must carry the full telemetry payload, and
+// the critical path must partition the makespan exactly.
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"impress"
+)
+
+// runPairTelemetry executes the pair scenario at seed 42 with the
+// telemetry recorder enabled and returns both campaign results
+// (CONT-V, IM-RP).
+func runPairTelemetry(t *testing.T) []*impress.Result {
+	t.Helper()
+	campaigns, err := impress.BuildScenario("pair", impress.ScenarioParams{
+		Seed:      42,
+		Telemetry: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	outs := impress.RunCampaigns(campaigns, 1)
+	results := make([]*impress.Result, len(outs))
+	for i, o := range outs {
+		if o.Err != nil {
+			t.Fatalf("campaign %s failed: %v", o.Name, o.Err)
+		}
+		results[i] = o.Result
+	}
+	return results
+}
+
+func TestTelemetryPayloadPopulated(t *testing.T) {
+	for _, res := range runPairTelemetry(t) {
+		if res.Telemetry == nil {
+			t.Fatalf("%s: telemetry enabled but Result.Telemetry is nil", res.Approach)
+		}
+		if len(res.QueueSeries) == 0 {
+			t.Fatalf("%s: no queue-depth series recorded", res.Approach)
+		}
+		// Gauges are maintained per pilot: running tasks plus free
+		// cores at minimum (the pair machines all have CPU cores).
+		var running, free bool
+		for n := range res.Telemetry.Series {
+			running = running || strings.HasSuffix(n, "/running")
+			free = free || strings.HasSuffix(n, "/free-cores")
+		}
+		if !running || !free {
+			t.Fatalf("%s: occupancy gauges missing from recorded series", res.Approach)
+		}
+	}
+}
+
+func TestChromeTraceEndToEnd(t *testing.T) {
+	results := runPairTelemetry(t)
+	labels := []string{"contv", "imrp"}
+
+	render := func() []byte {
+		var buf bytes.Buffer
+		if err := impress.WriteChromeTrace(&buf, results, labels); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a, b := render(), render()
+	if !bytes.Equal(a, b) {
+		t.Fatal("chrome trace rendering is not deterministic")
+	}
+	if err := impress.ValidateChromeTrace(a); err != nil {
+		t.Fatalf("exported chrome trace is malformed: %v", err)
+	}
+}
+
+// TestCriticalPathPartitionsMakespan pins the structural invariant of the
+// critical-path analysis on a real campaign: the chain of segments tiles
+// [0, makespan] with no gaps or overlaps, so per-segment phase durations
+// (gap + wait + setup + run) sum exactly to the campaign makespan.
+func TestCriticalPathPartitionsMakespan(t *testing.T) {
+	for _, res := range runPairTelemetry(t) {
+		cp := res.CriticalPath()
+		if len(cp.Segments) == 0 {
+			t.Fatalf("%s: empty critical path", res.Approach)
+		}
+		var sum int64
+		for _, seg := range cp.Segments {
+			sum += int64(seg.Total())
+		}
+		if sum != int64(cp.Makespan) {
+			t.Fatalf("%s: critical-path segments sum to %d ns, makespan is %d ns",
+				res.Approach, sum, int64(cp.Makespan))
+		}
+		if cp.Makespan != res.Makespan {
+			t.Fatalf("%s: critical-path makespan %v != campaign makespan %v",
+				res.Approach, cp.Makespan, res.Makespan)
+		}
+		if len(cp.Stages) == 0 {
+			t.Fatalf("%s: no per-stage slack rows", res.Approach)
+		}
+		// The report renderings must at least not panic and carry the
+		// stage table.
+		text := impress.CriticalPathReport(res)
+		if !strings.Contains(text, "Stage") {
+			t.Fatalf("%s: critical-path report missing stage table:\n%s", res.Approach, text)
+		}
+	}
+}
