@@ -648,3 +648,92 @@ func BenchmarkChaosSweep(b *testing.B) {
 	b.ReportMetric(float64(outages), "outages")
 	b.ReportMetric(float64(maints), "maint-windows")
 }
+
+// benchPreemptSweep is the preempt-sweep body, shared by
+// BenchmarkPreemptSweep and the BENCH_<n>.json emitter: the one-seed
+// preemption grid (fault-free baseline plus every checkpoint-cadence ×
+// kill-vs-drain × steering cell), reporting the grid's total evictions
+// and resumes and the headline waste comparison — wasted core-hours
+// with checkpointing off (the kill+none/ck0 cell) against the
+// evict-and-resume cell (drain+preempt/ck15m).
+func benchPreemptSweep(b *testing.B) {
+	campaigns, err := impress.BuildScenario("preempt-sweep", impress.ScenarioParams{
+		Seed:    42,
+		Seeds:   1,
+		Targets: 8,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var outs []impress.CampaignOutcome
+	for i := 0; i < b.N; i++ {
+		outs = impress.RunCampaigns(campaigns, 0)
+		for _, o := range outs {
+			if o.Err != nil {
+				b.Fatalf("campaign %s failed: %v", o.Name, o.Err)
+			}
+		}
+	}
+	evictions, resumes := 0, 0
+	var wastedOff, wastedOn float64
+	for _, o := range outs {
+		f := o.Result.Faults
+		if f == nil {
+			continue
+		}
+		evictions += f.Evictions
+		resumes += f.Resumes
+		switch o.Name {
+		case "preempt/kill+none/ck0/seed42":
+			wastedOff = f.WastedCoreHours
+		case "preempt/drain+preempt/ck15m/seed42":
+			wastedOn = f.WastedCoreHours
+		}
+	}
+	b.ReportMetric(float64(len(outs)), "campaigns")
+	b.ReportMetric(float64(evictions), "evictions")
+	b.ReportMetric(float64(resumes), "resumes")
+	b.ReportMetric(wastedOff, "wasted-ck-off")
+	b.ReportMetric(wastedOn, "wasted-ck-on")
+}
+
+// BenchmarkPreemptSweep runs the one-seed preemption grid end to end.
+// CI runs it at -benchtime 1x as the checkpointed-preemption smoke test.
+func BenchmarkPreemptSweep(b *testing.B) {
+	benchPreemptSweep(b)
+}
+
+// benchPreemptCell runs a single named campaign of the preemption grid —
+// the BENCH_<n>.json A/B cells: the evict-and-resume measurement against
+// the kill-and-restart baseline on the identical workload and walltime.
+func benchPreemptCell(b *testing.B, campaign string) {
+	all, err := impress.BuildScenario("preempt-sweep", impress.ScenarioParams{
+		Seed:    42,
+		Seeds:   1,
+		Targets: 8,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var picked []impress.Campaign
+	for _, c := range all {
+		if c.Name == campaign {
+			picked = append(picked, c)
+		}
+	}
+	if len(picked) != 1 {
+		b.Fatalf("campaign %q not in the preempt-sweep grid", campaign)
+	}
+	var outs []impress.CampaignOutcome
+	for i := 0; i < b.N; i++ {
+		outs = impress.RunCampaigns(picked, 1)
+		if outs[0].Err != nil {
+			b.Fatalf("campaign %s failed: %v", campaign, outs[0].Err)
+		}
+	}
+	res := outs[0].Result
+	b.ReportMetric(res.Makespan.Hours(), "makespan-h")
+	b.ReportMetric(res.Faults.WastedCoreHours, "wasted-core-h")
+	b.ReportMetric(float64(res.Faults.Resumes), "resumes")
+	b.ReportMetric(float64(res.Faults.Evictions), "evictions")
+}

@@ -21,7 +21,7 @@ import (
 
 // benchJSONPR is this trajectory point's PR number; bump it (and the
 // committed artifact name) in each future perf PR.
-const benchJSONPR = 8
+const benchJSONPR = 9
 
 func TestEmitBenchJSON(t *testing.T) {
 	path := os.Getenv("IMPRESS_BENCH_JSON")
@@ -57,6 +57,21 @@ func TestEmitBenchJSON(t *testing.T) {
 		baseline = append(baseline, benchjson.FromBenchmark(name,
 			testing.Benchmark(func(b *testing.B) { benchAllocScaling(b, n, false) })))
 	}
+
+	t.Log("running BenchmarkPreemptSweep")
+	results = append(results, benchjson.FromBenchmark("BenchmarkPreemptSweep",
+		testing.Benchmark(benchPreemptSweep)))
+
+	// The preemption A/B: the evict-and-resume cell (graceful drain, 15m
+	// checkpoint cadence, preemptive steering) is this PR's result; the
+	// kill-and-restart cell (hard kill, checkpointing off) on the
+	// identical workload and walltime is its baseline — the cell's delta
+	// in wasted-core-h is the headline of the preempt-sweep scenario.
+	t.Log("running BenchmarkPreemptSweep/cell (evict-resume + kill-restart baseline)")
+	results = append(results, benchjson.FromBenchmark("BenchmarkPreemptSweep/cell",
+		testing.Benchmark(func(b *testing.B) { benchPreemptCell(b, "preempt/drain+preempt/ck15m/seed42") })))
+	baseline = append(baseline, benchjson.FromBenchmark("BenchmarkPreemptSweep/cell",
+		testing.Benchmark(func(b *testing.B) { benchPreemptCell(b, "preempt/kill+none/ck0/seed42") })))
 
 	// The telemetry A/B: the recorder-on measurement is this PR's result,
 	// the recorder-off run of the same pair workload is its baseline —

@@ -75,14 +75,22 @@ func run() int {
 			}
 		}
 		return scenariorun.Run(os.Stdout, os.Stderr, *scenario, impress.ScenarioParams{
-			Seed:     common.Seed,
-			Targets:  *screen,
-			Policy:   common.Policy,
-			Fault:    common.Fault(),
-			Recovery: common.Recovery,
-			Steer:    common.Steer,
-			Fleet:    common.Fleet,
+			Seed:               common.Seed,
+			Targets:            *screen,
+			Policy:             common.Policy,
+			Fault:              common.Fault(),
+			Recovery:           common.Recovery,
+			Steer:              common.Steer,
+			Fleet:              common.Fleet,
+			CheckpointInterval: common.CheckpointInterval,
+			WalltimeGrace:      common.WalltimeGrace,
 		}, common.Parallel, csvPath, common.ChromeTrace)
+	}
+	if common.CheckpointInterval > 0 || common.WalltimeGrace > 0 {
+		// The paper experiments predate checkpointed preemption; the
+		// evict-and-resume machinery hangs off scenario runs.
+		fmt.Fprintln(os.Stderr, "-checkpoint-interval and -walltime-grace apply only to -scenario runs (the paper experiments replicate the paper's execution model)")
+		return 2
 	}
 	if impress.SteerEnabled(common.Steer) {
 		// The paper experiments run the single-pilot Amarel node; there is

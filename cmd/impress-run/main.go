@@ -103,6 +103,9 @@ func run() int {
 			for _, name := range cliflags.TelemetryFlagNames() {
 				compat[name] = true
 			}
+			for _, name := range cliflags.PreemptFlagNames() {
+				compat[name] = true
+			}
 			var ignored []string
 			flag.Visit(func(f *flag.Flag) {
 				if !compat[f.Name] {
@@ -115,16 +118,18 @@ func run() int {
 			}
 		}
 		return scenariorun.Run(os.Stdout, os.Stderr, *scenario, impress.ScenarioParams{
-			Seed:        common.Seed,
-			Seeds:       *seeds,
-			Targets:     *screenSize,
-			SplitPilots: split,
-			Nodes:       common.Nodes,
-			Policy:      common.Policy,
-			Fault:       common.Fault(),
-			Recovery:    common.Recovery,
-			Steer:       common.Steer,
-			Fleet:       common.Fleet,
+			Seed:               common.Seed,
+			Seeds:              *seeds,
+			Targets:            *screenSize,
+			SplitPilots:        split,
+			Nodes:              common.Nodes,
+			Policy:             common.Policy,
+			Fault:              common.Fault(),
+			Recovery:           common.Recovery,
+			Steer:              common.Steer,
+			Fleet:              common.Fleet,
+			CheckpointInterval: common.CheckpointInterval,
+			WalltimeGrace:      common.WalltimeGrace,
 		}, common.Parallel, *csvPath, common.ChromeTrace)
 	}
 
@@ -171,7 +176,10 @@ func run() int {
 	}
 	cfg.Recovery = common.Recovery
 	cfg.Steer = common.Steer
+	cfg.CheckpointInterval = common.CheckpointInterval
+	cfg.WalltimeGrace = common.WalltimeGrace
 	cfg.Telemetry = common.ChromeTrace != ""
+	common.PrintWarnings(os.Stderr)
 	if *cycles > 0 {
 		cfg.Pipeline.Cycles = *cycles
 	}
@@ -313,4 +321,3 @@ func run() int {
 	}
 	return 0
 }
-

@@ -64,14 +64,16 @@ func run() int {
 	}
 	defer stopProfiles()
 	params := impress.ScenarioParams{
-		SplitPilots: common.SplitPilots(),
-		Nodes:       common.Nodes,
-		Policy:      common.Policy,
-		Fault:       common.Fault(),
-		Recovery:    common.Recovery,
-		Steer:       common.Steer,
-		Fleet:       common.Fleet,
-		Telemetry:   common.ChromeTrace != "",
+		SplitPilots:        common.SplitPilots(),
+		Nodes:              common.Nodes,
+		Policy:             common.Policy,
+		Fault:              common.Fault(),
+		Recovery:           common.Recovery,
+		Steer:              common.Steer,
+		Fleet:              common.Fleet,
+		Telemetry:          common.ChromeTrace != "",
+		CheckpointInterval: common.CheckpointInterval,
+		WalltimeGrace:      common.WalltimeGrace,
 	}
 
 	if *scenario != "" {
@@ -80,6 +82,7 @@ func run() int {
 		p.Seeds = *nSeeds
 		return scenariorun.Run(os.Stdout, os.Stderr, *scenario, p, common.Parallel, *csvPath, common.ChromeTrace)
 	}
+	common.PrintWarnings(os.Stderr)
 
 	// Build the sweep as campaign data: a CONT-V/IM-RP pair per seed.
 	var campaigns []impress.Campaign

@@ -330,6 +330,17 @@ func ChaosCSV(w io.Writer, results []*Result) error {
 	return report.ChaosCSV(w, results)
 }
 
+// Preemption renders the checkpointed-preemption comparison table over
+// campaign results grouped by (checkpoint interval, kill-vs-drain,
+// steering policy), against their fault-free baselines — the report
+// behind the preempt-sweep scenario.
+func Preemption(results []*Result) string { return report.Preemption(results) }
+
+// PreemptionCSV writes one preemption CSV row per result.
+func PreemptionCSV(w io.Writer, results []*Result) error {
+	return report.PreemptionCSV(w, results)
+}
+
 // CriticalPathReport renders a campaign's critical path — the segment
 // chain accounting for the whole makespan — and its per-stage slack
 // table.

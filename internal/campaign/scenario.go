@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -71,6 +72,13 @@ type Params struct {
 	// Telemetry field (the -chrome-trace exporter's raw material).
 	// Recording never alters virtual-time behavior.
 	Telemetry bool
+	// CheckpointInterval sets the checkpoint cadence for evict-and-resume
+	// in every campaign (0 keeps checkpointing off). The preempt-sweep
+	// scenario rejects it — racing checkpoint intervals is its point.
+	CheckpointInterval time.Duration
+	// WalltimeGrace sets the graceful drain window at fault-model
+	// walltime expiry in every campaign (0 keeps the hard kill).
+	WalltimeGrace time.Duration
 }
 
 func (p Params) withDefaults() Params {
@@ -200,6 +208,12 @@ func applyExecution(cfg core.Config, p Params) (core.Config, error) {
 	}
 	if p.Telemetry {
 		cfg.Telemetry = true
+	}
+	if p.CheckpointInterval > 0 {
+		cfg.CheckpointInterval = p.CheckpointInterval
+	}
+	if p.WalltimeGrace > 0 {
+		cfg.WalltimeGrace = p.WalltimeGrace
 	}
 	return cfg, nil
 }
@@ -343,13 +357,15 @@ func FleetPilots(spec string, seed uint64) ([]core.PilotSpec, error) {
 	}, nil
 }
 
-// The kilo-screen defaults: a 1000-node fleet — 900 CPU nodes shaped
-// like a full Amarel node, 100 GPU nodes shaped like the Amarel GPU
-// carve — with faults and steering on, so the indexed allocation ledger
-// is exercised at the scale it exists for, through every mutation path
-// (allocate/release/crash/repair/transfer).
+// The kilo-screen defaults: a 1000-node fleet with a deliberately lean
+// CPU rack — four nodes of 8 cores, each fitting the largest CPU stage
+// exactly — and a GPU rack carrying the fleet to the kilo floor. The
+// tight CPU/target ratio means the CPU pilot starves under any real
+// screen, so steering has eligible GPU→CPU transfers and the indexed
+// allocation ledger is exercised through every mutation path
+// (allocate/release/crash/repair/transfer) at the scale it exists for.
 const (
-	kiloFleetSpec = "cpu:28c0g128m*900+gpu:8c4g32m*100"
+	kiloFleetSpec = "cpu:8c0g32m*4+gpu:8c4g32m*996"
 	kiloMinNodes  = 1000
 	kiloTargets   = 128
 )
@@ -485,6 +501,138 @@ func chaosSweepAt(seed uint64, n int, p Params) ([]Campaign, error) {
 				Targets: targets,
 				Config:  cfg,
 			})
+		}
+	}
+	return all, nil
+}
+
+// The preempt-sweep defaults: a 4-node Amarel machine split into two
+// CPU pilots and one GPU pilot, with a fault-model walltime bounding
+// only the first CPU pilot — the second CPU pilot is the survivor the
+// expiring pilot's work must land on. The grid then races what happens
+// to the interrupted work: checkpoint cadence (including off), hard
+// kill vs graceful drain at the deadline, and frozen vs preemptive
+// steering.
+const (
+	preemptNodes    = 4
+	preemptWalltime = 2 * time.Hour
+	preemptGrace    = 45 * time.Minute
+)
+
+// preemptIntervals is the checkpoint-cadence axis of the preempt grid:
+// off (attempts restart from zero), and two real cadences bracketing
+// the typical stage duration.
+var preemptIntervals = []time.Duration{0, 15 * time.Minute, time.Hour}
+
+// preemptPilots splits a machine into the preempt-sweep placement: the
+// CPU partition halved into two pilots (so one can expire while the
+// other absorbs its drained work) plus the standard GPU pilot.
+func preemptPilots(machine cluster.Spec) ([]core.PilotSpec, error) {
+	cpu, gpu, err := cluster.SplitCPUGPU(machine, 2*machine.GPUsPerNode, machine.MemGBPerNode/4)
+	if err != nil {
+		return nil, err
+	}
+	if cpu.Nodes < 2 {
+		return nil, fmt.Errorf("campaign: preempt-sweep needs >= 2 CPU nodes to split into an expiring pilot and a survivor, got %d", cpu.Nodes)
+	}
+	cpuA, cpuB := cpu, cpu
+	cpuA.Nodes = cpu.Nodes / 2
+	cpuB.Nodes = cpu.Nodes - cpuA.Nodes
+	return []core.PilotSpec{
+		{Name: "pilot-cpu-a", Machine: cpuA, Serves: []core.ResourceClass{core.ClassCPU}},
+		{Name: "pilot-cpu-b", Machine: cpuB, Serves: []core.ResourceClass{core.ClassCPU}},
+		{Name: "pilot-gpu", Machine: gpu, Serves: []core.ResourceClass{core.ClassGPU}},
+	}, nil
+}
+
+// durLabel renders a duration compactly for campaign names: "15m", "1h",
+// "0".
+func durLabel(d time.Duration) string {
+	s := d.String()
+	s = strings.TrimSuffix(s, "0s")
+	s = strings.TrimSuffix(s, "0m")
+	if s == "" {
+		s = "0"
+	}
+	return s
+}
+
+// preemptSweepAt builds one seed's slice of the preemption grid: a
+// fault-free baseline plus one campaign per (checkpoint interval,
+// kill-vs-drain, steering mode) cell, all over the identical screen
+// workload on the identical three-pilot machine with the identical
+// walltime bounding pilot-cpu-a. The workload and the interruption
+// schedule are the control variables; what happens to interrupted work
+// is the treatment.
+func preemptSweepAt(seed uint64, n int, p Params) ([]Campaign, error) {
+	targets, err := workload.MinedScreen(seed, n, workload.DefaultConfig())
+	if err != nil {
+		return nil, err
+	}
+	machine := cluster.AmarelCluster(preemptNodes)
+	pilots, err := preemptPilots(machine)
+	if err != nil {
+		return nil, err
+	}
+	rec := p.Recovery
+	if rec == "" {
+		rec = "elsewhere"
+	}
+	mkConfig := func(cell Params, wall *fault.Spec) (core.Config, error) {
+		// The machine and placement belong to the scenario, not to the
+		// Nodes/SplitPilots params applyExecution honours elsewhere.
+		cell.Nodes = 0
+		cell.SplitPilots = false
+		cfg := core.AdaptiveConfig(seed)
+		cfg.Machine = machine
+		cfg, err := applyExecution(cfg, cell)
+		if err != nil {
+			return core.Config{}, err
+		}
+		ps := make([]core.PilotSpec, len(pilots))
+		copy(ps, pilots)
+		ps[0].Fault = wall
+		cfg.Pilots = ps
+		return cfg, nil
+	}
+	base := p
+	base.Fault = fault.Spec{}
+	base.Recovery = ""
+	base.Steer = "none"
+	base.CheckpointInterval = 0
+	base.WalltimeGrace = 0
+	baseCfg, err := mkConfig(base, nil)
+	if err != nil {
+		return nil, err
+	}
+	all := []Campaign{{
+		Name:    fmt.Sprintf("preempt/baseline/seed%d", seed),
+		Seed:    seed,
+		Targets: targets,
+		Config:  baseCfg,
+	}}
+	for _, iv := range preemptIntervals {
+		for _, mode := range []string{"kill", "drain"} {
+			for _, st := range []string{"none", "preempt"} {
+				cell := p
+				cell.Recovery = rec
+				cell.Steer = st
+				cell.CheckpointInterval = iv
+				cell.WalltimeGrace = 0
+				if mode == "drain" {
+					cell.WalltimeGrace = preemptGrace
+				}
+				cfg, err := mkConfig(cell, &fault.Spec{Walltime: preemptWalltime})
+				if err != nil {
+					return nil, err
+				}
+				all = append(all, Campaign{
+					Name:    fmt.Sprintf("preempt/%s+%s/ck%s/seed%d", mode, st, durLabel(iv), seed),
+					Seed:    seed,
+					Targets: targets,
+					Config:  cfg,
+				})
+			}
 		}
 	}
 	return all, nil
@@ -759,5 +907,45 @@ func init() {
 		},
 		Report:    report.Chaos,
 		ReportCSV: report.ChaosCSV,
+	}))
+	must(Register(Scenario{
+		Name: "preempt-sweep",
+		Description: "races checkpoint cadences × (hard kill vs graceful drain) × (frozen vs preemptive steering) on a " +
+			"three-pilot machine whose first CPU pilot hits a fault-model walltime mid-screen, against a fault-free " +
+			"baseline, and reports goodput / makespan inflation / wasted vs preempted core-hours / evictions / resumes",
+		Build: func(p Params) ([]Campaign, error) {
+			if p.CheckpointInterval > 0 {
+				return nil, fmt.Errorf("campaign: preempt-sweep races checkpoint intervals; a fixed interval %v does not apply", p.CheckpointInterval)
+			}
+			if p.WalltimeGrace > 0 {
+				return nil, fmt.Errorf("campaign: preempt-sweep races hard kill against graceful drain; a fixed grace %v does not apply", p.WalltimeGrace)
+			}
+			// An explicit "none" is the frozen default (and a cell of the
+			// race anyway); only an actual steering policy is a conflict.
+			if steer.Enabled(p.Steer) {
+				return nil, fmt.Errorf("campaign: preempt-sweep races frozen against preemptive steering; a fixed policy %q does not apply", p.Steer)
+			}
+			// The grid is interval × mode × steering wide, so the defaults
+			// keep each cell small: a short screen and a narrow seed sweep.
+			// Explicit values pass through.
+			if p.Targets <= 0 {
+				p.Targets = 8
+			}
+			if p.Seeds <= 0 {
+				p.Seeds = 2
+			}
+			p = p.withDefaults()
+			var all []Campaign
+			for i := 0; i < p.Seeds; i++ {
+				cs, err := preemptSweepAt(p.Seed+uint64(i), p.Targets, p)
+				if err != nil {
+					return nil, err
+				}
+				all = append(all, cs...)
+			}
+			return all, nil
+		},
+		Report:    report.Preemption,
+		ReportCSV: report.PreemptionCSV,
 	}))
 }

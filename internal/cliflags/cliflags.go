@@ -11,6 +11,7 @@ package cliflags
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -82,6 +83,13 @@ type Common struct {
 	// Steer is the elastic-steering policy name ("" = none: pilot
 	// partitions stay frozen).
 	Steer string
+	// CheckpointInterval is the virtual-time checkpoint cadence for
+	// evict-and-resume (0 = checkpointing off; interrupted attempts
+	// restart from zero).
+	CheckpointInterval time.Duration
+	// WalltimeGrace is the graceful drain window at fault-model walltime
+	// expiry (0 = hard kill at the deadline).
+	WalltimeGrace time.Duration
 	// Fleet is a node-template spec (internal/fleet syntax) for
 	// fleet-driven scenarios like kilo-screen ("" = the scenario's
 	// default fleet).
@@ -132,6 +140,10 @@ func Register(fs *flag.FlagSet, o Options) *Common {
 		"scheduled maintenance windows, e.g. rackA@6h/30m/24h,rackB@12h/1h (domain@start/duration[/every]; empty = none)")
 	fs.StringVar(&c.Steer, "steer", "",
 		"elastic steering policy for multi-pilot campaigns: "+strings.Join(steer.Names(), ", ")+" (empty = none: partitions stay frozen)")
+	fs.DurationVar(&c.CheckpointInterval, "checkpoint-interval", 0,
+		"checkpoint cadence in virtual time for evict-and-resume, e.g. 30m (0 = off: interrupted attempts restart from zero)")
+	fs.DurationVar(&c.WalltimeGrace, "walltime-grace", 0,
+		"graceful drain window at fault-model walltime expiry: running work that cannot finish is checkpointed and requeued (0 = hard kill)")
 	fs.StringVar(&c.Fleet, "fleet", "",
 		"fleet template spec for fleet-driven scenarios, e.g. cpu:28c0g128m*900+gpu:8c4g32m*100 (empty = scenario default)")
 	fs.StringVar(&c.ChromeTrace, "chrome-trace", "",
@@ -219,7 +231,46 @@ func (c *Common) Validate() error {
 			return fmt.Errorf("-steer %s needs a multi-node machine (-nodes >= 2); on one node each split partition holds a single node and the last-node floor vetoes every transfer", c.Steer)
 		}
 	}
+	if c.CheckpointInterval < 0 {
+		return fmt.Errorf("-checkpoint-interval %v: checkpoint cadence cannot be negative", c.CheckpointInterval)
+	}
+	if c.WalltimeGrace < 0 {
+		return fmt.Errorf("-walltime-grace %v: drain window cannot be negative", c.WalltimeGrace)
+	}
 	return c.Fault().Validate()
+}
+
+// Warnings returns advisory messages for flag combinations that parse
+// and validate but do nothing: a dependent flag was set while the
+// mechanism it rides on is off. Commands print them to stderr on direct
+// campaign runs (scenario runs supply their own defaults, so flag-only
+// analysis would cry wolf there).
+func (c *Common) Warnings() []string {
+	var out []string
+	if c.Recovery != "" && !c.Fault().Enabled() {
+		out = append(out, fmt.Sprintf(
+			"-recovery %s has no effect without a failure model (set -fault, -mtbf, -outage-mtbf, or -maintenance)", c.Recovery))
+	}
+	if c.CheckpointInterval > 0 && !c.Fault().Enabled() && c.Steer != "preempt" {
+		out = append(out, fmt.Sprintf(
+			"-checkpoint-interval %v has no effect: nothing evicts running work without a failure model or -steer preempt", c.CheckpointInterval))
+	}
+	if c.WalltimeGrace > 0 && c.Fault().Walltime == 0 {
+		out = append(out, fmt.Sprintf(
+			"-walltime-grace %v has no effect without a fault-model walltime bounding a pilot", c.WalltimeGrace))
+	}
+	if c.Steer == "preempt" && c.CheckpointInterval == 0 {
+		out = append(out,
+			"-steer preempt without -checkpoint-interval loses all progress on every drain (evicted work resumes from zero)")
+	}
+	return out
+}
+
+// PrintWarnings writes every Warnings line to w, prefixed "warning:".
+func (c *Common) PrintWarnings(w io.Writer) {
+	for _, msg := range c.Warnings() {
+		fmt.Fprintln(w, "warning:", msg)
+	}
 }
 
 // SplitPilots reports whether -pilots selected the split placement.
@@ -258,4 +309,10 @@ func FaultFlagNames() []string {
 // registers — the scenario-only allowlist companion of FaultFlagNames.
 func TelemetryFlagNames() []string {
 	return []string{"chrome-trace"}
+}
+
+// PreemptFlagNames lists the checkpointed-preemption flags this package
+// registers — the allowlist companion of FaultFlagNames.
+func PreemptFlagNames() []string {
+	return []string{"checkpoint-interval", "walltime-grace"}
 }

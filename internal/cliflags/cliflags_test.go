@@ -4,6 +4,7 @@ import (
 	"flag"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 )
@@ -81,6 +82,68 @@ func TestValidateRejects(t *testing.T) {
 	c := parse(t, Options{})
 	if err := c.Validate(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestWarnings(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want []string // substring each expected warning must contain, in order
+	}{
+		{"clean defaults", nil, nil},
+		{"recovery with fault model", []string{"-fault", "0.1", "-recovery", "elsewhere"}, nil},
+		{"recovery without fault model", []string{"-recovery", "elsewhere"},
+			[]string{"-recovery elsewhere has no effect"}},
+		{"checkpoint without eviction source", []string{"-checkpoint-interval", "30m"},
+			[]string{"-checkpoint-interval 30m0s has no effect"}},
+		{"checkpoint with fault model", []string{"-checkpoint-interval", "30m", "-mtbf", "6h"}, nil},
+		{"checkpoint with preempt steering",
+			[]string{"-checkpoint-interval", "30m", "-steer", "preempt", "-pilots", "split", "-nodes", "4"}, nil},
+		{"grace without walltime", []string{"-walltime-grace", "45m"},
+			[]string{"-walltime-grace 45m0s has no effect"}},
+		{"preempt steering without checkpointing",
+			[]string{"-steer", "preempt", "-pilots", "split", "-nodes", "4"},
+			[]string{"-steer preempt without -checkpoint-interval"}},
+		{"stacked warnings", []string{"-recovery", "elsewhere", "-walltime-grace", "45m"},
+			[]string{"-recovery", "-walltime-grace"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := parse(t, Options{WithPilots: true}, tc.args...)
+			if err := c.Validate(); err != nil {
+				t.Fatalf("args %v rejected: %v", tc.args, err)
+			}
+			got := c.Warnings()
+			if len(got) != len(tc.want) {
+				t.Fatalf("args %v: %d warnings %q, want %d", tc.args, len(got), got, len(tc.want))
+			}
+			for i, sub := range tc.want {
+				if !strings.Contains(got[i], sub) {
+					t.Fatalf("args %v: warning %d = %q, want substring %q", tc.args, i, got[i], sub)
+				}
+			}
+		})
+	}
+}
+
+func TestPrintWarnings(t *testing.T) {
+	c := parse(t, Options{}, "-recovery", "elsewhere")
+	var sb strings.Builder
+	c.PrintWarnings(&sb)
+	out := sb.String()
+	if !strings.HasPrefix(out, "warning: -recovery") {
+		t.Fatalf("PrintWarnings output %q", out)
+	}
+	if strings.Count(out, "\n") != 1 {
+		t.Fatalf("want exactly one warning line, got %q", out)
+	}
+
+	// A clean flag set stays silent.
+	sb.Reset()
+	parse(t, Options{}).PrintWarnings(&sb)
+	if sb.Len() != 0 {
+		t.Fatalf("clean flags printed %q", sb.String())
 	}
 }
 

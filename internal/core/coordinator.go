@@ -119,6 +119,17 @@ type Config struct {
 	// (internal/fault: none, retry, backoff, elsewhere). Empty means
 	// "none". Individual PilotSpec entries may override it per pilot.
 	Recovery string
+	// CheckpointInterval enables checkpointed preemption: every running
+	// task banks recoverable progress at this virtual-time cadence, so
+	// an evicted or failed attempt resumes from its last checkpoint
+	// instead of from zero. 0 (the default) disables checkpointing —
+	// byte-identical to the pre-checkpoint runtime.
+	CheckpointInterval time.Duration
+	// WalltimeGrace softens fault-model walltime expiry into a graceful
+	// drain: at the deadline the pilot stops accepting work, checkpoints
+	// and requeues to surviving pilots whatever cannot finish within the
+	// grace window, and lets the rest run out. 0 keeps the hard kill.
+	WalltimeGrace time.Duration
 	// Telemetry enables the campaign's observability layer
 	// (internal/telemetry): instant events from the fault injector and
 	// steering controller, per-pilot occupancy gauges, and steering-tick
@@ -236,6 +247,17 @@ func NewCoordinator(targets []*workload.Target, cfg Config) (*Coordinator, error
 		if err := steer.Validate(ps.Steer); err != nil {
 			return nil, fmt.Errorf("core: pilot %q: %w", ps.Name, err)
 		}
+		if ps.Fault != nil {
+			if err := ps.Fault.Validate(); err != nil {
+				return nil, fmt.Errorf("core: pilot %q: %w", ps.Name, err)
+			}
+		}
+	}
+	if cfg.CheckpointInterval < 0 {
+		return nil, fmt.Errorf("core: negative checkpoint interval %v", cfg.CheckpointInterval)
+	}
+	if cfg.WalltimeGrace < 0 {
+		return nil, fmt.Errorf("core: negative walltime grace %v", cfg.WalltimeGrace)
 	}
 	if steer.Enabled(cfg.Steer) && len(cfg.pilotSpecs()) < 2 {
 		return nil, fmt.Errorf("core: steering policy %q needs a multi-pilot campaign (nothing to transfer between)", cfg.Steer)
@@ -288,16 +310,18 @@ func (c *Coordinator) Run() (*Result, error) {
 	}
 	for _, ps := range c.specs {
 		p, err := pm.Submit(pilot.PilotDescription{
-			Machine:  ps.Machine,
-			Nodes:    ps.Nodes,
-			Cost:     c.cfg.Pipeline.Cost,
-			Backfill: c.cfg.Backfill,
-			Policy:   ps.policyFor(c.cfg),
-			Walltime: c.cfg.Walltime,
-			Fault:    c.cfg.Fault,
-			Recovery: ps.recoveryFor(c.cfg),
-			Steer:    ps.steerFor(c.cfg),
-			Seed:     xrand.Derive(c.cfg.Seed, ps.Name),
+			Machine:            ps.Machine,
+			Nodes:              ps.Nodes,
+			Cost:               c.cfg.Pipeline.Cost,
+			Backfill:           c.cfg.Backfill,
+			Policy:             ps.policyFor(c.cfg),
+			Walltime:           c.cfg.Walltime,
+			Fault:              ps.faultFor(c.cfg),
+			Recovery:           ps.recoveryFor(c.cfg),
+			Steer:              ps.steerFor(c.cfg),
+			CheckpointInterval: c.cfg.CheckpointInterval,
+			WalltimeGrace:      c.cfg.WalltimeGrace,
+			Seed:               xrand.Derive(c.cfg.Seed, ps.Name),
 		})
 		if err != nil {
 			return nil, err
@@ -375,7 +399,7 @@ func (c *Coordinator) onTaskState(t *pilot.Task, s pilot.TaskState) {
 			return
 		}
 		c.failedTasks++
-		if c.cfg.Fault.Enabled() {
+		if c.cfg.faultEnabled() {
 			c.killPipeline(plID, t, s)
 		} else {
 			c.errs = append(c.errs, fmt.Errorf("task %s (%s) ended %v: %w", t.ID, t.Description.Name, s, t.Err))
@@ -416,7 +440,7 @@ func (c *Coordinator) apply(pl *pipeline.Pipeline, out pipeline.Outcome) {
 			c.errs = append(c.errs, err)
 			continue
 		}
-		if c.cfg.Fault.Enabled() {
+		if c.cfg.faultEnabled() {
 			// Remember the pipeline's submissions so killPipeline can
 			// cancel the survivors instead of letting them burn
 			// allocation on a result nobody will read.
@@ -490,7 +514,7 @@ func (c *Coordinator) rerouteResubmission(td pilot.TaskDescription) (*pilot.Pilo
 	req := cluster.Request{Cores: td.Cores, GPUs: td.GPUs, MemGB: td.MemGB}
 	for i, ps := range c.specs {
 		p := c.pilots[i]
-		if p.State() == pilot.PilotDone || !ps.ServesClass(class) {
+		if p.State() == pilot.PilotDone || p.Draining() || !ps.ServesClass(class) {
 			continue
 		}
 		if p.Cluster().Fits(req) {

@@ -114,6 +114,8 @@ type resultJSON struct {
 	NodeTransfers     int                          `json:"node_transfers,omitempty"`
 	SteerVetoes       int                          `json:"steer_vetoes,omitempty"`
 	SteerVetoReasons  map[string]int               `json:"steer_veto_reasons,omitempty"`
+	CheckpointNS      int64                        `json:"checkpoint_interval_ns,omitempty"`
+	WalltimeGraceNS   int64                        `json:"walltime_grace_ns,omitempty"`
 	Faults            *FaultStats                  `json:"faults,omitempty"`
 	Starting          map[string]landscape.Metrics `json:"starting"`
 	FinalBest         map[string]landscape.Metrics `json:"final_best"`
@@ -156,6 +158,8 @@ func (r *Result) WriteJSON(w io.Writer, includeTasks bool) error {
 		NodeTransfers:     r.NodeTransfers,
 		SteerVetoes:       r.SteerVetoes,
 		SteerVetoReasons:  r.SteerVetoReasons,
+		CheckpointNS:      int64(r.CheckpointInterval),
+		WalltimeGraceNS:   int64(r.WalltimeGrace),
 		Faults:            r.Faults,
 		Starting:          r.Starting,
 		FinalBest:         r.FinalBest,
@@ -200,40 +204,42 @@ func ReadResultJSON(rd io.Reader) (*Result, error) {
 		return nil, fmt.Errorf("core: result schema %d, want %d", dto.Schema, resultSchemaVersion)
 	}
 	res := &Result{
-		Approach:          dto.Approach,
-		Seed:              dto.Seed,
-		Targets:           dto.Targets,
-		Pool:              ga.NewPool(),
-		BasePipelines:     dto.BasePipelines,
-		SubPipelines:      dto.SubPipelines,
-		EarlyTerminated:   dto.EarlyTerminated,
-		Evaluations:       dto.Evaluations,
-		TaskCount:         dto.TaskCount,
-		FailedTasks:       dto.FailedTasks,
-		CPUUtilization:    dto.CPUUtilization,
-		GPUUtilization:    dto.GPUUtilization,
-		Makespan:          time.Duration(dto.MakespanNS),
-		AggregateTaskTime: time.Duration(dto.AggregateNS),
-		Phases:            dto.Phases,
-		CPUSeries:         dto.CPUSeries,
-		GPUSeries:         dto.GPUSeries,
-		TotalCores:        dto.TotalCores,
-		TotalGPUs:         dto.TotalGPUs,
-		Pilots:            dto.Pilots,
-		Policies:          dto.Policies,
-		Recoveries:        dto.Recoveries,
-		Steerings:         dto.Steerings,
-		Steer:             dto.Steer,
-		NodeTransfers:     dto.NodeTransfers,
-		SteerVetoes:       dto.SteerVetoes,
-		SteerVetoReasons:  dto.SteerVetoReasons,
-		Faults:            dto.Faults,
-		Starting:          dto.Starting,
-		FinalBest:         dto.FinalBest,
-		FinalDesigns:      make(map[string]*protein.Structure, len(dto.FinalDesigns)),
-		TaskRecords:       dto.TaskRecords,
-		QueueSeries:       dto.QueueSeries,
-		Telemetry:         dto.Telemetry,
+		Approach:           dto.Approach,
+		Seed:               dto.Seed,
+		Targets:            dto.Targets,
+		Pool:               ga.NewPool(),
+		BasePipelines:      dto.BasePipelines,
+		SubPipelines:       dto.SubPipelines,
+		EarlyTerminated:    dto.EarlyTerminated,
+		Evaluations:        dto.Evaluations,
+		TaskCount:          dto.TaskCount,
+		FailedTasks:        dto.FailedTasks,
+		CPUUtilization:     dto.CPUUtilization,
+		GPUUtilization:     dto.GPUUtilization,
+		Makespan:           time.Duration(dto.MakespanNS),
+		AggregateTaskTime:  time.Duration(dto.AggregateNS),
+		Phases:             dto.Phases,
+		CPUSeries:          dto.CPUSeries,
+		GPUSeries:          dto.GPUSeries,
+		TotalCores:         dto.TotalCores,
+		TotalGPUs:          dto.TotalGPUs,
+		Pilots:             dto.Pilots,
+		Policies:           dto.Policies,
+		Recoveries:         dto.Recoveries,
+		Steerings:          dto.Steerings,
+		Steer:              dto.Steer,
+		NodeTransfers:      dto.NodeTransfers,
+		SteerVetoes:        dto.SteerVetoes,
+		SteerVetoReasons:   dto.SteerVetoReasons,
+		CheckpointInterval: time.Duration(dto.CheckpointNS),
+		WalltimeGrace:      time.Duration(dto.WalltimeGraceNS),
+		Faults:             dto.Faults,
+		Starting:           dto.Starting,
+		FinalBest:          dto.FinalBest,
+		FinalDesigns:       make(map[string]*protein.Structure, len(dto.FinalDesigns)),
+		TaskRecords:        dto.TaskRecords,
+		QueueSeries:        dto.QueueSeries,
+		Telemetry:          dto.Telemetry,
 	}
 	for _, e := range dto.PoolEntries {
 		res.Pool.Add(e)

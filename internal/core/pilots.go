@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"impress/internal/cluster"
+	"impress/internal/fault"
 	"impress/internal/pilot"
 )
 
@@ -62,6 +63,11 @@ type PilotSpec struct {
 	// Recovery overrides the campaign's fault-recovery policy for this
 	// pilot (internal/fault name); empty inherits Config.Recovery.
 	Recovery string
+	// Fault overrides the campaign's failure models for this pilot; nil
+	// inherits Config.Fault. The preempt-sweep scenario uses this to
+	// bound a single pilot's walltime while the rest of the fleet
+	// survives to absorb its drained work.
+	Fault *fault.Spec
 	// Steer overrides the campaign's elastic-steering participation for
 	// this pilot (internal/steer name); empty inherits Config.Steer. A
 	// pilot resolved to "none" is frozen: it neither donates nor
@@ -87,6 +93,29 @@ func (ps PilotSpec) recoveryFor(cfg Config) string {
 		return ps.Recovery
 	}
 	return cfg.Recovery
+}
+
+// faultFor resolves the failure models this pilot runs under: its own
+// override when set, else the campaign-wide spec.
+func (ps PilotSpec) faultFor(cfg Config) fault.Spec {
+	if ps.Fault != nil {
+		return *ps.Fault
+	}
+	return cfg.Fault
+}
+
+// faultEnabled reports whether any pilot of the campaign runs failure
+// models — the campaign-wide spec or any per-pilot override.
+func (cfg Config) faultEnabled() bool {
+	if cfg.Fault.Enabled() {
+		return true
+	}
+	for _, ps := range cfg.Pilots {
+		if ps.Fault != nil && ps.Fault.Enabled() {
+			return true
+		}
+	}
+	return false
 }
 
 // steerFor resolves the elastic-steering participation this pilot runs
@@ -198,18 +227,32 @@ func (cfg Config) pilotSpecs() []PilotSpec {
 	return []PilotSpec{{Name: "pilot", Machine: cfg.Machine}}
 }
 
-// route assigns an unplaced task description to the first pilot serving
-// its resource class. With a single pilot the description is left
-// untargeted, preserving the classic submission path.
+// route assigns an unplaced task description to the first live pilot
+// serving its resource class — a pilot that expired (fault-model
+// walltime) or is draining toward expiry takes no new work. When every
+// serving pilot is gone the first one is still targeted so the
+// submission fails through the normal fail-fast path. With a single
+// pilot the description is left untargeted, preserving the classic
+// submission path.
 func (c *Coordinator) route(td *pilot.TaskDescription) {
 	if td.Pilot != "" || len(c.pilots) <= 1 {
 		return
 	}
 	class := ClassOf(*td)
+	fallback := ""
 	for i, ps := range c.specs {
-		if ps.ServesClass(class) {
-			td.Pilot = c.pilots[i].ID
-			return
+		if !ps.ServesClass(class) {
+			continue
 		}
+		p := c.pilots[i]
+		if p.State() == pilot.PilotDone || p.Draining() {
+			if fallback == "" {
+				fallback = p.ID
+			}
+			continue
+		}
+		td.Pilot = p.ID
+		return
 	}
+	td.Pilot = fallback
 }

@@ -87,6 +87,13 @@ type Result struct {
 	// nothing was vetoed).
 	SteerVetoes      int
 	SteerVetoReasons map[string]int
+	// CheckpointInterval echoes Config.CheckpointInterval so reports can
+	// group preemption cells by checkpoint cadence (0 = checkpointing
+	// off).
+	CheckpointInterval time.Duration
+	// WalltimeGrace echoes Config.WalltimeGrace: nonzero means walltime
+	// expiry drained gracefully instead of killing outright.
+	WalltimeGrace time.Duration
 	// Faults carries the fault-injection accounting; nil when the
 	// campaign ran without failure models.
 	Faults *FaultStats
@@ -126,6 +133,14 @@ type FaultStats struct {
 	PayloadFaults  int
 	// NodeCrashes counts node-crash events across all pilots.
 	NodeCrashes int
+	// Evictions counts attempts preempted by checkpointed eviction —
+	// steering drains, walltime drains, explicit EvictNode calls. An
+	// eviction is a scheduling decision, not a failure, so it is tallied
+	// separately from the fault-kind counters above.
+	Evictions int
+	// Resumes counts attempts that started from checkpointed progress
+	// instead of from zero.
+	Resumes int
 	// Resubmissions counts attempts requeued by recovery policies.
 	Resubmissions int
 	// TerminalFailures counts attempts whose chain ended in failure.
@@ -144,7 +159,14 @@ type FaultStats struct {
 	DowntimeNodeSeconds float64
 	// WastedCoreHours is allocation time consumed by attempts that did
 	// not complete (failed or cancelled after placement), in core-hours.
+	// Progress banked at a checkpoint and resumed by a later attempt is
+	// excluded — it was not re-done.
 	WastedCoreHours float64
+	// PreemptedCoreHours is the share of WastedCoreHours lost to
+	// checkpointed evictions: the post-checkpoint re-execution cost of
+	// preemption, the number the preempt-sweep scenario races against
+	// kill-and-restart.
+	PreemptedCoreHours float64
 	// PilotCrashes maps pilot name -> node crashes booked by that pilot's
 	// injector. Crashes attribute to the node's owner at the instant of
 	// the crash, so a node that crashes after being steered in counts
@@ -212,6 +234,8 @@ func (c *Coordinator) buildResult() *Result {
 	if steer.Enabled(c.cfg.Steer) {
 		res.Steer = c.cfg.Steer
 	}
+	res.CheckpointInterval = c.cfg.CheckpointInterval
+	res.WalltimeGrace = c.cfg.WalltimeGrace
 	if c.steerer != nil {
 		res.NodeTransfers = c.steerer.Transfers()
 		res.SteerVetoes = c.steerer.VetoCount()
@@ -228,7 +252,7 @@ func (c *Coordinator) buildResult() *Result {
 	if c.tel.Enabled() {
 		res.Telemetry = c.tel.Data()
 	}
-	if c.cfg.Fault.Enabled() {
+	if c.cfg.faultEnabled() {
 		res.Faults = c.buildFaultStats(res)
 	}
 	for _, tg := range c.targets {
@@ -253,6 +277,8 @@ func (c *Coordinator) buildFaultStats(res *Result) *FaultStats {
 		NodeCrashKills:    tl.ByKind[fault.KindNodeCrash],
 		WalltimeKills:     tl.ByKind[fault.KindWalltime],
 		PayloadFaults:     tl.ByKind[fault.KindPayload],
+		Evictions:         tl.ByKind[fault.KindPreempt],
+		Resumes:           tl.Resumes,
 		Resubmissions:     tl.Resubmitted,
 		TerminalFailures:  tl.Terminal,
 		RetriedTasks:      c.retriedTasks,
@@ -279,7 +305,7 @@ func (c *Coordinator) buildFaultStats(res *Result) *FaultStats {
 		fs.DomainOutages += outages
 		fs.MaintenanceWindows += maints
 	}
-	_, fs.WastedCoreHours = res.usefulWasted()
+	_, fs.WastedCoreHours, fs.PreemptedCoreHours = res.usefulWasted()
 	return fs
 }
 
@@ -324,8 +350,13 @@ func (r *Result) CriticalPath() telemetry.CriticalPath {
 // (core-hours, setup through end, placed attempts only) into attempts
 // that completed successfully and everything else — the one
 // classification Goodput and FaultStats.WastedCoreHours both derive
-// from.
-func (r *Result) usefulWasted() (useful, wasted float64) {
+// from. Checkpointed progress changes the ledger: an interrupted
+// attempt's banked progress (TaskRecord.Saved) is work the resuming
+// attempt never redoes, so it counts as useful; only the post-checkpoint
+// remainder is wasted. preempted is the wasted share of attempts ended
+// by eviction rather than failure — what the preempt-sweep scenario
+// charges against evict-and-resume.
+func (r *Result) usefulWasted() (useful, wasted, preempted float64) {
 	for _, tr := range r.TaskRecords {
 		if !tr.Placed {
 			continue
@@ -333,18 +364,28 @@ func (r *Result) usefulWasted() (useful, wasted float64) {
 		ch := tr.EndedAt.Sub(tr.SetupAt).Hours() * float64(tr.Cores)
 		if tr.State == pilot.StateDone.String() {
 			useful += ch
-		} else {
-			wasted += ch
+			continue
+		}
+		saved := tr.Saved.Hours() * float64(tr.Cores)
+		if saved > ch {
+			saved = ch
+		}
+		useful += saved
+		lost := ch - saved
+		wasted += lost
+		if tr.Fault == fault.KindPreempt.String() {
+			preempted += lost
 		}
 	}
-	return useful, wasted
+	return useful, wasted, preempted
 }
 
 // Goodput returns the fraction of consumed allocation time spent on
-// attempts that completed successfully: the resilience report's headline
+// attempts that completed successfully (checkpointed progress banked by
+// interrupted attempts included): the resilience report's headline
 // number. A campaign with nothing consumed reports 1.
 func (r *Result) Goodput() float64 {
-	useful, wasted := r.usefulWasted()
+	useful, wasted, _ := r.usefulWasted()
 	if useful+wasted == 0 {
 		return 1
 	}

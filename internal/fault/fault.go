@@ -60,11 +60,15 @@ const (
 	// KindPayload is a genuine payload error (Work returned an error or
 	// an invalid phase profile) routed through recovery.
 	KindPayload
+	// KindPreempt marks an attempt evicted by the preemption subsystem
+	// (checkpoint/evict/resume): not a failure of the work but a
+	// scheduling decision, requeued with its checkpointed progress.
+	KindPreempt
 	// KindCount bounds Kind values for array-indexed tallies.
 	KindCount
 )
 
-var kindNames = [KindCount]string{"none", "task", "node-crash", "walltime", "payload"}
+var kindNames = [KindCount]string{"none", "task", "node-crash", "walltime", "payload", "preempt"}
 
 func (k Kind) String() string {
 	if k >= 0 && k < KindCount {

@@ -3,11 +3,14 @@ package pilot
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"impress/internal/cluster"
 	"impress/internal/fault"
+	"impress/internal/preempt"
 	"impress/internal/sched"
 	"impress/internal/simclock"
+	"impress/internal/telemetry"
 	"impress/internal/trace"
 )
 
@@ -146,7 +149,7 @@ func (a *agent) schedule() {
 }
 
 func (a *agent) schedulePass() {
-	if a.pilot.state != PilotActive || len(a.queue) == 0 {
+	if !a.pilot.Active() || len(a.queue) == 0 {
 		return
 	}
 	// Incremental skip: the last pass left this queue blocked, and since
@@ -331,14 +334,41 @@ func (a *agent) startRun(ex *execution) {
 	}
 	t.Result = res
 
-	var offset simclock.Duration
+	// Checkpointed resume: skip the part of the phase profile a previous
+	// attempt already banked. Phases fully inside the resume point never
+	// schedule; the phase straddling it applies its busy profile at
+	// offset zero; everything after shifts earlier by the resume amount.
+	// With ResumeFrom zero (every attempt in a checkpoint-free campaign)
+	// this is byte-identical to the legacy replay.
+	resume := t.ResumeFrom
+	if total := res.TotalDuration(); resume > total {
+		resume = total
+	}
+	if resume > 0 {
+		if tel := a.pilot.tel; tel != nil {
+			tel.Instant(t.RunAt, telemetry.KindTaskResume, a.pilot.ordinal, t.Node(), t.ID)
+		}
+	}
+
+	var offset, start simclock.Duration
 	for _, ph := range res.Phases {
 		ph := ph
-		ev := engine.AfterTagged(offset, t.ID, ":phase:", ph.Name, func() {
-			a.setBusy(ex, ph.BusyCores, ph.BusyGPUs)
-		})
-		ex.events = append(ex.events, ev)
-		offset += ph.Duration
+		end := start + ph.Duration
+		if end > resume {
+			at := start - resume
+			if at < 0 {
+				at = 0
+			}
+			ev := engine.AfterTagged(at, t.ID, ":phase:", ph.Name, func() {
+				a.setBusy(ex, ph.BusyCores, ph.BusyGPUs)
+			})
+			ex.events = append(ex.events, ev)
+		}
+		start = end
+		offset = end - resume
+	}
+	if offset < 0 {
+		offset = 0
 	}
 	done := engine.AfterTagged(offset, t.ID, ":done", "", func() {
 		a.finish(ex, StateDone, nil)
@@ -349,7 +379,8 @@ func (a *agent) startRun(ex *execution) {
 	// the attempt's seed — whether this attempt dies mid-run. The fault
 	// event rides in ex.events, so completion and cancellation cancel it
 	// exactly like any phase event. With injection disabled no stream is
-	// consumed and no event exists.
+	// consumed and no event exists. A resumed attempt draws over its
+	// remaining duration only.
 	if inj := a.pilot.injector; inj != nil {
 		if at, ok := inj.taskFault(t, offset); ok {
 			ev := engine.AfterTagged(at, t.ID, ":fault", "", func() {
@@ -412,6 +443,13 @@ func (a *agent) record(t *Task, state TaskState, placed bool) trace.TaskRecord {
 	if state == StateFailed && t.FaultKind != fault.KindNone {
 		faultName = t.FaultKind.String()
 	}
+	// Saved is the checkpointed progress this attempt banked for its
+	// successor — the slice of its run the preemption accounting credits
+	// as useful rather than wasted.
+	var saved time.Duration
+	if t.requeue != nil && t.requeue.resumeFrom > t.ResumeFrom {
+		saved = t.requeue.resumeFrom - t.ResumeFrom
+	}
 	return trace.TaskRecord{
 		ID:        t.ID,
 		Name:      t.Description.Name,
@@ -430,6 +468,8 @@ func (a *agent) record(t *Task, state TaskState, placed bool) trace.TaskRecord {
 		Pipeline:  t.Tag("pipeline"),
 		Stage:     t.Tag("stage"),
 		Origin:    t.Origin,
+		Resumed:   t.ResumeFrom,
+		Saved:     saved,
 	}
 }
 
@@ -503,6 +543,102 @@ func (a *agent) failAll(kind fault.Kind, reason string) {
 	sort.Slice(execs, func(i, j int) bool { return execs[i].task.UID < execs[j].task.UID })
 	for _, ex := range execs {
 		a.failWithFault(ex.task, kind, fmt.Errorf("pilot: %s", reason))
+	}
+}
+
+// evict unwinds one attempt exactly like a fault — same queued/placed
+// unwind, same ledger and busy-counter discipline — but requeues it with
+// its checkpointed progress instead of consulting the recovery policy:
+// eviction is a scheduling decision, not a failure, so the attempt chain
+// always continues. resumeOn routes the resumed attempt to a named pilot
+// (the receiver of a preemptive-shrink transfer); empty keeps the
+// original routing.
+func (a *agent) evict(t *Task, resumeOn, reason string) {
+	if t.state.Final() {
+		return
+	}
+	t.FaultKind = fault.KindPreempt
+	a.tm.faultsByKind[fault.KindPreempt]++
+	now := a.pilot.engine.Now()
+	saved := checkpointProgress(t, now)
+	t.requeue = &requeuePlan{exclude: -1, resumeFrom: saved, pilotHint: resumeOn}
+	if tel := a.pilot.tel; tel != nil {
+		if saved > t.ResumeFrom {
+			tel.Instant(now, telemetry.KindTaskCheckpoint, a.pilot.ordinal, t.Node(), t.ID)
+		}
+		tel.Instant(now, telemetry.KindTaskEvict, a.pilot.ordinal, t.Node(), t.ID)
+	}
+	err := fmt.Errorf("pilot: %s", reason)
+	switch t.state {
+	case StateSubmitted, StateScheduling:
+		for i, q := range a.queue {
+			if q == t {
+				a.queue = append(a.queue[:i], a.queue[i+1:]...)
+				break
+			}
+		}
+		a.noteQueueDepth()
+		t.EndedAt = now
+		t.Err = err
+		if a.rec != nil {
+			a.rec.AddTask(a.record(t, StateFailed, false))
+		}
+		a.tm.transition(t, StateFailed)
+	case StateExecSetup, StateRunning:
+		ex := t.exec
+		if ex.inSetup {
+			a.activeSetups--
+			ex.inSetup = false
+		}
+		a.finish(ex, StateFailed, err)
+	}
+	a.tm.execRecovery(t)
+}
+
+// evictNode checkpoints and evicts every execution resident on a node,
+// in task-UID order for determinism. The node must already be marked
+// down so the unwind's rescheduling cascade cannot re-place work onto
+// it.
+func (a *agent) evictNode(nodeID int, resumeOn, reason string) {
+	var victims []*execution
+	for _, ex := range a.running {
+		if ex.alloc.Node.ID == nodeID {
+			victims = append(victims, ex)
+		}
+	}
+	sort.Slice(victims, func(i, j int) bool { return victims[i].task.UID < victims[j].task.UID })
+	for _, ex := range victims {
+		a.evict(ex.task, resumeOn, reason)
+	}
+}
+
+// drainAll is the graceful walltime drain: everything queued and every
+// placed attempt that cannot complete inside the grace window is
+// checkpointed and evicted to surviving pilots; running work that fits
+// keeps its allocation and finishes normally. The pilot must already be
+// marked draining so the eviction cascade places nothing new.
+func (a *agent) drainAll(grace time.Duration) {
+	queued := append([]*Task(nil), a.queue...)
+	for _, t := range queued {
+		a.evict(t, "", "pilot walltime drain")
+	}
+	var execs []*execution
+	for _, ex := range a.running {
+		execs = append(execs, ex)
+	}
+	sort.Slice(execs, func(i, j int) bool { return execs[i].task.UID < execs[j].task.UID })
+	now := a.pilot.engine.Now()
+	for _, ex := range execs {
+		t := ex.task
+		if t.state == StateRunning {
+			remaining := t.Result.TotalDuration() - t.ResumeFrom - now.Sub(t.RunAt)
+			if preempt.FinishesWithin(remaining, grace) {
+				continue // finishes inside the window; let it run out
+			}
+		}
+		// Attempts still in setup have unknowable completion; evict them
+		// along with every run that overshoots the window.
+		a.evict(t, "", "pilot walltime drain")
 	}
 }
 

@@ -149,7 +149,7 @@ func (in *injector) start() {
 	}
 	if in.spec.Walltime > 0 {
 		in.wallEvent = in.pilot.engine.AfterNamed(in.spec.Walltime, in.pilot.ID+":fault-walltime", func() {
-			in.pilot.expire()
+			in.pilot.expireOrDrain()
 		})
 	}
 }

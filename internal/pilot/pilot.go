@@ -7,6 +7,7 @@ import (
 	"impress/internal/cluster"
 	"impress/internal/costmodel"
 	"impress/internal/fault"
+	"impress/internal/preempt"
 	"impress/internal/sched"
 	"impress/internal/simclock"
 	"impress/internal/steer"
@@ -78,6 +79,20 @@ type PilotDescription struct {
 	// the campaign's node transfers. Empty means "none" — the pilot
 	// behaves exactly like the pre-steering runtime.
 	Steer string
+	// CheckpointInterval enables lazy checkpointing: a running attempt's
+	// progress counts as durably saved at every multiple of this virtual
+	// interval, so an evicted or fault-killed attempt resumes from its
+	// last checkpoint instead of from zero. Zero disables checkpointing
+	// entirely — no events, no random draws, bit-identical to the
+	// pre-preemption runtime.
+	CheckpointInterval time.Duration
+	// WalltimeGrace turns fault-model walltime expiry (Fault.Walltime)
+	// into a graceful drain: instead of failing everything at expiry, the
+	// pilot stops placing work, checkpoints and requeues whatever cannot
+	// finish within the grace window, lets the rest run to completion,
+	// and ends when the window closes. Zero keeps the legacy
+	// kill-everything expiry.
+	WalltimeGrace time.Duration
 	// Seed derives all task jitter streams for this pilot.
 	Seed uint64
 }
@@ -203,6 +218,10 @@ type Pilot struct {
 	state     PilotState
 	activeAt  simclock.Time
 	wallEvent simclock.Event
+	// draining marks the graceful walltime window: the pilot still runs
+	// work that fits before expiry but places nothing new and is skipped
+	// by routing and steering.
+	draining bool
 
 	recovery fault.Policy
 	steer    string
@@ -235,8 +254,22 @@ func (p *Pilot) Recovery() string { return p.recovery.Name() }
 // participation ("none" when unset: the partition is frozen).
 func (p *Pilot) Steer() string { return p.steer }
 
-// Active reports whether the pilot currently schedules tasks.
-func (p *Pilot) Active() bool { return p.state == PilotActive }
+// Active reports whether the pilot currently schedules tasks. A pilot
+// draining toward walltime expiry is not active: it finishes what fits
+// but places nothing new.
+func (p *Pilot) Active() bool { return p.state == PilotActive && !p.draining }
+
+// Draining reports whether the pilot is inside its graceful walltime
+// drain window.
+func (p *Pilot) Draining() bool { return p.draining }
+
+// PilotID returns the pilot's ID — the steering layer's handle for
+// routing resumed work to a transfer's receiver.
+func (p *Pilot) PilotID() string { return p.ID }
+
+// unavailable reports whether the pilot can no longer host new or
+// resubmitted work.
+func (p *Pilot) unavailable() bool { return p.state == PilotDone || p.draining }
 
 // QueueLen returns the number of tasks waiting in the agent queue — the
 // queue-pressure signal the steering layer watches.
@@ -294,6 +327,43 @@ func (p *Pilot) ShrinkNode(id int) (cluster.NodeCapacity, *fault.Chain, error) {
 		ch = p.injector.detach(id)
 	}
 	return nc, ch, nil
+}
+
+// EvictTask checkpoints and evicts one attempt: the task unwinds exactly
+// like a fault-killed attempt (ledger, busy counters, pending events)
+// but is requeued with its checkpointed progress, resuming on resumeOn
+// when given (empty keeps the original routing). Eviction bypasses the
+// recovery policy — it is a scheduling decision, not a failure — and
+// never ends an attempt chain. Terminal tasks are unaffected.
+func (p *Pilot) EvictTask(t *Task, resumeOn, reason string) {
+	if t == nil || t.state.Final() || t.pilot != p {
+		return
+	}
+	p.agent.evict(t, resumeOn, reason)
+}
+
+// EvictNode drains a busy node for an elastic transfer out — the
+// preemptive counterpart of ShrinkNode. Resident attempts are
+// checkpointed and evicted (requeued to resume on resumeOn when given),
+// then the emptied node is removed from the ledger with its crash chain
+// detached, exactly like ShrinkNode. The node is withdrawn from
+// scheduling for the duration of the eviction cascade so the unwind
+// cannot re-place work onto hardware that is leaving.
+func (p *Pilot) EvictNode(id int, resumeOn string) (cluster.NodeCapacity, *fault.Chain, error) {
+	clu := p.agent.cluster
+	if id < 0 || id >= clu.NodeCount() {
+		return cluster.NodeCapacity{}, nil, fmt.Errorf("pilot: node %d outside %s ledger", id, p.ID)
+	}
+	if clu.NodeIsRemoved(id) {
+		return cluster.NodeCapacity{}, nil, fmt.Errorf("pilot: node %d already transferred out of %s", id, p.ID)
+	}
+	if clu.NodeIsDown(id) {
+		return cluster.NodeCapacity{}, nil, fmt.Errorf("pilot: node %d is down; cannot evict a crashed node", id)
+	}
+	clu.SetNodeDown(id)
+	p.agent.evictNode(id, resumeOn, fmt.Sprintf("node %d preempted for transfer", id))
+	clu.SetNodeUp(id)
+	return p.ShrinkNode(id)
 }
 
 // FaultCounts reports the fault injector's activity: node crashes fired
@@ -375,6 +445,31 @@ func (p *Pilot) expire() {
 	p.agent.failAll(fault.KindWalltime, "pilot walltime expired")
 }
 
+// expireOrDrain is what fault-model walltime expiry actually invokes:
+// with no grace window it is the legacy kill-everything expire; with one
+// it opens the graceful drain instead.
+func (p *Pilot) expireOrDrain() {
+	if g := p.desc.WalltimeGrace; g > 0 {
+		p.drainWalltime(g)
+		return
+	}
+	p.expire()
+}
+
+// drainWalltime opens the graceful walltime window: the pilot stops
+// placing new work, queued tasks and running work that cannot complete
+// within the grace window are checkpointed and evicted to surviving
+// pilots, work that fits keeps running, and the pilot expires for good
+// when the window closes.
+func (p *Pilot) drainWalltime(grace time.Duration) {
+	if p.state != PilotActive || p.draining {
+		return
+	}
+	p.draining = true
+	p.agent.drainAll(grace)
+	p.engine.AfterNamed(grace, p.ID+":walltime-drain", func() { p.expire() })
+}
+
 // TaskManager accepts task submissions and routes them to pilot agents,
 // reporting every state transition to registered callbacks — the "Submit
 // & Monitor Continuously" channel pair of the paper's Fig. 1. Like RP's
@@ -394,6 +489,7 @@ type TaskManager struct {
 	faultsByKind [fault.KindCount]int
 	resubmitted  int
 	terminal     int
+	resumes      int
 	attemptHist  map[int]int
 
 	// reroute, when set, picks the pilot for a resubmission whose
@@ -570,6 +666,9 @@ func (tm *TaskManager) fail(t *Task, err error) {
 // runs before the FAILED transition so callbacks observe WillRetry. The
 // decision comes from the recovery policy of the pilot the attempt
 // failed on — recovery is selected per pilot exactly like scheduling.
+// With checkpointing on, the staged resubmission resumes from the
+// attempt's last checkpoint instead of attempt-from-zero (checkpoints
+// live on the shared filesystem, so they survive the node that failed).
 func (tm *TaskManager) planRecovery(t *Task, kind fault.Kind) {
 	if kind > fault.KindNone && kind < fault.KindCount {
 		tm.faultsByKind[kind]++
@@ -584,7 +683,28 @@ func (tm *TaskManager) planRecovery(t *Task, kind fault.Kind) {
 			plan.exclude = n
 		}
 	}
+	if t.pilot.desc.CheckpointInterval > 0 {
+		plan.resumeFrom = checkpointProgress(t, tm.engine.Now())
+		if plan.resumeFrom > t.ResumeFrom {
+			if tel := t.pilot.tel; tel != nil {
+				tel.Instant(tm.engine.Now(), telemetry.KindTaskCheckpoint, t.pilot.ordinal, t.Node(), t.ID)
+			}
+		}
+	}
 	t.requeue = plan
+}
+
+// checkpointProgress returns the durably saved progress of an attempt at
+// the current virtual instant under its pilot's checkpoint interval: the
+// progress it carried in, plus every whole interval completed since the
+// run began (internal/preempt's lazy-checkpoint arithmetic). Attempts
+// not yet running (and pilots without checkpointing) save nothing beyond
+// what they arrived with.
+func checkpointProgress(t *Task, now simclock.Time) time.Duration {
+	if t.state != StateRunning {
+		return t.ResumeFrom
+	}
+	return preempt.Progress(t.ResumeFrom, now.Sub(t.RunAt), t.pilot.desc.CheckpointInterval)
 }
 
 // execRecovery runs after a failed attempt's FAILED transition: it either
@@ -638,15 +758,28 @@ func (tm *TaskManager) CancelChain(t *Task, reason string) {
 // fast and the chain ends.
 func (tm *TaskManager) resubmit(orig *Task, plan *requeuePlan) {
 	td := orig.Description
+	req := cluster.Request{Cores: td.Cores, GPUs: td.GPUs, MemGB: td.MemGB}
 	p := orig.pilot
 	avoid := append([]int(nil), orig.avoidNodes...)
 	if plan.exclude >= 0 {
 		avoid = append(avoid, plan.exclude)
 	}
-	if p.state == PilotDone {
+	if plan.pilotHint != "" {
+		// A preemptive-shrink eviction resumes on the transfer's receiver
+		// when it is still standing and its nodes can actually host the
+		// task (a GPU task evicted off a donated node has no business on
+		// a CPU-only receiver); otherwise the normal routing applies.
+		if np, ok := tm.byID[plan.pilotHint]; ok && !np.unavailable() && np.agent.cluster.Fits(req) {
+			if np != p {
+				avoid = nil // node IDs are per-cluster; they do not transfer
+			}
+			p = np
+		}
+	}
+	if p.unavailable() {
 		if tm.reroute != nil {
 			np, ok := tm.reroute(td)
-			if !ok || np == nil || np.state == PilotDone {
+			if !ok || np == nil || np.unavailable() {
 				np = nil
 			}
 			p = np
@@ -662,8 +795,12 @@ func (tm *TaskManager) resubmit(orig *Task, plan *requeuePlan) {
 		Description: td,
 		Attempt:     orig.Attempt + 1,
 		Origin:      orig.Origin,
+		ResumeFrom:  plan.resumeFrom,
 		state:       StateNew,
 		SubmittedAt: tm.engine.Now(),
+	}
+	if plan.resumeFrom > 0 {
+		tm.resumes++
 	}
 	if p == nil {
 		// No pilot left to host the retry: submit against the dead
@@ -689,7 +826,6 @@ func (tm *TaskManager) resubmit(orig *Task, plan *requeuePlan) {
 		tm.fail(t, fmt.Errorf("pilot: no pilot available to resubmit %s (attempt %d)", t.Origin, t.Attempt))
 		return
 	}
-	req := cluster.Request{Cores: td.Cores, GPUs: td.GPUs, MemGB: td.MemGB}
 	if !p.agent.cluster.Fits(req) {
 		tm.fail(t, fmt.Errorf("pilot: task %s request %+v exceeds %s node capacity", t.ID, req, p.ID))
 		return
@@ -702,7 +838,7 @@ func (tm *TaskManager) resubmit(orig *Task, plan *requeuePlan) {
 func (tm *TaskManager) alternativePilot(td TaskDescription, exclude *Pilot) *Pilot {
 	req := cluster.Request{Cores: td.Cores, GPUs: td.GPUs, MemGB: td.MemGB}
 	for _, p := range tm.pilots {
-		if p == exclude || p.state == PilotDone {
+		if p == exclude || p.unavailable() {
 			continue
 		}
 		if p.agent.cluster.Fits(req) {
@@ -721,6 +857,9 @@ type FaultTallies struct {
 	Resubmitted int
 	// Terminal counts fault-killed attempts whose chain ended there.
 	Terminal int
+	// Resumes counts resubmitted attempts that restarted from a
+	// checkpoint rather than from zero.
+	Resumes int
 	// AttemptHist maps attempts-needed -> number of logical tasks whose
 	// chain ended after exactly that many attempts.
 	AttemptHist map[int]int
@@ -736,6 +875,7 @@ func (tm *TaskManager) FaultTallies() FaultTallies {
 		ByKind:      tm.faultsByKind,
 		Resubmitted: tm.resubmitted,
 		Terminal:    tm.terminal,
+		Resumes:     tm.resumes,
 		AttemptHist: hist,
 	}
 }

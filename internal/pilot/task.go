@@ -199,6 +199,10 @@ type Task struct {
 	// FaultKind records what killed this attempt (fault.KindNone while
 	// healthy).
 	FaultKind fault.Kind
+	// ResumeFrom is checkpointed progress carried in from a previous
+	// attempt: the executor skips this much of the phase profile, so only
+	// post-checkpoint work is re-executed. Zero means attempt-from-zero.
+	ResumeFrom time.Duration
 
 	state TaskState
 
@@ -225,6 +229,13 @@ type Task struct {
 type requeuePlan struct {
 	delay   time.Duration
 	exclude int // node to avoid on the next attempt, -1 for none
+	// resumeFrom is the checkpointed progress the next attempt starts
+	// from (0 restarts from scratch).
+	resumeFrom time.Duration
+	// pilotHint routes the resubmission straight to a named pilot
+	// (preemptive-shrink transfers resume on the receiver); "" keeps the
+	// original routing.
+	pilotHint string
 }
 
 // WillRetry reports whether the recovery policy has scheduled a

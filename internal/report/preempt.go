@@ -1,0 +1,183 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+
+	"impress/internal/core"
+	"impress/internal/stats"
+)
+
+// preemptKey identifies one cell of the preemption grid: a checkpoint
+// cadence, a walltime-expiry mode (hard kill vs graceful drain), and a
+// steering policy, all racing the same interruption schedule.
+type preemptKey struct {
+	interval time.Duration
+	drain    bool
+	steer    string
+}
+
+func (k preemptKey) mode() string {
+	if k.drain {
+		return "drain"
+	}
+	return "kill"
+}
+
+// ckLabel renders a checkpoint cadence compactly: "15m", "1h", "off".
+func ckLabel(d time.Duration) string {
+	if d <= 0 {
+		return "off"
+	}
+	s := strings.TrimSuffix(d.String(), "0s")
+	s = strings.TrimSuffix(s, "0m")
+	if s == "" {
+		s = d.String()
+	}
+	return s
+}
+
+// Preemption renders the preempt-sweep comparison: one row per
+// (checkpoint interval, kill-vs-drain, steering) cell, aggregated over
+// seeds, against the fault-free baselines of the same seeds. The
+// question the table answers is what interrupted work costs: with
+// checkpointing off every eviction restarts its attempt from zero
+// (wasted core-hours), while evict-and-resume forfeits only the slice
+// past the last checkpoint (preempted core-hours).
+func Preemption(results []*core.Result) string {
+	baselines, groups, keys := groupPreempt(results)
+
+	t := NewTable("Ckpt", "Mode", "Steer", "Runs", "Goodput %", "Makespan (h)", "Inflation ×",
+		"Wasted core-h", "Preempted core-h", "Evictions", "Resumes", "WT kills", "Transfers", "Killed PL")
+	for _, k := range keys {
+		rs := groups[k]
+		collect := func(f func(*core.Result) float64) []float64 {
+			out := make([]float64, len(rs))
+			for i, r := range rs {
+				out[i] = f(r)
+			}
+			return out
+		}
+		var inflations []float64
+		for _, r := range rs {
+			if base, ok := baselines[r.Seed]; ok && base > 0 {
+				inflations = append(inflations, r.Makespan.Hours()/base)
+			}
+		}
+		inflation := "n/a"
+		if len(inflations) > 0 {
+			inflation = fmt.Sprintf("%.2f", stats.Median(inflations))
+		}
+		evictions, resumes, wtKills, transfers, killed := 0, 0, 0, 0, 0
+		var wasted, preempted float64
+		for _, r := range rs {
+			evictions += r.Faults.Evictions
+			resumes += r.Faults.Resumes
+			wtKills += r.Faults.WalltimeKills
+			transfers += r.NodeTransfers
+			killed += r.Faults.KilledPipelines
+			wasted += r.Faults.WastedCoreHours
+			preempted += r.Faults.PreemptedCoreHours
+		}
+		t.AddRow(
+			ckLabel(k.interval),
+			k.mode(),
+			k.steer,
+			fmt.Sprintf("%d", len(rs)),
+			fmt.Sprintf("%.1f", 100*stats.Median(collect((*core.Result).Goodput))),
+			fmt.Sprintf("%.2f", stats.Median(collect(func(r *core.Result) float64 { return r.Makespan.Hours() }))),
+			inflation,
+			fmt.Sprintf("%.2f", wasted),
+			fmt.Sprintf("%.2f", preempted),
+			fmt.Sprintf("%d", evictions),
+			fmt.Sprintf("%d", resumes),
+			fmt.Sprintf("%d", wtKills),
+			fmt.Sprintf("%d", transfers),
+			fmt.Sprintf("%d", killed),
+		)
+	}
+
+	var sb strings.Builder
+	sb.WriteString("Preemption comparison: checkpoint cadence × walltime mode × steering (medians over seeds; counts and core-hours summed)\n")
+	if len(baselines) == 0 {
+		sb.WriteString("(no fault-free baseline runs: makespan inflation unavailable)\n")
+	}
+	sb.WriteString(t.String())
+	return sb.String()
+}
+
+// groupPreempt splits results into per-seed fault-free baselines and
+// preemption cells keyed by (interval, drain, steer), with keys sorted
+// by interval, then mode, then steering name.
+func groupPreempt(results []*core.Result) (map[uint64]float64, map[preemptKey][]*core.Result, []preemptKey) {
+	baselines := make(map[uint64]float64)
+	groups := make(map[preemptKey][]*core.Result)
+	for _, r := range results {
+		if r == nil {
+			continue
+		}
+		if r.Faults == nil {
+			baselines[r.Seed] = r.Makespan.Hours()
+			continue
+		}
+		k := preemptKey{interval: r.CheckpointInterval, drain: r.WalltimeGrace > 0, steer: r.SteerLabel()}
+		groups[k] = append(groups[k], r)
+	}
+	keys := make([]preemptKey, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].interval != keys[j].interval {
+			return keys[i].interval < keys[j].interval
+		}
+		if keys[i].drain != keys[j].drain {
+			return !keys[i].drain
+		}
+		return keys[i].steer < keys[j].steer
+	})
+	return baselines, groups, keys
+}
+
+// PreemptionCSV writes one row per campaign (baselines with empty fault
+// columns) — the machine-readable companion of Preemption.
+func PreemptionCSV(w io.Writer, results []*core.Result) error {
+	if _, err := fmt.Fprintln(w, "checkpoint_interval_s,mode,steer,seed,approach,goodput,makespan_h,inflation,"+
+		"wasted_core_h,preempted_core_h,evictions,resumes,walltime_kills,transfers,"+
+		"killed_pipelines,resubmissions,terminal_failures"); err != nil {
+		return err
+	}
+	baselines, _, _ := groupPreempt(results)
+	for _, r := range results {
+		if r == nil {
+			continue
+		}
+		if r.Faults == nil {
+			if _, err := fmt.Fprintf(w, "baseline,baseline,%s,%d,%s,%.4f,%.4f,1,0,0,0,0,0,%d,0,0,0\n",
+				r.SteerLabel(), r.Seed, r.Approach, r.Goodput(), r.Makespan.Hours(), r.NodeTransfers); err != nil {
+				return err
+			}
+			continue
+		}
+		inflation := ""
+		if base, ok := baselines[r.Seed]; ok && base > 0 {
+			inflation = fmt.Sprintf("%.4f", r.Makespan.Hours()/base)
+		}
+		f := r.Faults
+		mode := "kill"
+		if r.WalltimeGrace > 0 {
+			mode = "drain"
+		}
+		if _, err := fmt.Fprintf(w, "%.0f,%s,%s,%d,%s,%.4f,%.4f,%s,%.4f,%.4f,%d,%d,%d,%d,%d,%d,%d\n",
+			r.CheckpointInterval.Seconds(), mode, r.SteerLabel(), r.Seed, r.Approach,
+			r.Goodput(), r.Makespan.Hours(), inflation,
+			f.WastedCoreHours, f.PreemptedCoreHours, f.Evictions, f.Resumes,
+			f.WalltimeKills, r.NodeTransfers, f.KilledPipelines, f.Resubmissions, f.TerminalFailures); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -33,7 +33,20 @@ type Elastic interface {
 	// GrowNode transfers a node of the given capacity into the pilot,
 	// handing the donor's crash chain to the receiver's fault injector.
 	GrowNode(nc cluster.NodeCapacity, ch *fault.Chain) int
+	// EvictNode checkpoints and evicts every task resident on the
+	// identified node (requeueing each with its saved progress, hinted
+	// at the resumeOn pilot), then transfers the node out like
+	// ShrinkNode. Only preemptive policies reach this.
+	EvictNode(id int, resumeOn string) (cluster.NodeCapacity, *fault.Chain, error)
+	// PilotID returns the pilot's stable identifier, used as the
+	// resume hint for work evicted toward it.
+	PilotID() string
 }
+
+// preemptCapable marks a policy whose transfers may drain a busy node
+// through Elastic.EvictNode when no idle node fits. Policies that do not
+// implement it (or return false) keep the non-idle veto semantics.
+type preemptCapable interface{ Preemptive() bool }
 
 // Move records one applied node transfer.
 type Move struct {
@@ -260,22 +273,62 @@ func (c *Controller) apply(tr Transfer) {
 	}
 	id, ok := c.usefulNode(clu, to)
 	if !ok {
+		if c.preemptive() {
+			if id, ok = c.busyUsefulNode(clu, to); ok {
+				c.drain(tr, from, to, id)
+				return
+			}
+		}
 		c.veto(tr, VetoNoCapacity)
 		return
 	}
 	nc, ch, err := from.ShrinkNode(id)
 	if err != nil {
 		// The node stopped being idle between snapshot and application;
-		// skip rather than chase another.
+		// skip rather than chase another — unless the policy is
+		// preemptive, in which case the running work is checkpointed,
+		// evicted, and resumed on the receiver.
+		if c.preemptive() {
+			c.drain(tr, from, to, id)
+			return
+		}
 		c.veto(tr, VetoNonIdle)
 		return
 	}
+	c.grow(tr, to, nc, ch, false)
+}
+
+// preemptive reports whether the active policy's transfers may drain
+// busy nodes instead of taking the non-idle veto.
+func (c *Controller) preemptive() bool {
+	p, ok := c.pol.(preemptCapable)
+	return ok && p.Preemptive()
+}
+
+// drain executes one preemptive transfer: checkpoint and evict the work
+// resident on the donor's node, move the node, and let the evicted
+// attempts resume on the receiver.
+func (c *Controller) drain(tr Transfer, from, to Elastic, id int) {
+	nc, ch, err := from.EvictNode(id, to.PilotID())
+	if err != nil {
+		c.veto(tr, VetoNonIdle)
+		return
+	}
+	c.grow(tr, to, nc, ch, true)
+}
+
+// grow completes a validated transfer: hand the node to the receiver
+// and log the move.
+func (c *Controller) grow(tr Transfer, to Elastic, nc cluster.NodeCapacity, ch *fault.Chain, drained bool) {
 	to.GrowNode(nc, ch)
 	mv := Move{At: c.engine.Now(), From: tr.From, To: tr.To, Node: nc}
 	c.moves = append(c.moves, mv)
 	if c.tel.Enabled() {
-		c.tel.Instant(mv.At, telemetry.KindSteerMove, tr.To, -1,
-			fmt.Sprintf("%d->%d %dc/%dg/%dGB", tr.From, tr.To, nc.Cores, nc.GPUs, nc.MemGB))
+		detail := fmt.Sprintf("%d->%d %dc/%dg/%dGB", tr.From, tr.To, nc.Cores, nc.GPUs, nc.MemGB)
+		if drained {
+			detail += " drained"
+		}
+		c.tel.Instant(mv.At, telemetry.KindSteerMove, tr.To, -1, detail)
 	}
 	if c.onMove != nil {
 		c.onMove(mv)
@@ -304,11 +357,37 @@ func (c *Controller) usefulNode(donor *cluster.Cluster, to Elastic) (int, bool) 
 	queued := to.QueuedRequests()
 	for _, id := range donor.TransferableNodes() {
 		nc := donor.NodeCap(id)
-		for _, r := range queued {
-			if r.Cores <= nc.Cores && r.GPUs <= nc.GPUs && r.MemGB <= nc.MemGB {
-				return id, true
-			}
+		if fitsAny(nc, queued) {
+			return id, true
 		}
 	}
 	return -1, false
+}
+
+// busyUsefulNode is usefulNode without the idle requirement: the
+// donor's lowest-ID up node whose capacity could host one of the
+// receiver's queued tasks, whatever is currently running on it. Only
+// the preemptive drain path consults it.
+func (c *Controller) busyUsefulNode(donor *cluster.Cluster, to Elastic) (int, bool) {
+	queued := to.QueuedRequests()
+	for id := 0; id < donor.NodeCount(); id++ {
+		if donor.NodeIsRemoved(id) || donor.NodeIsDown(id) {
+			continue
+		}
+		if fitsAny(donor.NodeCap(id), queued) {
+			return id, true
+		}
+	}
+	return -1, false
+}
+
+// fitsAny reports whether a node of the given capacity could host at
+// least one of the queued requests.
+func fitsAny(nc cluster.NodeCapacity, queued []cluster.Request) bool {
+	for _, r := range queued {
+		if r.Cores <= nc.Cores && r.GPUs <= nc.GPUs && r.MemGB <= nc.MemGB {
+			return true
+		}
+	}
+	return false
 }

@@ -165,6 +165,53 @@ func (p *hysteresisPolicy) Decide(stats []Stat) []Transfer {
 	return out
 }
 
+// preemptPolicy is greedy with checkpointed eviction as its fallback:
+// when a starving pilot has no idle-handed donor, it still proposes a
+// transfer from the least-starved busy pilot, relying on the controller
+// to drain a busy node (checkpoint, evict, transfer, resume) instead of
+// vetoing with non-idle. It trades a bounded amount of re-execution
+// (work past the last checkpoint) for capacity that follows pressure
+// even when the fleet is saturated.
+type preemptPolicy struct{}
+
+func (preemptPolicy) Name() string { return "preempt" }
+
+// Preemptive marks the policy's transfers as eligible for the
+// controller's drain path.
+func (preemptPolicy) Preemptive() bool { return true }
+
+func (preemptPolicy) Decide(stats []Stat) []Transfer {
+	var out []Transfer
+	for _, to := range starving(stats) {
+		from, ok := bestDonor(stats, to)
+		if !ok {
+			from, ok = busyDonor(stats, to)
+		}
+		if ok {
+			out = append(out, Transfer{From: from, To: to})
+		}
+	}
+	return out
+}
+
+// busyDonor relaxes bestDonor's idle-handedness requirement: any
+// unfrozen, non-starving pilot with more than one operational node may
+// donate, preferring the pilot with the most nodes (ties by index). The
+// donated node will carry running work, so this is only proposed by
+// policies the controller drains for.
+func busyDonor(stats []Stat, to int) (int, bool) {
+	best, found := -1, false
+	for i, s := range stats {
+		if i == to || s.Frozen || s.Queue > 0 || s.Nodes <= 1 {
+			continue
+		}
+		if !found || s.Nodes > stats[best].Nodes {
+			best, found = i, true
+		}
+	}
+	return best, found
+}
+
 // starving returns the indices of unfrozen pilots with queued work,
 // deepest queue first (ties by index, for determinism).
 func starving(stats []Stat) []int {
@@ -201,6 +248,7 @@ var builders = map[string]func() Policy{
 	"none":       func() Policy { return nonePolicy{} },
 	"greedy":     func() Policy { return greedyPolicy{} },
 	"hysteresis": func() Policy { return &hysteresisPolicy{} },
+	"preempt":    func() Policy { return preemptPolicy{} },
 }
 
 // Names returns the registered steering-policy names, sorted.

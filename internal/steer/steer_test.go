@@ -5,7 +5,7 @@ import (
 )
 
 func TestRegistry(t *testing.T) {
-	want := []string{"greedy", "hysteresis", "none"}
+	want := []string{"greedy", "hysteresis", "none", "preempt"}
 	got := Names()
 	if len(got) != len(want) {
 		t.Fatalf("Names() = %v", got)

@@ -32,6 +32,12 @@ const (
 	KindPipelineKill = "pipeline-kill"
 	KindSteerMove    = "steer-move"
 	KindSteerVeto    = "steer-veto"
+	// Preemption lifecycle: a checkpoint banked at eviction or failure,
+	// an attempt evicted for requeue, and an attempt resuming from saved
+	// progress.
+	KindTaskCheckpoint = "task-checkpoint"
+	KindTaskEvict      = "task-evict"
+	KindTaskResume     = "task-resume"
 )
 
 // Instant is a zero-duration event pinned to a pilot (and optionally a

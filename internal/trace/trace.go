@@ -65,6 +65,14 @@ type TaskRecord struct {
 	// Origin is the logical task identity shared by every attempt of a
 	// retry chain (the first attempt's ID; "" in old records).
 	Origin string
+	// Resumed is the checkpointed progress this attempt started from
+	// (zero for attempt-from-zero; preemption subsystem).
+	Resumed time.Duration
+	// Saved is the checkpointed progress this attempt banked for its
+	// successor when it was evicted or failed with a checkpoint
+	// available — the slice of its run the waste accounting credits as
+	// useful (zero when nothing carried forward).
+	Saved time.Duration
 }
 
 // Wait returns time from submission to the start of exec setup.

@@ -79,6 +79,12 @@ func TestKiloScreenDeterministic(t *testing.T) {
 	}
 	p := impress.ScenarioParams{Targets: 6}
 	a := renderKiloTrace(t, p)
+	// The default fleet's lean CPU rack must actually starve: a run where
+	// steering never moved a node would leave the transfer paths of the
+	// indexed ledger untested, making this scenario a vacuous regression.
+	if strings.Contains(a, "transfers=0 ") {
+		t.Fatal("kilo-screen default fleet produced zero node transfers; steering is vacuous")
+	}
 	b := renderKiloTrace(t, p)
 	if a == b {
 		return
