@@ -17,9 +17,13 @@ package impress_test
 import (
 	"fmt"
 	"testing"
+	"time"
 
 	"impress"
 	"impress/internal/cluster"
+	"impress/internal/fleet"
+	"impress/internal/workload"
+	"impress/internal/xrand"
 )
 
 // reportCampaign attaches the scientific metrics of a result to b.
@@ -701,6 +705,133 @@ func benchPreemptSweep(b *testing.B) {
 // CI runs it at -benchtime 1x as the checkpointed-preemption smoke test.
 func BenchmarkPreemptSweep(b *testing.B) {
 	benchPreemptSweep(b)
+}
+
+// benchTenantSweep is the tenant-sweep body, shared by
+// BenchmarkTenantSweep and the BENCH_<n>.json emitter: the one-seed
+// admission grid — every admission-control policy over eight campaigns
+// arriving on one shared 12-node fleet with fairshare reclaim —
+// reporting the best Jain's index, the fcfs baseline index, and the
+// grid's total inter-campaign node reclaims.
+func benchTenantSweep(b *testing.B) {
+	campaigns, err := impress.BuildScenario("tenant-sweep", impress.ScenarioParams{
+		Seed:    42,
+		Seeds:   1,
+		Targets: 8,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var outs []impress.CampaignOutcome
+	for i := 0; i < b.N; i++ {
+		outs = impress.RunCampaigns(campaigns, 0)
+		for _, o := range outs {
+			if o.Err != nil {
+				b.Fatalf("campaign %s failed: %v", o.Name, o.Err)
+			}
+		}
+	}
+	bestJain, fcfsJain, reclaims := 0.0, 0.0, 0
+	for _, o := range outs {
+		j := impress.JainOf(o.Result)
+		if j > bestJain {
+			bestJain = j
+		}
+		if o.Result.Admission == "fcfs-admit" {
+			fcfsJain = j
+		}
+		reclaims += o.Result.NodeTransfers
+	}
+	b.ReportMetric(float64(len(outs)), "campaigns")
+	b.ReportMetric(bestJain, "best-jain")
+	b.ReportMetric(fcfsJain, "fcfs-jain")
+	b.ReportMetric(float64(reclaims), "reclaims")
+}
+
+// BenchmarkTenantSweep runs the one-seed admission grid end to end.
+// CI runs it at -benchtime 1x as the multi-tenant service's smoke test.
+func BenchmarkTenantSweep(b *testing.B) {
+	benchTenantSweep(b)
+}
+
+// benchTenantCell is the BENCH_<n>.json consolidation A/B: the same
+// eight arriving tenant campaigns run either through the shared-cluster
+// service (weighted-fair admission on the 12-node pool — this PR's
+// measurement) or on isolated private clusters, one demand-sized
+// machine per tenant with no sharing at all (the baseline). The
+// isolated fleet is nearly twice the hardware (23 nodes vs 12) and its
+// makespan is each tenant's private runtime offset by its arrival —
+// the cell's metric deltas price what consolidation costs in makespan
+// against what it saves in nodes.
+func benchTenantCell(b *testing.B, shared bool) {
+	all, err := impress.BuildScenario("tenant-sweep", impress.ScenarioParams{
+		Seed:      42,
+		Seeds:     1,
+		Targets:   8,
+		Admission: "weighted-fair",
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if len(all) != 1 {
+		b.Fatalf("pinned admission built %d campaigns, want 1", len(all))
+	}
+	spec := all[0].Tenancy
+
+	if shared {
+		var outs []impress.CampaignOutcome
+		for i := 0; i < b.N; i++ {
+			outs = impress.RunCampaigns(all, 1)
+			if outs[0].Err != nil {
+				b.Fatalf("campaign %s failed: %v", all[0].Name, outs[0].Err)
+			}
+		}
+		res := outs[0].Result
+		b.ReportMetric(res.Makespan.Hours(), "makespan-h")
+		b.ReportMetric(float64(spec.Config.Machine.Nodes), "nodes")
+		b.ReportMetric(impress.JainOf(res), "jain")
+		b.ReportMetric(float64(res.NodeTransfers), "reclaims")
+		return
+	}
+
+	// Isolated baseline: each tenant on its own private demand-sized
+	// cluster, workload and arrival stream identical to the service run.
+	arrivals, err := fleet.Arrivals(spec.Config.Arrival, len(spec.Tenants), spec.Config.Span, spec.Config.Seed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	nodes := 0
+	campaigns := make([]impress.Campaign, len(spec.Tenants))
+	for i, ts := range spec.Tenants {
+		targets, err := workload.MinedScreen(xrand.Derive(ts.Seed, "tenant:"+ts.Name), ts.TargetCount, workload.DefaultConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		cfg := ts.Config
+		cfg.Machine = cluster.AmarelCluster(ts.Nodes)
+		nodes += ts.Nodes
+		campaigns[i] = impress.Campaign{Name: "isolated/" + ts.Name, Seed: ts.Seed, Targets: targets, Config: cfg}
+	}
+	var outs []impress.CampaignOutcome
+	for i := 0; i < b.N; i++ {
+		outs = impress.RunCampaigns(campaigns, 0)
+		for _, o := range outs {
+			if o.Err != nil {
+				b.Fatalf("campaign %s failed: %v", o.Name, o.Err)
+			}
+		}
+	}
+	var makespan time.Duration
+	for i, o := range outs {
+		if end := arrivals[i] + o.Result.Makespan; end > makespan {
+			makespan = end
+		}
+	}
+	b.ReportMetric(makespan.Hours(), "makespan-h")
+	b.ReportMetric(float64(nodes), "nodes")
+	// Private clusters never queue or reclaim: slowdown 1 for everyone.
+	b.ReportMetric(1, "jain")
+	b.ReportMetric(0, "reclaims")
 }
 
 // benchPreemptCell runs a single named campaign of the preemption grid —

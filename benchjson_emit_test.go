@@ -21,7 +21,7 @@ import (
 
 // benchJSONPR is this trajectory point's PR number; bump it (and the
 // committed artifact name) in each future perf PR.
-const benchJSONPR = 9
+const benchJSONPR = 10
 
 func TestEmitBenchJSON(t *testing.T) {
 	path := os.Getenv("IMPRESS_BENCH_JSON")
@@ -72,6 +72,21 @@ func TestEmitBenchJSON(t *testing.T) {
 		testing.Benchmark(func(b *testing.B) { benchPreemptCell(b, "preempt/drain+preempt/ck15m/seed42") })))
 	baseline = append(baseline, benchjson.FromBenchmark("BenchmarkPreemptSweep/cell",
 		testing.Benchmark(func(b *testing.B) { benchPreemptCell(b, "preempt/kill+none/ck0/seed42") })))
+
+	t.Log("running BenchmarkTenantSweep")
+	results = append(results, benchjson.FromBenchmark("BenchmarkTenantSweep",
+		testing.Benchmark(benchTenantSweep)))
+
+	// The consolidation A/B: the shared-cluster service (weighted-fair
+	// admission, eight tenants on the 12-node pool) is this PR's result;
+	// the same tenants on isolated private clusters — 23 nodes, no
+	// sharing — are its baseline. The cell's makespan and nodes deltas
+	// price multi-tenant consolidation.
+	t.Log("running BenchmarkTenantSweep/cell (shared + isolated baseline)")
+	results = append(results, benchjson.FromBenchmark("BenchmarkTenantSweep/cell",
+		testing.Benchmark(func(b *testing.B) { benchTenantCell(b, true) })))
+	baseline = append(baseline, benchjson.FromBenchmark("BenchmarkTenantSweep/cell",
+		testing.Benchmark(func(b *testing.B) { benchTenantCell(b, false) })))
 
 	// The telemetry A/B: the recorder-on measurement is this PR's result,
 	// the recorder-off run of the same pair workload is its baseline —

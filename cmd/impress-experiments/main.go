@@ -84,6 +84,11 @@ func run() int {
 			Fleet:              common.Fleet,
 			CheckpointInterval: common.CheckpointInterval,
 			WalltimeGrace:      common.WalltimeGrace,
+			Tenants:            common.Tenants,
+			Arrival:            common.Arrival,
+			ArrivalSpan:        common.ArrivalSpan,
+			Admission:          common.Admission,
+			Reclaim:            common.Reclaim,
 		}, common.Parallel, csvPath, common.ChromeTrace)
 	}
 	if common.CheckpointInterval > 0 || common.WalltimeGrace > 0 {

@@ -106,6 +106,9 @@ func run() int {
 			for _, name := range cliflags.PreemptFlagNames() {
 				compat[name] = true
 			}
+			for _, name := range cliflags.TenancyFlagNames() {
+				compat[name] = true
+			}
 			var ignored []string
 			flag.Visit(func(f *flag.Flag) {
 				if !compat[f.Name] {
@@ -130,6 +133,11 @@ func run() int {
 			Fleet:              common.Fleet,
 			CheckpointInterval: common.CheckpointInterval,
 			WalltimeGrace:      common.WalltimeGrace,
+			Tenants:            common.Tenants,
+			Arrival:            common.Arrival,
+			ArrivalSpan:        common.ArrivalSpan,
+			Admission:          common.Admission,
+			Reclaim:            common.Reclaim,
 		}, common.Parallel, *csvPath, common.ChromeTrace)
 	}
 

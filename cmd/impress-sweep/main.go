@@ -74,6 +74,11 @@ func run() int {
 		Telemetry:          common.ChromeTrace != "",
 		CheckpointInterval: common.CheckpointInterval,
 		WalltimeGrace:      common.WalltimeGrace,
+		Tenants:            common.Tenants,
+		Arrival:            common.Arrival,
+		ArrivalSpan:        common.ArrivalSpan,
+		Admission:          common.Admission,
+		Reclaim:            common.Reclaim,
 	}
 
 	if *scenario != "" {

@@ -32,9 +32,11 @@ import (
 	"impress/internal/mpnn"
 	"impress/internal/pipeline"
 	"impress/internal/report"
+	"impress/internal/fleet"
 	"impress/internal/sched"
 	"impress/internal/steer"
 	"impress/internal/telemetry"
+	"impress/internal/tenancy"
 	"impress/internal/workload"
 )
 
@@ -108,6 +110,21 @@ type (
 	// TelemetryData is a campaign's observability record
 	// (Result.Telemetry; nil unless Config.Telemetry was set).
 	TelemetryData = telemetry.Data
+	// TenancySpec declares a multi-tenant service: many campaigns
+	// arriving on one shared cluster under admission control. Assign to
+	// Campaign.Tenancy or run directly with NewTenancyService.
+	TenancySpec = tenancy.Spec
+	// TenancyConfig is the service-level half of a TenancySpec (shared
+	// pool, arrival process, admission and reclaim policies).
+	TenancyConfig = tenancy.Config
+	// TenantSpec declares one arriving tenant campaign of a
+	// multi-tenant service.
+	TenantSpec = tenancy.TenantSpec
+	// TenancyService executes one multi-tenant service spec.
+	TenancyService = tenancy.Service
+	// TenantStat is one tenant's admission and fairness record in a
+	// service result (Result.Tenants).
+	TenantStat = core.TenantStat
 )
 
 // Resource classes for PilotSpec.Serves.
@@ -339,6 +356,62 @@ func Preemption(results []*Result) string { return report.Preemption(results) }
 // PreemptionCSV writes one preemption CSV row per result.
 func PreemptionCSV(w io.Writer, results []*Result) error {
 	return report.PreemptionCSV(w, results)
+}
+
+// NewTenancyService validates a multi-tenant service spec and prepares
+// it to run: a shared concurrent-safe cluster leased to a deterministic
+// stream of arriving tenant campaigns under admission control, with
+// fairness-aware inter-campaign steering reclaiming nodes between them.
+// Campaigns with Campaign.Tenancy set run through the same service on
+// the campaign engine; use this direct form to reach the per-tenant
+// results and event streams.
+func NewTenancyService(spec TenancySpec) (*TenancyService, error) {
+	return tenancy.NewService(spec)
+}
+
+// AdmissionPolicies returns the registered admission-control policy
+// names (sorted): the values accepted by TenancyConfig.Admission,
+// ScenarioParams.Admission, and the cmds' -admit flag.
+func AdmissionPolicies() []string { return tenancy.Names() }
+
+// ValidateAdmission checks an admission-control policy name; the empty
+// string is valid and means the default (fcfs-admit).
+func ValidateAdmission(name string) error {
+	if name == "" {
+		return nil
+	}
+	return tenancy.Validate(name)
+}
+
+// ArrivalKinds returns the supported tenant arrival-process names
+// (sorted): the values accepted by TenancyConfig.Arrival,
+// ScenarioParams.Arrival, and the cmds' -arrival flag.
+func ArrivalKinds() []string { return fleet.ArrivalKinds() }
+
+// TenantSteeringPolicies returns the registered inter-campaign steering
+// policy names (sorted): the values accepted by TenancyConfig.Reclaim,
+// ScenarioParams.Reclaim, and the cmds' -reclaim flag.
+func TenantSteeringPolicies() []string { return steer.TenantNames() }
+
+// ValidateTenantSteer checks an inter-campaign steering policy name;
+// the empty string is valid (the scenario default applies) and "none"
+// freezes every admission grant for life.
+func ValidateTenantSteer(name string) error { return steer.ValidateTenant(name) }
+
+// JainOf returns Jain's fairness index over a service result's
+// per-tenant slowdowns: 1 when the shared cluster stretched every
+// tenant equally, approaching 1/n when admission control sacrificed
+// some tenants to others.
+func JainOf(r *Result) float64 { return report.JainOf(r) }
+
+// Fairness renders the multi-tenant admission comparison table over
+// service results grouped by admission policy — the report behind the
+// tenant-sweep scenario.
+func Fairness(results []*Result) string { return report.Fairness(results) }
+
+// FairnessCSV writes one fairness CSV row per tenant per service run.
+func FairnessCSV(w io.Writer, results []*Result) error {
+	return report.FairnessCSV(w, results)
 }
 
 // CriticalPathReport renders a campaign's critical path — the segment

@@ -23,6 +23,7 @@ import (
 	"sync/atomic"
 
 	"impress/internal/core"
+	"impress/internal/tenancy"
 	"impress/internal/workload"
 )
 
@@ -46,6 +47,12 @@ type Campaign struct {
 	// EventCapacity, when positive, attaches an event stream of that
 	// buffer size to the campaign; the stream is returned in the Outcome.
 	EventCapacity int
+	// Tenancy, when set, runs this campaign as a multi-tenant service —
+	// the spec's arriving tenant campaigns contend for one shared
+	// cluster under admission control — instead of a single coordinator.
+	// Targets, Config, and Control are ignored; the Outcome's Result is
+	// the aggregate service record (per-tenant stats in Result.Tenants).
+	Tenancy *tenancy.Spec
 }
 
 // Outcome is one campaign's result or failure.
@@ -168,6 +175,27 @@ func withInnerParallelism(c Campaign, active int) Campaign {
 	return c
 }
 
+// withTenantParallelism applies the same machine-sharing rule to every
+// tenant of a multi-tenant service campaign: each tenant config without
+// an explicit MPNN sampler parallelism gets the campaign's share.
+func withTenantParallelism(spec tenancy.Spec, active int) tenancy.Spec {
+	if active <= 1 {
+		return spec
+	}
+	share := runtime.GOMAXPROCS(0) / active
+	if share < 1 {
+		share = 1
+	}
+	tenants := append([]tenancy.TenantSpec(nil), spec.Tenants...)
+	for i := range tenants {
+		if tenants[i].Config.Pipeline.MPNN.Parallelism == 0 {
+			tenants[i].Config.Pipeline.MPNN.Parallelism = share
+		}
+	}
+	spec.Tenants = tenants
+	return spec
+}
+
 // runOne executes a single campaign to completion, converting panics from
 // configuration mistakes deep in the stack into per-campaign errors so a
 // batch survives one bad cell.
@@ -182,6 +210,20 @@ func runOne(c Campaign) (out Outcome) {
 		}
 	}()
 	c = withInnerParallelism(c, int(active))
+	if c.Tenancy != nil {
+		svc, err := tenancy.NewService(withTenantParallelism(*c.Tenancy, int(active)))
+		if err != nil {
+			out.Err = fmt.Errorf("campaign %s: %w", c.Name, err)
+			return out
+		}
+		res, err := svc.Run()
+		if err != nil {
+			out.Err = fmt.Errorf("campaign %s: %w", c.Name, err)
+			return out
+		}
+		out.Result = res
+		return out
+	}
 	cfg := c.Config
 	if c.Control {
 		cfg = cfg.ForControl()

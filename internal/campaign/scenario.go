@@ -15,6 +15,7 @@ import (
 	"impress/internal/report"
 	"impress/internal/sched"
 	"impress/internal/steer"
+	"impress/internal/tenancy"
 	"impress/internal/workload"
 )
 
@@ -79,6 +80,24 @@ type Params struct {
 	// WalltimeGrace sets the graceful drain window at fault-model
 	// walltime expiry in every campaign (0 keeps the hard kill).
 	WalltimeGrace time.Duration
+	// Tenants is the number of arriving campaigns in the tenant-sweep
+	// scenario (default 8). Other scenarios ignore it.
+	Tenants int
+	// Arrival names the tenant arrival process for tenant-sweep
+	// (internal/fleet kind: instant, linear, exponential, wave; empty
+	// keeps wave).
+	Arrival string
+	// ArrivalSpan is the tenant arrival window for tenant-sweep
+	// (default 12h; ignored for instant arrivals).
+	ArrivalSpan time.Duration
+	// Admission restricts tenant-sweep to a single admission-control
+	// policy (internal/tenancy name); empty races all of them — the
+	// scenario's whole point.
+	Admission string
+	// Reclaim names the inter-campaign steering policy for tenant-sweep
+	// (internal/steer tenant name; empty keeps fairshare, "none"
+	// freezes every admission grant for life).
+	Reclaim string
 }
 
 func (p Params) withDefaults() Params {
@@ -255,6 +274,85 @@ func screenAt(seed uint64, n int, p Params) (Campaign, error) {
 		Targets: targets,
 		Config:  cfg,
 	}, nil
+}
+
+// tenantSweepAt builds one multi-tenant service campaign per admission
+// policy at one seed: Tenants arriving screen campaigns contending for
+// one shared pool. The tenant stream is the control variable, admission
+// control is the treatment — every cell sees the identical arrivals,
+// demands, weights, and workload seeds.
+func tenantSweepAt(seed uint64, admissions []string, p Params) ([]Campaign, error) {
+	if p.SplitPilots {
+		return nil, fmt.Errorf("campaign: tenant-sweep places each tenant on a single leased pilot; the split placement does not apply")
+	}
+	poolNodes := p.Nodes
+	if poolNodes <= 1 {
+		poolNodes = 12
+	}
+	machine := cluster.AmarelCluster(poolNodes)
+	var caps []cluster.NodeCapacity
+	if p.Fleet != "" {
+		ts, err := fleet.ParseSpec(p.Fleet)
+		if err != nil {
+			return nil, err
+		}
+		caps, err = fleet.Generate(seed, ts)
+		if err != nil {
+			return nil, err
+		}
+		machine = fleet.SpecFor(fmt.Sprintf("fleet%d", seed), caps)
+	}
+	arrival := p.Arrival
+	if arrival == "" {
+		arrival = fleet.ArrivalWave
+	}
+	span := p.ArrivalSpan
+	if span <= 0 {
+		span = 12 * time.Hour
+	}
+	reclaim := p.Reclaim
+	if reclaim == "" {
+		reclaim = "fairshare"
+	}
+	perTenant := (p.Targets + p.Tenants - 1) / p.Tenants
+	var all []Campaign
+	for _, adm := range admissions {
+		spec := tenancy.Spec{Config: tenancy.Config{
+			Machine:   machine,
+			Nodes:     caps,
+			Seed:      seed,
+			Arrival:   arrival,
+			Span:      span,
+			Admission: adm,
+			Reclaim:   reclaim,
+		}}
+		for i := 0; i < p.Tenants; i++ {
+			tseed := seed + uint64(i)
+			cfg, err := applyExecution(core.AdaptiveConfig(tseed), p)
+			if err != nil {
+				return nil, err
+			}
+			if cfg.CheckpointInterval == 0 {
+				// Reclaim drains nodes through checkpoint/evict/resume;
+				// a default cadence keeps the preempted remainder small.
+				cfg.CheckpointInterval = 30 * time.Minute
+			}
+			spec.Tenants = append(spec.Tenants, tenancy.TenantSpec{
+				Name:        fmt.Sprintf("t%d", i),
+				Seed:        tseed,
+				Weight:      float64(1 + i%3),
+				Nodes:       2 + i%3,
+				TargetCount: perTenant,
+				Config:      cfg,
+			})
+		}
+		all = append(all, Campaign{
+			Name:    fmt.Sprintf("tenants/%s/seed%d", adm, seed),
+			Seed:    seed,
+			Tenancy: &spec,
+		})
+	}
+	return all, nil
 }
 
 // policyCompareAt builds one IM-RP campaign per registered scheduling
@@ -947,5 +1045,53 @@ func init() {
 		},
 		Report:    report.Preemption,
 		ReportCSV: report.PreemptionCSV,
+	}))
+	must(Register(Scenario{
+		Name: "tenant-sweep",
+		Description: "races every admission-control policy (fcfs-admit, quota, weighted-fair) over Tenants arriving " +
+			"screen campaigns contending for one shared pool with fairshare quota reclaim, and reports Jain's " +
+			"fairness index over per-tenant slowdowns against aggregate makespan",
+		Build: func(p Params) ([]Campaign, error) {
+			admissions := tenancy.Names()
+			if p.Admission != "" {
+				if err := tenancy.Validate(p.Admission); err != nil {
+					return nil, err
+				}
+				admissions = []string{p.Admission}
+			}
+			if err := steer.ValidateTenant(p.Reclaim); err != nil {
+				return nil, err
+			}
+			if p.Arrival != "" {
+				if err := fleet.ValidateArrival(p.Arrival); err != nil {
+					return nil, err
+				}
+			}
+			// The grid is admission × seeds wide and every cell runs
+			// Tenants whole campaigns, so the defaults keep cells small:
+			// a short per-tenant screen and a narrow seed sweep. Explicit
+			// values pass through.
+			if p.Targets <= 0 {
+				p.Targets = 16
+			}
+			if p.Seeds <= 0 {
+				p.Seeds = 2
+			}
+			if p.Tenants <= 0 {
+				p.Tenants = 8
+			}
+			p = p.withDefaults()
+			var all []Campaign
+			for i := 0; i < p.Seeds; i++ {
+				cs, err := tenantSweepAt(p.Seed+uint64(i), admissions, p)
+				if err != nil {
+					return nil, err
+				}
+				all = append(all, cs...)
+			}
+			return all, nil
+		},
+		Report:    report.Fairness,
+		ReportCSV: report.FairnessCSV,
 	}))
 }

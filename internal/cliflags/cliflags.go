@@ -22,6 +22,7 @@ import (
 	"impress/internal/fleet"
 	"impress/internal/sched"
 	"impress/internal/steer"
+	"impress/internal/tenancy"
 )
 
 // Options sets the per-command differences when registering the common
@@ -94,6 +95,20 @@ type Common struct {
 	// fleet-driven scenarios like kilo-screen ("" = the scenario's
 	// default fleet).
 	Fleet string
+	// Tenants is the arriving-campaign count for the tenant-sweep
+	// scenario (0 = scenario default).
+	Tenants int
+	// Arrival is the tenant arrival-process kind (internal/fleet name;
+	// "" = scenario default).
+	Arrival string
+	// ArrivalSpan is the tenant arrival window (0 = scenario default).
+	ArrivalSpan time.Duration
+	// Admission pins the tenant-sweep to one admission-control policy
+	// ("" = race all of them).
+	Admission string
+	// Reclaim is the inter-campaign steering policy for multi-tenant
+	// services ("" = scenario default; "none" freezes grants).
+	Reclaim string
 	// ChromeTrace, when set, is the path the campaign's Chrome Trace
 	// Event Format timeline is written to (open in Perfetto or
 	// chrome://tracing). Setting it also turns the telemetry recorder on.
@@ -146,6 +161,16 @@ func Register(fs *flag.FlagSet, o Options) *Common {
 		"graceful drain window at fault-model walltime expiry: running work that cannot finish is checkpointed and requeued (0 = hard kill)")
 	fs.StringVar(&c.Fleet, "fleet", "",
 		"fleet template spec for fleet-driven scenarios, e.g. cpu:28c0g128m*900+gpu:8c4g32m*100 (empty = scenario default)")
+	fs.IntVar(&c.Tenants, "tenants", 0,
+		"arriving campaigns in the tenant-sweep scenario (0 = scenario default)")
+	fs.StringVar(&c.Arrival, "arrival", "",
+		"tenant arrival process: "+strings.Join(fleet.ArrivalKinds(), ", ")+" (empty = scenario default)")
+	fs.DurationVar(&c.ArrivalSpan, "arrival-span", 0,
+		"tenant arrival window, e.g. 12h (0 = scenario default; ignored for instant arrivals)")
+	fs.StringVar(&c.Admission, "admit", "",
+		"admission-control policy for the shared pool: "+strings.Join(tenancy.Names(), ", ")+" (empty = race all of them)")
+	fs.StringVar(&c.Reclaim, "reclaim", "",
+		"inter-campaign steering policy: "+strings.Join(steer.TenantNames(), ", ")+" (empty = scenario default; none freezes grants)")
 	fs.StringVar(&c.ChromeTrace, "chrome-trace", "",
 		"write the campaign timeline in Chrome Trace Event Format to this path (view in Perfetto; also enables telemetry)")
 	fs.StringVar(&c.CPUProfile, "cpuprofile", "", "write a pprof CPU profile of the run to this path")
@@ -234,6 +259,25 @@ func (c *Common) Validate() error {
 	if c.CheckpointInterval < 0 {
 		return fmt.Errorf("-checkpoint-interval %v: checkpoint cadence cannot be negative", c.CheckpointInterval)
 	}
+	if c.Tenants < 0 {
+		return fmt.Errorf("-tenants %d: tenant count cannot be negative", c.Tenants)
+	}
+	if c.Arrival != "" {
+		if err := fleet.ValidateArrival(c.Arrival); err != nil {
+			return fmt.Errorf("-arrival: %w", err)
+		}
+	}
+	if c.ArrivalSpan < 0 {
+		return fmt.Errorf("-arrival-span %v: arrival window cannot be negative", c.ArrivalSpan)
+	}
+	if c.Admission != "" {
+		if err := tenancy.Validate(c.Admission); err != nil {
+			return fmt.Errorf("-admit: %w", err)
+		}
+	}
+	if err := steer.ValidateTenant(c.Reclaim); err != nil {
+		return fmt.Errorf("-reclaim: %w", err)
+	}
 	if c.WalltimeGrace < 0 {
 		return fmt.Errorf("-walltime-grace %v: drain window cannot be negative", c.WalltimeGrace)
 	}
@@ -315,4 +359,10 @@ func TelemetryFlagNames() []string {
 // registers — the allowlist companion of FaultFlagNames.
 func PreemptFlagNames() []string {
 	return []string{"checkpoint-interval", "walltime-grace"}
+}
+
+// TenancyFlagNames lists the multi-tenant service flags this package
+// registers — the allowlist companion of FaultFlagNames.
+func TenancyFlagNames() []string {
+	return []string{"tenants", "arrival", "arrival-span", "admit", "reclaim"}
 }

@@ -367,6 +367,28 @@ func (c *Cluster) AllocateExcluding(r Request, avoid []int) *Alloc {
 	return nil
 }
 
+// AllocateOn reserves resources on one specific node, bypassing first-fit
+// placement — the primitive behind node-granularity leases, where the
+// caller (not the packer) decides which node an allocation pins. It
+// returns nil when the node is down, removed, out of range, or cannot
+// host the request right now.
+func (c *Cluster) AllocateOn(id int, r Request) *Alloc {
+	if id < 0 || id >= len(c.nodes) {
+		return nil
+	}
+	if r.Cores < 0 || r.GPUs < 0 || r.MemGB < 0 || (r.Cores == 0 && r.GPUs == 0 && r.MemGB == 0) {
+		return nil
+	}
+	n := c.nodes[id]
+	if n.down || n.removed {
+		return nil
+	}
+	if n.freeCores < r.Cores || n.freeGPUs < r.GPUs || n.freeMemGB < r.MemGB {
+		return nil
+	}
+	return c.take(n, r)
+}
+
 // take commits a placement decision on node n.
 func (c *Cluster) take(n *Node, r Request) *Alloc {
 	n.freeCores -= r.Cores

@@ -211,6 +211,12 @@ type Coordinator struct {
 	inFlight      map[string][]*pilot.Task
 	nextSubID     int
 	errs          []error
+
+	// onDone, when set, fires exactly once at quiesce — the hook the
+	// multi-tenant service uses to learn, on the shared timeline, that
+	// this campaign's work has drained. Nil for private-cluster runs.
+	onDone    func()
+	doneFired bool
 }
 
 // NewCoordinator validates the configuration and prepares a campaign over
@@ -290,19 +296,36 @@ func NewCoordinator(targets []*workload.Target, cfg Config) (*Coordinator, error
 }
 
 // Run executes the campaign to completion in virtual time and returns its
-// results. It can be called once.
+// results. It can be called once. Run owns a private engine; multi-tenant
+// callers use StartOn/Finish against a shared one instead.
 func (c *Coordinator) Run() (*Result, error) {
-	if c.engine != nil {
-		return nil, fmt.Errorf("core: Run called twice")
+	if err := c.StartOn(simclock.New(), nil); err != nil {
+		return nil, err
 	}
-	c.engine = simclock.New()
+	c.engine.Run()
+	return c.Finish(c.engine.Now())
+}
+
+// StartOn arms the campaign on a caller-owned engine: pilots are
+// submitted, base pipelines constructed, and the first wave of work
+// scheduled, but no virtual time passes — the caller drives the engine.
+// The trace recorder starts at the engine's current instant, so a
+// campaign admitted mid-timeline measures its makespan from admission.
+// onDone (optional) fires exactly once when the campaign quiesces; the
+// caller then harvests the outcome with Finish once the engine drains.
+func (c *Coordinator) StartOn(engine *simclock.Engine, onDone func()) error {
+	if c.engine != nil {
+		return fmt.Errorf("core: Run called twice")
+	}
+	c.engine = engine
+	c.onDone = onDone
 	c.specs = c.cfg.pilotSpecs()
 	totalCores, totalGPUs := 0, 0
 	for _, ps := range c.specs {
 		totalCores += ps.TotalCores()
 		totalGPUs += ps.TotalGPUs()
 	}
-	c.rec = trace.NewRecorder(totalCores, totalGPUs, 0)
+	c.rec = trace.NewRecorder(totalCores, totalGPUs, engine.Now())
 	pm := pilot.NewPilotManager(c.engine, c.rec)
 	if c.cfg.Telemetry {
 		c.tel = telemetry.NewRecorder()
@@ -324,7 +347,7 @@ func (c *Coordinator) Run() (*Result, error) {
 			Seed:               xrand.Derive(c.cfg.Seed, ps.Name),
 		})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		c.pilots = append(c.pilots, p)
 	}
@@ -342,16 +365,23 @@ func (c *Coordinator) Run() (*Result, error) {
 		params.Seed = xrand.Derive(c.cfg.Seed, "pipeline:"+id)
 		pl, err := pipeline.New(id, tg, nil, params)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		c.pipelines[id] = pl
 		c.basePipelines++
 		c.waiting = append(c.waiting, pl)
 	}
 	c.startWaiting()
+	return nil
+}
 
-	c.engine.Run()
-	c.rec.Close(c.engine.Now())
+// Finish closes the campaign's trace at the given instant and assembles
+// its result — the harvest half of StartOn. Run calls it with the
+// engine's drain time; the multi-tenant service calls it with the instant
+// its quiesce hook recorded, so a tenant that finished mid-timeline does
+// not book the shared engine's idle tail into its makespan.
+func (c *Coordinator) Finish(at simclock.Time) (*Result, error) {
+	c.rec.Close(at)
 	c.publish(EventCampaignDone, nil, nil, fmt.Sprintf("%d trajectories", len(c.trajectories)))
 	if c.events != nil {
 		c.events.q.Close()
@@ -361,6 +391,11 @@ func (c *Coordinator) Run() (*Result, error) {
 	}
 	return c.buildResult(), nil
 }
+
+// Pilots exposes the campaign's pilots — the handle the inter-campaign
+// steering layer uses to observe queue pressure and to grow, shrink, or
+// drain leased nodes. Valid after StartOn.
+func (c *Coordinator) Pilots() []*pilot.Pilot { return c.pilots }
 
 // startWaiting launches queued pipelines up to the concurrency cap.
 func (c *Coordinator) startWaiting() {
@@ -574,6 +609,10 @@ func (c *Coordinator) quiesce() {
 	}
 	if c.steerer != nil {
 		c.steerer.Stop()
+	}
+	if c.onDone != nil && !c.doneFired {
+		c.doneFired = true
+		c.onDone()
 	}
 }
 

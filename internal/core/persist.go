@@ -123,7 +123,64 @@ type resultJSON struct {
 	TaskRecords       []trace.TaskRecord           `json:"task_records,omitempty"`
 	QueueSeries       [][]trace.Point              `json:"queue_series,omitempty"`
 	Telemetry         *telemetry.Data              `json:"telemetry,omitempty"`
+	Admission         string                       `json:"admission,omitempty"`
+	Tenants           []tenantStatJSON             `json:"tenants,omitempty"`
 	IncludeTaskDetail bool                         `json:"include_task_detail"`
+}
+
+// tenantStatJSON is TenantStat with durations flattened to nanoseconds,
+// matching the file schema's other duration fields. Additive: absent for
+// private-cluster campaigns, so schema 1 files round-trip unchanged.
+type tenantStatJSON struct {
+	Name         string  `json:"name"`
+	Weight       float64 `json:"weight,omitempty"`
+	Nodes        int     `json:"nodes,omitempty"`
+	ArrivedNS    int64   `json:"arrived_ns"`
+	AdmittedNS   int64   `json:"admitted_ns"`
+	FinishedNS   int64   `json:"finished_ns"`
+	WaitNS       int64   `json:"wait_ns"`
+	RuntimeNS    int64   `json:"runtime_ns"`
+	Slowdown     float64 `json:"slowdown"`
+	Trajectories int     `json:"trajectories,omitempty"`
+	Tasks        int     `json:"tasks,omitempty"`
+	Reclaimed    int     `json:"reclaimed,omitempty"`
+	Granted      int     `json:"granted,omitempty"`
+}
+
+func tenantStatToJSON(ts TenantStat) tenantStatJSON {
+	return tenantStatJSON{
+		Name:         ts.Name,
+		Weight:       ts.Weight,
+		Nodes:        ts.Nodes,
+		ArrivedNS:    int64(ts.Arrived),
+		AdmittedNS:   int64(ts.Admitted),
+		FinishedNS:   int64(ts.Finished),
+		WaitNS:       int64(ts.Wait),
+		RuntimeNS:    int64(ts.Runtime),
+		Slowdown:     ts.Slowdown,
+		Trajectories: ts.Trajectories,
+		Tasks:        ts.Tasks,
+		Reclaimed:    ts.Reclaimed,
+		Granted:      ts.Granted,
+	}
+}
+
+func (ts tenantStatJSON) toTenantStat() TenantStat {
+	return TenantStat{
+		Name:         ts.Name,
+		Weight:       ts.Weight,
+		Nodes:        ts.Nodes,
+		Arrived:      time.Duration(ts.ArrivedNS),
+		Admitted:     time.Duration(ts.AdmittedNS),
+		Finished:     time.Duration(ts.FinishedNS),
+		Wait:         time.Duration(ts.WaitNS),
+		Runtime:      time.Duration(ts.RuntimeNS),
+		Slowdown:     ts.Slowdown,
+		Trajectories: ts.Trajectories,
+		Tasks:        ts.Tasks,
+		Reclaimed:    ts.Reclaimed,
+		Granted:      ts.Granted,
+	}
 }
 
 // WriteJSON serializes the result. includeTasks controls whether the
@@ -165,8 +222,12 @@ func (r *Result) WriteJSON(w io.Writer, includeTasks bool) error {
 		FinalBest:         r.FinalBest,
 		QueueSeries:       r.QueueSeries,
 		Telemetry:         r.Telemetry,
+		Admission:         r.Admission,
 		FinalDesigns:      make(map[string]*structureJSON, len(r.FinalDesigns)),
 		IncludeTaskDetail: includeTasks,
+	}
+	for _, ts := range r.Tenants {
+		dto.Tenants = append(dto.Tenants, tenantStatToJSON(ts))
 	}
 	for _, tr := range r.Trajectories {
 		dto.Trajectories = append(dto.Trajectories, trajectoryJSON{
@@ -240,6 +301,10 @@ func ReadResultJSON(rd io.Reader) (*Result, error) {
 		TaskRecords:        dto.TaskRecords,
 		QueueSeries:        dto.QueueSeries,
 		Telemetry:          dto.Telemetry,
+		Admission:          dto.Admission,
+	}
+	for _, ts := range dto.Tenants {
+		res.Tenants = append(res.Tenants, ts.toTenantStat())
 	}
 	for _, e := range dto.PoolEntries {
 		res.Pool.Add(e)

@@ -114,6 +114,46 @@ type Result struct {
 	// steering ticks, counters, and gauge series. Nil unless the campaign
 	// ran with Config.Telemetry set.
 	Telemetry *telemetry.Data
+
+	// Admission names the admission-control policy when this result is a
+	// multi-tenant service run; empty for private-cluster campaigns.
+	Admission string
+	// Tenants holds the per-tenant wait/slowdown record of a multi-tenant
+	// service run, in arrival order. Nil for private-cluster campaigns.
+	Tenants []TenantStat
+}
+
+// TenantStat is one tenant's service record on a shared cluster: when it
+// arrived, how long admission control made it wait, and how much the
+// shared fleet stretched it relative to running unqueued — the per-tenant
+// rows behind Jain's fairness index.
+type TenantStat struct {
+	// Name is the tenant's campaign name.
+	Name string
+	// Weight is the tenant's share weight under weighted-fair admission.
+	Weight float64
+	// Nodes is the node grant the tenant was admitted with.
+	Nodes int
+	// Arrived/Admitted/Finished are virtual-time offsets from service
+	// start: when the tenant showed up, when admission control let it in,
+	// and when its last pipeline drained.
+	Arrived  time.Duration
+	Admitted time.Duration
+	Finished time.Duration
+	// Wait is Admitted − Arrived: the admission queue time.
+	Wait time.Duration
+	// Runtime is Finished − Admitted: the tenant's own makespan.
+	Runtime time.Duration
+	// Slowdown is (Wait + Runtime) / Runtime ≥ 1 — the classic bounded
+	// slowdown numerator over the tenant's own runtime.
+	Slowdown float64
+	// Trajectories and Tasks summarize the tenant's scientific output.
+	Trajectories int
+	Tasks        int
+	// Reclaimed counts nodes the inter-campaign steering tick took from
+	// this tenant; Granted counts nodes it gained after admission.
+	Reclaimed int
+	Granted   int
 }
 
 // FaultStats is a campaign's fault-injection and recovery record — the

@@ -1,0 +1,94 @@
+package fleet
+
+// Deterministic arrival processes: the order and timing in which tenants
+// (or, later, open-workload tasks) show up at a shared fleet. The four
+// kinds mirror the fleet-startup vocabulary of large launch systems —
+// everything at once, a constant ramp, an accelerating exponential ramp,
+// and discrete waves — and every schedule is a pure function of
+// (kind, n, span, seed), so the same tenant stream replays bit-identically
+// on every run and platform.
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"impress/internal/xrand"
+)
+
+// Arrival-process kinds understood by Arrivals.
+const (
+	// ArrivalInstant starts everything at time zero.
+	ArrivalInstant = "instant"
+	// ArrivalLinear spaces arrivals evenly across the span (constant rate).
+	ArrivalLinear = "linear"
+	// ArrivalExponential draws exponential inter-arrival gaps from the
+	// seed and rescales them to the span — bursty, front-loaded traffic.
+	ArrivalExponential = "exponential"
+	// ArrivalWave groups arrivals into a few discrete batches spread
+	// across the span — the "launch in waves" startup pattern.
+	ArrivalWave = "wave"
+)
+
+// arrivalWaves is the number of batches ArrivalWave splits a stream into.
+const arrivalWaves = 4
+
+// ArrivalKinds lists the supported arrival processes, sorted.
+func ArrivalKinds() []string {
+	return []string{ArrivalExponential, ArrivalInstant, ArrivalLinear, ArrivalWave}
+}
+
+// ValidateArrival rejects unknown arrival-process names.
+func ValidateArrival(kind string) error {
+	switch kind {
+	case ArrivalInstant, ArrivalLinear, ArrivalExponential, ArrivalWave:
+		return nil
+	}
+	return fmt.Errorf("fleet: unknown arrival process %q (have %v)", kind, ArrivalKinds())
+}
+
+// Arrivals returns n arrival offsets for the given process, sorted
+// ascending with the first arrival at zero and none past span. The seed
+// only matters for the exponential process; the others are fully shaped
+// by (kind, n, span). A zero span collapses every kind to instant.
+func Arrivals(kind string, n int, span time.Duration, seed uint64) ([]time.Duration, error) {
+	if err := ValidateArrival(kind); err != nil {
+		return nil, err
+	}
+	if n <= 0 {
+		return nil, fmt.Errorf("fleet: arrival stream needs at least one tenant, got %d", n)
+	}
+	if span < 0 {
+		return nil, fmt.Errorf("fleet: negative arrival span %v", span)
+	}
+	out := make([]time.Duration, n)
+	if span == 0 || n == 1 || kind == ArrivalInstant {
+		return out, nil
+	}
+	switch kind {
+	case ArrivalLinear:
+		for i := range out {
+			out[i] = span * time.Duration(i) / time.Duration(n)
+		}
+	case ArrivalExponential:
+		rng := xrand.New(xrand.Derive(seed, "fleet:arrival"))
+		gaps := make([]float64, n)
+		cum := 0.0
+		for i := range gaps {
+			cum += rng.ExpFloat64()
+			gaps[i] = cum
+		}
+		// Rescale so the first arrival lands at zero and the last at span.
+		lo, hi := gaps[0], gaps[n-1]
+		for i, c := range gaps {
+			out[i] = time.Duration(float64(span) * (c - lo) / (hi - lo))
+		}
+	case ArrivalWave:
+		for i := range out {
+			wave := i * arrivalWaves / n
+			out[i] = span * time.Duration(wave) / arrivalWaves
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}

@@ -1,0 +1,121 @@
+package fleet
+
+import (
+	"testing"
+	"time"
+)
+
+func TestArrivalsInstant(t *testing.T) {
+	offs, err := Arrivals(ArrivalInstant, 8, 4*time.Hour, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(offs) != 8 {
+		t.Fatalf("want 8 offsets, got %d", len(offs))
+	}
+	for i, d := range offs {
+		if d != 0 {
+			t.Fatalf("instant arrival %d = %v, want 0", i, d)
+		}
+	}
+}
+
+func TestArrivalsLinear(t *testing.T) {
+	span := 4 * time.Hour
+	offs, err := Arrivals(ArrivalLinear, 4, span, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []time.Duration{0, time.Hour, 2 * time.Hour, 3 * time.Hour}
+	for i := range want {
+		if offs[i] != want[i] {
+			t.Fatalf("linear arrival %d = %v, want %v", i, offs[i], want[i])
+		}
+	}
+}
+
+func TestArrivalsWaveBatches(t *testing.T) {
+	span := 8 * time.Hour
+	offs, err := Arrivals(ArrivalWave, 8, span, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 8 tenants in 4 waves: pairs at 0h, 2h, 4h, 6h.
+	distinct := map[time.Duration]int{}
+	for _, d := range offs {
+		distinct[d]++
+	}
+	if len(distinct) != arrivalWaves {
+		t.Fatalf("want %d waves, got %d (%v)", arrivalWaves, len(distinct), offs)
+	}
+	for at, count := range distinct {
+		if count != 2 {
+			t.Fatalf("wave at %v has %d tenants, want 2", at, count)
+		}
+	}
+}
+
+func TestArrivalsDeterministicAndBounded(t *testing.T) {
+	span := 6 * time.Hour
+	for _, kind := range ArrivalKinds() {
+		a, err := Arrivals(kind, 16, span, 1234)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Arrivals(kind, 16, span, 1234)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a[0] != 0 {
+			t.Fatalf("%s: first arrival %v, want 0", kind, a[0])
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s: arrival %d differs across runs: %v vs %v", kind, i, a[i], b[i])
+			}
+			if a[i] < 0 || a[i] > span {
+				t.Fatalf("%s: arrival %d = %v outside [0, %v]", kind, i, a[i], span)
+			}
+			if i > 0 && a[i] < a[i-1] {
+				t.Fatalf("%s: arrivals not sorted at %d: %v < %v", kind, i, a[i], a[i-1])
+			}
+		}
+	}
+}
+
+func TestArrivalsExponentialSeedSensitivity(t *testing.T) {
+	span := 6 * time.Hour
+	a, err := Arrivals(ArrivalExponential, 16, span, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Arrivals(ArrivalExponential, 16, span, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a {
+		if a[i] != b[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("exponential arrivals identical across different seeds")
+	}
+}
+
+func TestArrivalsRejectsBadInput(t *testing.T) {
+	if _, err := Arrivals("bogus", 4, time.Hour, 1); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+	if _, err := Arrivals(ArrivalLinear, 0, time.Hour, 1); err == nil {
+		t.Fatal("zero tenants accepted")
+	}
+	if _, err := Arrivals(ArrivalLinear, 4, -time.Hour, 1); err == nil {
+		t.Fatal("negative span accepted")
+	}
+	if err := ValidateArrival(ArrivalWave); err != nil {
+		t.Fatal(err)
+	}
+}

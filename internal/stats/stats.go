@@ -138,6 +138,27 @@ func Describe(xs []float64) Summary {
 	}
 }
 
+// JainIndex returns Jain's fairness index (Σx)² / (n·Σx²) over a set of
+// per-tenant allocation metrics: 1 when every tenant gets an identical
+// share, approaching 1/n as one tenant takes everything. It returns NaN
+// for empty input and 1 for a single sample or an all-zero set (nothing
+// was allocated unevenly).
+func JainIndex(xs []float64) float64 {
+	n := len(xs)
+	if n == 0 {
+		return math.NaN()
+	}
+	var sum, sumSq float64
+	for _, x := range xs {
+		sum += x
+		sumSq += x * x
+	}
+	if sumSq == 0 {
+		return 1
+	}
+	return sum * sum / (float64(n) * sumSq)
+}
+
 // NetDelta returns final - initial, the paper's "Net Δ" metric for Table I
 // (e.g. pLDDT Net Δ = median pLDDT after the last cycle minus median pLDDT
 // of the starting designs).

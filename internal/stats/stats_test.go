@@ -276,3 +276,44 @@ func BenchmarkSpearman1000(b *testing.B) {
 		_ = Spearman(xs, ys)
 	}
 }
+
+func TestJainIndex(t *testing.T) {
+	if !math.IsNaN(JainIndex(nil)) {
+		t.Fatal("empty input must be NaN")
+	}
+	if JainIndex([]float64{3.7}) != 1 {
+		t.Fatal("single sample must be perfectly fair")
+	}
+	if JainIndex([]float64{0, 0, 0}) != 1 {
+		t.Fatal("all-zero set must be perfectly fair")
+	}
+	if JainIndex([]float64{2, 2, 2, 2}) != 1 {
+		t.Fatal("equal shares must score 1")
+	}
+	// One tenant takes everything: J = 1/n.
+	if got := JainIndex([]float64{10, 0, 0, 0}); !almost(got, 0.25, 1e-12) {
+		t.Fatalf("monopolized shares scored %v, want 0.25", got)
+	}
+	// Textbook example: (1+2+3)² / (3·(1+4+9)) = 36/42.
+	if got := JainIndex([]float64{1, 2, 3}); !almost(got, 36.0/42.0, 1e-12) {
+		t.Fatalf("JainIndex([1 2 3]) = %v, want %v", got, 36.0/42.0)
+	}
+	// Scale invariance and the (1/n, 1] range, property-checked.
+	rng := xrand.New(99)
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(8)
+		xs := make([]float64, n)
+		scaled := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.Float64() * 10
+			scaled[i] = xs[i] * 7.5
+		}
+		j := JainIndex(xs)
+		if j < 1/float64(n)-1e-9 || j > 1+1e-9 {
+			t.Fatalf("JainIndex(%v) = %v outside (1/n, 1]", xs, j)
+		}
+		if !almost(j, JainIndex(scaled), 1e-9) {
+			t.Fatalf("JainIndex not scale-invariant: %v vs %v", j, JainIndex(scaled))
+		}
+	}
+}

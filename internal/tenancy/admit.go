@@ -1,0 +1,242 @@
+package tenancy
+
+// Admission control: who gets onto the shared cluster, when, and with how
+// many nodes. Mirroring internal/sched, internal/fault, and
+// internal/steer, the policy layer is a registry of named, deterministic
+// decision functions; the Service owns the mechanism (leases, pilots,
+// arrival events) and a policy can at worst admit badly, never corrupt
+// the ledger.
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// View is an admission policy's snapshot of one unfinished tenant, in
+// arrival order.
+type View struct {
+	// Name labels the tenant.
+	Name string
+	// Weight is the tenant's share weight (≥ 0; 0 counts as 1).
+	Weight float64
+	// Demand is the node grant the tenant asked for.
+	Demand int
+	// Nodes is the tenant's current lease count (0 while waiting).
+	Nodes int
+	// Waiting marks a tenant that has arrived but is not yet admitted.
+	Waiting bool
+	// Arrived is the tenant's arrival offset on the service timeline.
+	Arrived time.Duration
+}
+
+// Grant admits one waiting tenant with a node allotment. Index refers to
+// the View slice handed to Admit.
+type Grant struct {
+	Index int
+	Nodes int
+}
+
+// Policy decides admission grants and fair-share targets. Decisions must
+// be deterministic functions of the snapshot — the tenant loop replays
+// bit-identically from a seed.
+type Policy interface {
+	// Name returns the registry name of the policy.
+	Name() string
+	// Admit returns grants for waiting tenants given the pool's free and
+	// total node counts. The service applies grants in order and skips
+	// any that no longer fit.
+	Admit(views []View, free, total int) []Grant
+	// Shares returns each tenant's fair-share target in nodes, parallel
+	// to views — the reference the inter-campaign reclaim tick steers
+	// toward. A tenant is never entitled to more than its demand.
+	Shares(views []View, total int) []float64
+}
+
+// weightOf treats an unset weight as 1 so mixing weighted and unweighted
+// tenants stays well-defined.
+func weightOf(v View) float64 {
+	if v.Weight <= 0 {
+		return 1
+	}
+	return v.Weight
+}
+
+// fcfsAdmit is strict first-come-first-served with full-demand grants:
+// tenants are admitted in arrival order, each receiving everything it
+// asked for, and the queue head blocks everyone behind it until enough
+// nodes are free — the classic head-of-line-blocking batch queue.
+type fcfsAdmit struct{}
+
+func (fcfsAdmit) Name() string { return "fcfs-admit" }
+
+func (fcfsAdmit) Admit(views []View, free, total int) []Grant {
+	var grants []Grant
+	for i, v := range views {
+		if !v.Waiting {
+			continue
+		}
+		want := v.Demand
+		if want > free {
+			break // head-of-line blocking: nobody overtakes the queue head
+		}
+		grants = append(grants, Grant{Index: i, Nodes: want})
+		free -= want
+	}
+	return grants
+}
+
+func (fcfsAdmit) Shares(views []View, total int) []float64 {
+	shares := make([]float64, len(views))
+	for i, v := range views {
+		// FCFS entitles a tenant to exactly what it asked for, so the
+		// reclaim tick never sees an over-share donor.
+		shares[i] = float64(v.Demand)
+	}
+	return shares
+}
+
+// quotaAdmit is FCFS with a hard per-tenant node cap: arrival order is
+// respected (head-of-line blocking included) but no tenant may hold more
+// than the quota, so one huge campaign cannot drain the pool.
+type quotaAdmit struct{ quota int }
+
+func (quotaAdmit) Name() string { return "quota" }
+
+func (q quotaAdmit) grantFor(v View) int {
+	want := v.Demand
+	if want > q.quota {
+		want = q.quota
+	}
+	if want < 1 {
+		want = 1
+	}
+	return want
+}
+
+func (q quotaAdmit) Admit(views []View, free, total int) []Grant {
+	var grants []Grant
+	for i, v := range views {
+		if !v.Waiting {
+			continue
+		}
+		want := q.grantFor(v)
+		if want > free {
+			break
+		}
+		grants = append(grants, Grant{Index: i, Nodes: want})
+		free -= want
+	}
+	return grants
+}
+
+func (q quotaAdmit) Shares(views []View, total int) []float64 {
+	shares := make([]float64, len(views))
+	for i, v := range views {
+		shares[i] = float64(q.grantFor(v))
+	}
+	return shares
+}
+
+// weightedFair admits tenants at their weight-proportional share of the
+// pool instead of their full demand, and never lets the queue head block
+// a smaller tenant that fits — more campaigns run concurrently with
+// fewer nodes each, trading per-tenant peak capacity for even waits. As
+// tenants finish, the survivors' shares grow and the reclaim tick
+// re-expands them.
+type weightedFair struct{}
+
+func (weightedFair) Name() string { return "weighted-fair" }
+
+func (weightedFair) Shares(views []View, total int) []float64 {
+	sum := 0.0
+	for _, v := range views {
+		sum += weightOf(v)
+	}
+	shares := make([]float64, len(views))
+	if sum == 0 {
+		return shares
+	}
+	for i, v := range views {
+		s := float64(total) * weightOf(v) / sum
+		if s > float64(v.Demand) {
+			s = float64(v.Demand)
+		}
+		shares[i] = s
+	}
+	return shares
+}
+
+func (w weightedFair) Admit(views []View, free, total int) []Grant {
+	shares := w.Shares(views, total)
+	var grants []Grant
+	for i, v := range views {
+		if !v.Waiting || free == 0 {
+			continue
+		}
+		want := int(shares[i])
+		if want < 1 {
+			want = 1
+		}
+		if want > v.Demand {
+			want = v.Demand
+		}
+		if want > free {
+			// No head-of-line blocking: a share-sized grant that does
+			// not fit right now simply waits while smaller tenants
+			// behind it are considered.
+			continue
+		}
+		grants = append(grants, Grant{Index: i, Nodes: want})
+		free -= want
+	}
+	return grants
+}
+
+// builders is the admission-policy registry. Quota-parameterized
+// policies receive the service's quota setting at construction.
+var builders = map[string]func(quota int) Policy{
+	"fcfs-admit":    func(int) Policy { return fcfsAdmit{} },
+	"quota":         func(q int) Policy { return quotaAdmit{quota: q} },
+	"weighted-fair": func(int) Policy { return weightedFair{} },
+}
+
+// Names lists the registered admission policies, sorted — the axis the
+// tenant-sweep scenario races.
+func Names() []string {
+	names := make([]string, 0, len(builders))
+	for n := range builders {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Default is the admission policy used when none is named.
+func Default() string { return "fcfs-admit" }
+
+// New builds the named admission policy; empty selects the default.
+// quota is the per-tenant node cap for the quota policy (≤ 0 derives
+// total/4 at service construction); other policies ignore it.
+func New(name string, quota int) (Policy, error) {
+	if name == "" {
+		name = Default()
+	}
+	b, ok := builders[name]
+	if !ok {
+		return nil, fmt.Errorf("tenancy: unknown admission policy %q (have %v)", name, Names())
+	}
+	return b(quota), nil
+}
+
+// Validate rejects unknown admission-policy names; empty is the default
+// and fine.
+func Validate(name string) error {
+	if name == "" {
+		return nil
+	}
+	if _, ok := builders[name]; !ok {
+		return fmt.Errorf("tenancy: unknown admission policy %q (have %v)", name, Names())
+	}
+	return nil
+}

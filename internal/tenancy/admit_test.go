@@ -1,0 +1,123 @@
+package tenancy
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestAdmissionRegistry(t *testing.T) {
+	want := []string{"fcfs-admit", "quota", "weighted-fair"}
+	if got := Names(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Names() = %v, want %v", got, want)
+	}
+	if Default() != "fcfs-admit" {
+		t.Fatalf("Default() = %q", Default())
+	}
+	if _, err := New("bogus", 0); err == nil {
+		t.Fatal("unknown admission policy accepted")
+	}
+	if err := Validate(""); err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate("slurm"); err == nil {
+		t.Fatal("Validate accepted an unknown name")
+	}
+	p, err := New("", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name() != Default() {
+		t.Fatalf("empty name built %q, want default", p.Name())
+	}
+}
+
+func waiting(name string, demand int, weight float64) View {
+	return View{Name: name, Weight: weight, Demand: demand, Waiting: true}
+}
+
+func TestFCFSAdmitFullDemandAndHeadOfLine(t *testing.T) {
+	p, _ := New("fcfs-admit", 0)
+	views := []View{
+		waiting("a", 4, 1),
+		waiting("b", 6, 1), // does not fit after a — must block c
+		waiting("c", 1, 1),
+	}
+	grants := p.Admit(views, 8, 12)
+	if len(grants) != 1 || grants[0] != (Grant{Index: 0, Nodes: 4}) {
+		t.Fatalf("fcfs grants = %v, want a's full demand only (HoL blocks c)", grants)
+	}
+	// Shares equal demand: the reclaim layer sees no over-share donor.
+	shares := p.Shares(views, 12)
+	for i, v := range views {
+		if shares[i] != float64(v.Demand) {
+			t.Fatalf("fcfs share[%d] = %v, want demand %d", i, shares[i], v.Demand)
+		}
+	}
+}
+
+func TestQuotaAdmitCapsGrants(t *testing.T) {
+	p, _ := New("quota", 3)
+	views := []View{
+		waiting("hog", 10, 1),
+		waiting("small", 2, 1),
+	}
+	grants := p.Admit(views, 12, 12)
+	want := []Grant{{Index: 0, Nodes: 3}, {Index: 1, Nodes: 2}}
+	if !reflect.DeepEqual(grants, want) {
+		t.Fatalf("quota grants = %v, want %v", grants, want)
+	}
+	// Quota keeps FCFS order: a capped head that still does not fit
+	// blocks the queue.
+	grants = p.Admit(views, 2, 12)
+	if len(grants) != 0 {
+		t.Fatalf("quota grants with 2 free = %v, want HoL block", grants)
+	}
+}
+
+func TestWeightedFairSharesAndNoHeadOfLine(t *testing.T) {
+	p, _ := New("weighted-fair", 0)
+	views := []View{
+		waiting("a", 12, 2),
+		waiting("b", 12, 1),
+		waiting("c", 2, 1),
+	}
+	shares := p.Shares(views, 12)
+	if shares[0] != 6 || shares[1] != 3 {
+		t.Fatalf("weighted shares = %v, want [6 3 2]", shares)
+	}
+	if shares[2] != 2 {
+		t.Fatalf("share must cap at demand: got %v for c", shares[2])
+	}
+	// Only 3 nodes free: a's share-sized grant (6) does not fit, but b
+	// and c must not be blocked behind it.
+	grants := p.Admit(views, 3, 12)
+	want := []Grant{{Index: 1, Nodes: 3}}
+	if !reflect.DeepEqual(grants, want) {
+		t.Fatalf("weighted-fair grants with 3 free = %v, want %v", grants, want)
+	}
+	// With room, everyone lands at their share.
+	grants = p.Admit(views, 12, 12)
+	want = []Grant{{Index: 0, Nodes: 6}, {Index: 1, Nodes: 3}, {Index: 2, Nodes: 2}}
+	if !reflect.DeepEqual(grants, want) {
+		t.Fatalf("weighted-fair grants = %v, want %v", grants, want)
+	}
+}
+
+func TestWeightedFairMinimumGrant(t *testing.T) {
+	p, _ := New("weighted-fair", 0)
+	// 20 equal tenants on a 4-node pool: share < 1 must round up to a
+	// 1-node grant, not starve everyone forever.
+	var views []View
+	for i := 0; i < 20; i++ {
+		views = append(views, waiting(string(rune('a'+i)), 4, 1))
+	}
+	grants := p.Admit(views, 4, 4)
+	if len(grants) != 4 {
+		t.Fatalf("got %d grants, want 4 one-node grants", len(grants))
+	}
+	for _, g := range grants {
+		if g.Nodes != 1 {
+			t.Fatalf("grant = %v, want 1 node", g)
+		}
+	}
+}
